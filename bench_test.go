@@ -1,0 +1,301 @@
+package centurion
+
+// Benchmark harness regenerating the paper's evaluation. One benchmark per
+// table/figure (reduced run counts — use cmd/centurion for the full 100-run
+// sweeps) plus ablations for the design decisions in DESIGN.md §5 and
+// micro-benchmarks of the hot substrate paths.
+//
+// Custom metrics reported:
+//   rel_..._%      relative performance versus the No-Intelligence reference
+//   settle_..._ms  settling / recovery times
+//   inst/ms        absolute throughput
+
+import (
+	"io"
+	"testing"
+
+	"centurion/internal/aim"
+	platform "centurion/internal/centurion"
+	"centurion/internal/experiments"
+	"centurion/internal/noc"
+	"centurion/internal/node"
+	"centurion/internal/picoblaze"
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+// --- Table I ---
+
+// BenchmarkTable1 regenerates Table I (settling time and relative
+// performance without faults) with a reduced run count per iteration.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t1 := experiments.Table1(5, 1)
+		for _, row := range t1.Rows {
+			switch row.Model {
+			case experiments.ModelNI:
+				b.ReportMetric(row.RelativePct.Q2, "rel_ni_%")
+				b.ReportMetric(row.Settling.Q2, "settle_ni_ms")
+			case experiments.ModelFFW:
+				b.ReportMetric(row.RelativePct.Q2, "rel_ffw_%")
+				b.ReportMetric(row.Settling.Q2, "settle_ffw_ms")
+			case experiments.ModelNone:
+				b.ReportMetric(row.Settling.Q2, "settle_none_ms")
+			}
+		}
+	}
+}
+
+// --- Table II ---
+
+// BenchmarkTable2 regenerates Table II (recovery time and relative
+// performance after fault injection at 500 ms) for the paper's extreme
+// fault counts.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t2 := experiments.Table2(3, 1, []int{0, 8, 32})
+		for _, row := range t2.Rows {
+			if row.Faults != 32 {
+				continue
+			}
+			switch row.Model {
+			case experiments.ModelNone:
+				b.ReportMetric(row.RelativePct.Q2, "rel32_none_%")
+			case experiments.ModelNI:
+				b.ReportMetric(row.RelativePct.Q2, "rel32_ni_%")
+			case experiments.ModelFFW:
+				b.ReportMetric(row.RelativePct.Q2, "rel32_ffw_%")
+				b.ReportMetric(row.Recovery.Q2, "recover32_ffw_ms")
+			}
+		}
+	}
+}
+
+// --- Figure 4 ---
+
+func benchmarkFig4(b *testing.B, faults int) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig4(faults, 1)
+		if err := f.WriteCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range f.Cases {
+			pre := c.Result.Throughput.MeanRange(400, 500)
+			post := c.Result.Throughput.MeanRange(900, 1000)
+			switch c.Model {
+			case experiments.ModelNone:
+				b.ReportMetric(post/max1(pre), "none_retained")
+			case experiments.ModelFFW:
+				b.ReportMetric(post/max1(pre), "ffw_retained")
+			}
+		}
+	}
+}
+
+func max1(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// BenchmarkFig4FiveFaults regenerates the paper's 5-fault Figure 4 column.
+func BenchmarkFig4FiveFaults(b *testing.B) { benchmarkFig4(b, 5) }
+
+// BenchmarkFig4FortyTwoFaults regenerates the 42-fault column (one third of
+// the 128 nodes).
+func BenchmarkFig4FortyTwoFaults(b *testing.B) { benchmarkFig4(b, 42) }
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationUnpinnedSources shows why source tasks are pinned: with
+// PinSources disabled the task-1 population decays and throughput collapses.
+func BenchmarkAblationUnpinnedSources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pinned := aim.DefaultFFWParams()
+		unpinned := pinned
+		unpinned.PinSources = false
+		rPin := runFFWVariant(pinned, 1)
+		rUnpin := runFFWVariant(unpinned, 1)
+		b.ReportMetric(rPin, "pinned_inst/ms")
+		b.ReportMetric(rUnpin, "unpinned_inst/ms")
+	}
+}
+
+func runFFWVariant(par aim.FFWParams, seed uint64) float64 {
+	spec := experiments.DefaultSpec(experiments.ModelFFW, seed)
+	spec.DurationMs = 600
+	spec.FFW = &par
+	return experiments.Run(spec).PostFaultRate
+}
+
+// BenchmarkAblationFFWNoLapseArming compares the paper's deadline-armed FFW
+// with the naive pure-idleness timeout, which churns under load.
+func BenchmarkAblationFFWNoLapseArming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		armed := aim.DefaultFFWParams()
+		naive := armed
+		naive.ArmOnLapse = false
+		b.ReportMetric(runFFWVariant(armed, 2), "armed_inst/ms")
+		b.ReportMetric(runFFWVariant(naive, 2), "naive_inst/ms")
+	}
+}
+
+// BenchmarkAblationRoutingUnderFaults compares fault-aware next-hop tables
+// with pure XY routing when a third of the mesh dies: XY keeps steering
+// packets into dead routers.
+func BenchmarkAblationRoutingUnderFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []noc.RoutingMode{noc.RouteAuto, noc.RouteXY} {
+			cfg := platform.DefaultConfig(aim.NewNone, taskgraph.HeuristicMapper{}, 5)
+			cfg.NoC.Mode = mode
+			p := platform.New(cfg)
+			p.RunFor(sim.Ms(300), nil)
+			pre := p.Counters().InstancesCompleted
+			ctl := platform.NewController(p)
+			_ = ctl
+			p.InjectFaults(faultSample(p, 42))
+			p.RunFor(sim.Ms(300), nil)
+			post := p.Counters().InstancesCompleted - pre
+			name := "tables_inst/ms"
+			if mode == noc.RouteXY {
+				name = "xy_inst/ms"
+			}
+			b.ReportMetric(float64(post)/300, name)
+		}
+	}
+}
+
+func faultSample(p *platform.Platform, n int) []noc.NodeID {
+	rng := sim.NewRNG(77)
+	out := make([]noc.NodeID, 0, n)
+	for _, idx := range rng.Perm(p.Topo.Nodes())[:n] {
+		out = append(out, noc.NodeID(idx))
+	}
+	return out
+}
+
+// BenchmarkAblationMappingLocality separates the value of the heuristic's
+// task ratio from the value of its Manhattan locality by comparing it with
+// the same ratio at random positions.
+func BenchmarkAblationMappingLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []taskgraph.Mapper{taskgraph.HeuristicMapper{}, taskgraph.ProportionalMapper{}} {
+			spec := experiments.DefaultSpec(experiments.ModelNone, 3)
+			spec.DurationMs = 400
+			spec.Mapper = m
+			r := experiments.Run(spec)
+			if m.Name() == "heuristic-manhattan" {
+				b.ReportMetric(r.PostFaultRate, "clustered_inst/ms")
+			} else {
+				b.ReportMetric(r.PostFaultRate, "scattered_inst/ms")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationEmbeddedAIMCost measures the wall-clock cost of hosting
+// the NI pathway on the emulated PicoBlaze versus the behavioural engine.
+func BenchmarkAblationEmbeddedAIMCost(b *testing.B) {
+	b.Run("behavioural", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := NewSystem(WithModel(ModelNI), WithSeed(4))
+			sys.RunMs(100)
+		}
+	})
+	b.Run("picoblaze", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := NewSystem(WithModel(ModelNI), WithEmbeddedAIM(), WithSeed(4))
+			sys.RunMs(100)
+		}
+	})
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkPlatformStep measures one full platform tick (128 routers + PEs +
+// AIM decisions) at steady state.
+func BenchmarkPlatformStep(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		factory aim.Factory
+		mapper  taskgraph.Mapper
+	}{
+		{"none", aim.NewNone, taskgraph.HeuristicMapper{}},
+		{"ni", aim.NewNIFactory(aim.DefaultNIParams()), taskgraph.RandomMapper{}},
+		{"ffw", aim.NewFFWFactory(aim.DefaultFFWParams()), taskgraph.RandomMapper{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := platform.New(platform.DefaultConfig(tc.factory, tc.mapper, 1))
+			p.RunFor(sim.Ms(100), nil) // reach steady state
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkRouterTickLoaded measures the router datapath under traffic.
+func BenchmarkRouterTickLoaded(b *testing.B) {
+	net := noc.NewNetwork(noc.NewTopology(16, 8), noc.DefaultConfig())
+	sinkAll := acceptAll{}
+	for id := 0; id < net.Topo.Nodes(); id++ {
+		net.Router(noc.NodeID(id)).SetSink(sinkAll)
+	}
+	rng := sim.NewRNG(1)
+	var clk sim.Clock
+	id := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4 == 0 {
+			src := noc.NodeID(rng.Intn(net.Topo.Nodes()))
+			dst := noc.NodeID(rng.Intn(net.Topo.Nodes()))
+			id++
+			net.Inject(src, &noc.Packet{ID: id, Kind: noc.Data, Src: src, Dst: dst, Task: 2, Flits: 2}, clk.Now())
+		}
+		net.Tick(clk.Now())
+		clk.Step()
+	}
+}
+
+type acceptAll struct{}
+
+func (acceptAll) Accept(*noc.Packet, sim.Tick) bool { return true }
+
+// BenchmarkPicoblazeDecide measures one embedded decision pass.
+func BenchmarkPicoblazeDecide(b *testing.B) {
+	g := taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams())
+	e, err := picoblaze.NewNIEngine(g, picoblaze.DefaultNIEngineParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.NoteTask(taskgraph.ForkSink)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.OnRouted(taskgraph.ForkWorker, sim.Tick(i))
+		e.Decide(sim.Tick(i))
+	}
+}
+
+// BenchmarkAssemble measures assembling the NI pathway.
+func BenchmarkAssemble(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := picoblaze.Assemble(picoblaze.NIProgram); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectoryNearest measures the task-directory lookup on the hot
+// path of packet retargeting.
+func BenchmarkDirectoryNearest(b *testing.B) {
+	topo := noc.NewTopology(16, 8)
+	g := taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams())
+	m := taskgraph.RandomMapper{}.Map(g, 16, 8, sim.NewRNG(1))
+	d := node.NewDirectory(topo, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Nearest(taskgraph.ForkWorker, noc.NodeID(i%128))
+	}
+}

@@ -1,0 +1,319 @@
+package centurion
+
+import (
+	"fmt"
+	"io"
+
+	"centurion/internal/aim"
+	platform "centurion/internal/centurion"
+	"centurion/internal/experiments"
+	"centurion/internal/faults"
+	"centurion/internal/noc"
+	"centurion/internal/picoblaze"
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+	"centurion/internal/thermal"
+)
+
+// Model selects a runtime-management scheme.
+type Model = experiments.Model
+
+// The paper's runtime-management schemes.
+const (
+	// ModelNone is the no-intelligence reference: heuristic fixed mapping,
+	// no adaptation.
+	ModelNone = experiments.ModelNone
+	// ModelNI is the Network Interaction scheme.
+	ModelNI = experiments.ModelNI
+	// ModelFFW is the Foraging for Work scheme.
+	ModelFFW = experiments.ModelFFW
+	// ModelRandomStatic is the adaptive models' random initial mapping with
+	// adaptation disabled (an ablation).
+	ModelRandomStatic = experiments.ModelRandomStatic
+)
+
+// Graph identifies a built-in application workload.
+type Graph int
+
+// Built-in workloads.
+const (
+	// GraphForkJoin is the paper's Figure 3 workload (1:3:1).
+	GraphForkJoin Graph = iota
+	// GraphPipeline is a 4-stage linear pipeline.
+	GraphPipeline
+	// GraphDiamond is a two-path fork/join diamond.
+	GraphDiamond
+)
+
+// config collects the functional options.
+type config struct {
+	model       Model
+	seed        uint64
+	width       int
+	height      int
+	graph       *taskgraph.Graph
+	neighborSig bool
+	embeddedAIM bool
+	niParams    *aim.NIParams
+	ffwParams   *aim.FFWParams
+	factory     aim.Factory
+	thermal     *thermal.Params
+	thermalDVFS bool
+}
+
+// Option configures a System.
+type Option func(*config)
+
+// WithModel selects the runtime-management scheme (default ModelNone).
+func WithModel(m Model) Option { return func(c *config) { c.model = m } }
+
+// WithSeed sets the run's random seed (default 1).
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithSize sets the mesh dimensions (default 16×8 — Centurion-V6's 128
+// nodes).
+func WithSize(w, h int) Option {
+	return func(c *config) { c.width, c.height = w, h }
+}
+
+// WithGraph selects a built-in workload (default GraphForkJoin).
+func WithGraph(g Graph) Option {
+	return func(c *config) {
+		switch g {
+		case GraphPipeline:
+			c.graph = taskgraph.Pipeline(4, 120, 24)
+		case GraphDiamond:
+			c.graph = taskgraph.Diamond(120, 24)
+		default:
+			c.graph = taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams())
+		}
+	}
+}
+
+// WithCustomGraph installs a caller-built task graph (validated).
+func WithCustomGraph(g *taskgraph.Graph) Option {
+	return func(c *config) { c.graph = g }
+}
+
+// WithNeighborSignals enables the information-transfer extension: AIMs
+// announce task switches to their four mesh neighbours.
+func WithNeighborSignals() Option {
+	return func(c *config) { c.neighborSig = true }
+}
+
+// WithEmbeddedAIM hosts the Network Interaction pathway on the emulated
+// PicoBlaze cores instead of the behavioural engine. Only meaningful with
+// ModelNI.
+func WithEmbeddedAIM() Option { return func(c *config) { c.embeddedAIM = true } }
+
+// WithEngineFactory installs a custom intelligence-engine factory (one
+// aim.Engine per node), overriding the model selection. Use it to experiment
+// with new stimulus–threshold pathways on the same platform.
+func WithEngineFactory(f aim.Factory) Option {
+	return func(c *config) { c.factory = f }
+}
+
+// WithThermal enables the per-node temperature model (the AIM's temperature
+// monitor). Pass thermal.DefaultParams() for the standard calibration.
+func WithThermal(p thermal.Params) Option {
+	return func(c *config) { c.thermal = &p }
+}
+
+// WithThermalDVFS additionally enables the frequency-scaling governor:
+// nodes above the safe temperature run at half frequency until they cool.
+// Implies WithThermal when no thermal parameters were set.
+func WithThermalDVFS() Option {
+	return func(c *config) {
+		c.thermalDVFS = true
+		if c.thermal == nil {
+			p := thermal.DefaultParams()
+			c.thermal = &p
+		}
+	}
+}
+
+// WithNIParams overrides the Network Interaction parameters.
+func WithNIParams(p aim.NIParams) Option {
+	return func(c *config) { c.niParams = &p }
+}
+
+// WithFFWParams overrides the Foraging for Work parameters.
+func WithFFWParams(p aim.FFWParams) Option {
+	return func(c *config) { c.ffwParams = &p }
+}
+
+// System is one assembled Centurion platform run.
+type System struct {
+	p   *platform.Platform
+	ctl *platform.Controller
+}
+
+// NewSystem assembles a platform with the given options.
+func NewSystem(opts ...Option) *System {
+	c := config{model: ModelNone, seed: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+
+	var factory aim.Factory
+	switch c.model {
+	case ModelNI:
+		par := aim.DefaultNIParams()
+		if c.niParams != nil {
+			par = *c.niParams
+		}
+		if c.embeddedAIM {
+			factory = picoblaze.NewNIEngineFactory(picoblaze.NIEngineParams{
+				Threshold:      par.Threshold,
+				InternalWeight: par.InternalWeight,
+				PinSources:     par.PinSources,
+			})
+		} else {
+			factory = aim.NewNIFactory(par)
+		}
+	case ModelFFW:
+		par := aim.DefaultFFWParams()
+		if c.ffwParams != nil {
+			par = *c.ffwParams
+		}
+		factory = aim.NewFFWFactory(par)
+	default:
+		factory = aim.NewNone
+	}
+	if c.factory != nil {
+		factory = c.factory
+	}
+
+	var mapper taskgraph.Mapper = taskgraph.RandomMapper{}
+	if c.model == ModelNone {
+		mapper = taskgraph.HeuristicMapper{}
+	}
+
+	cfg := platform.DefaultConfig(factory, mapper, c.seed)
+	cfg.NeighborSignals = c.neighborSig
+	cfg.Thermal = c.thermal
+	cfg.ThermalDVFS = c.thermalDVFS
+	if c.graph != nil {
+		cfg.Graph = c.graph
+	}
+	if c.width > 0 {
+		cfg.Width = c.width
+	}
+	if c.height > 0 {
+		cfg.Height = c.height
+	}
+	p := platform.New(cfg)
+	return &System{p: p, ctl: platform.NewController(p)}
+}
+
+// RunMs advances the simulation by the given number of simulated
+// milliseconds.
+func (s *System) RunMs(ms float64) {
+	s.p.RunFor(sim.Ms(ms), nil)
+}
+
+// NowMs returns the current simulated time in milliseconds.
+func (s *System) NowMs() float64 { return s.p.Now().Milliseconds() }
+
+// Throughput returns the number of completed application instances.
+func (s *System) Throughput() uint64 { return s.p.Counters().InstancesCompleted }
+
+// Counters returns the platform's cumulative accounting.
+func (s *System) Counters() platform.Counters { return s.p.Counters() }
+
+// TaskCounts returns, indexed by task ID, how many alive nodes currently run
+// each task (index 0 counts idle nodes).
+func (s *System) TaskCounts() []int {
+	return s.p.Dir.Counts(s.p.Graph.MaxTaskID())
+}
+
+// InjectRandomFaults kills n random nodes immediately (the experiment
+// controller's debug interface).
+func (s *System) InjectRandomFaults(n int, seed uint64) {
+	nodes := faults.RandomNodes(s.p.Topo, n, sim.NewRNG(seed))
+	s.p.InjectFaults(nodes)
+}
+
+// InjectRegionFault kills every node in the rectangle [x0,x0+w)×[y0,y0+h).
+func (s *System) InjectRegionFault(x0, y0, w, h int) {
+	s.p.InjectFaults(faults.Region(s.p.Topo, x0, y0, w, h))
+}
+
+// AliveNodes returns the number of functioning nodes.
+func (s *System) AliveNodes() int {
+	n := 0
+	for id := noc.NodeID(0); int(id) < s.p.Topo.Nodes(); id++ {
+		if s.p.Net.Alive(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// Controller exposes the experiment controller (RCAP configuration uploads,
+// runtime data readout).
+func (s *System) Controller() *platform.Controller { return s.ctl }
+
+// Platform exposes the underlying platform for advanced use (package
+// internal/centurion).
+func (s *System) Platform() *platform.Platform { return s.p }
+
+// Thermal returns the temperature model, or nil when not enabled.
+func (s *System) Thermal() *thermal.Model { return s.p.Thermal() }
+
+// MapASCII renders the current task mapping as a W×H character grid
+// (sources '1'..'9', dead nodes 'x', idle '.').
+func (s *System) MapASCII() string {
+	topo := s.p.Topo
+	out := make([]byte, 0, (topo.W+1)*topo.H)
+	for y := 0; y < topo.H; y++ {
+		for x := 0; x < topo.W; x++ {
+			id := topo.ID(noc.Coord{X: x, Y: y})
+			switch {
+			case !s.p.Net.Alive(id):
+				out = append(out, 'x')
+			case s.p.Dir.TaskOf(id) == taskgraph.None:
+				out = append(out, '.')
+			default:
+				out = append(out, byte('0'+int(s.p.Dir.TaskOf(id))%10))
+			}
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// --- Experiment harness entry points ---
+
+// Table1Result is the Table I reproduction output.
+type Table1Result = experiments.Table1Result
+
+// Table2Result is the Table II reproduction output.
+type Table2Result = experiments.Table2Result
+
+// Fig4Result is the Figure 4 reproduction output.
+type Fig4Result = experiments.Fig4Result
+
+// RunTable1 regenerates Table I with the given number of runs per model.
+func RunTable1(runs int, seedBase uint64) Table1Result {
+	return experiments.Table1(runs, seedBase)
+}
+
+// RunTable2 regenerates Table II with the paper's fault counts.
+func RunTable2(runs int, seedBase uint64) Table2Result {
+	return experiments.Table2(runs, seedBase, nil)
+}
+
+// RunFig4 regenerates one Figure 4 column (the paper uses 5 and 42 faults).
+func RunFig4(faultCount int, seed uint64) Fig4Result {
+	return experiments.Fig4(faultCount, seed)
+}
+
+// WriteFig4CSV runs a Figure 4 column and writes its series as CSV.
+func WriteFig4CSV(w io.Writer, faultCount int, seed uint64) error {
+	f := experiments.Fig4(faultCount, seed)
+	if err := f.WriteCSV(w); err != nil {
+		return fmt.Errorf("centurion: writing figure 4 CSV: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+// Command centurion regenerates the paper's evaluation (Tables I and II,
+// Figure 4), runs single interactive experiments, and assembles AIM programs
+// for the embedded PicoBlaze substrate.
+//
+// Usage:
+//
+//	centurion table1 [-runs N] [-seed S]
+//	centurion table2 [-runs N] [-seed S] [-faults 0,2,4,8,16,32]
+//	centurion fig4   [-faults 5] [-seed S] [-csv out.csv]
+//	centurion run    [-model none|ni|ffw|ni-pb] [-seed S] [-ms 1000]
+//	                 [-faults N] [-fault-at MS] [-map]
+//	centurion asm    [-o out.txt] file.psm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"centurion"
+	"centurion/internal/experiments"
+	"centurion/internal/picoblaze"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "table1":
+		err = cmdTable1(os.Args[2:])
+	case "table2":
+		err = cmdTable2(os.Args[2:])
+	case "fig4":
+		err = cmdFig4(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "asm":
+		err = cmdAsm(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "centurion:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `centurion — social-insect runtime management on a simulated many-core
+
+subcommands:
+  table1   settling time + relative performance, no faults   (paper Table I)
+  table2   recovery time + relative performance after faults (paper Table II)
+  fig4     time series for one fault scenario                (paper Figure 4)
+  run      one interactive run with a chosen model
+  asm      assemble a PicoBlaze AIM program
+`)
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	runs := fs.Int("runs", 100, "independent runs per model")
+	seed := fs.Uint64("seed", 1, "base seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start := time.Now()
+	t1 := centurion.RunTable1(*runs, *seed)
+	fmt.Print(t1.Render())
+	fmt.Printf("\n(%d runs/model in %s)\n", *runs, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	runs := fs.Int("runs", 100, "independent runs per cell")
+	seed := fs.Uint64("seed", 1, "base seed")
+	faultsCSV := fs.String("faults", "0,2,4,8,16,32", "comma-separated fault counts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts, err := parseInts(*faultsCSV)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	t2 := experiments.Table2(*runs, *seed, counts)
+	fmt.Print(t2.Render())
+	fmt.Printf("\n(%d runs/cell in %s)\n", *runs, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdFig4(args []string) error {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	faultN := fs.Int("faults", 5, "fault count injected at 500 ms (paper: 5 and 42)")
+	seed := fs.Uint64("seed", 1, "seed")
+	csvPath := fs.String("csv", "", "also write the series to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f := centurion.RunFig4(*faultN, *seed)
+	fmt.Print(f.RenderASCII())
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := f.WriteCSV(out); err != nil {
+			return err
+		}
+		fmt.Printf("series written to %s\n", *csvPath)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	model := fs.String("model", "ffw", "none | ni | ffw | ni-pb (embedded PicoBlaze NI)")
+	seed := fs.Uint64("seed", 1, "seed")
+	ms := fs.Float64("ms", 1000, "simulated milliseconds")
+	faultN := fs.Int("faults", 0, "random node faults to inject")
+	faultAt := fs.Float64("fault-at", 500, "fault injection time (ms)")
+	showMap := fs.Bool("map", false, "print the task map before and after")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := []centurion.Option{centurion.WithSeed(*seed)}
+	switch *model {
+	case "none":
+		opts = append(opts, centurion.WithModel(centurion.ModelNone))
+	case "ni":
+		opts = append(opts, centurion.WithModel(centurion.ModelNI))
+	case "ni-pb":
+		opts = append(opts, centurion.WithModel(centurion.ModelNI), centurion.WithEmbeddedAIM())
+	case "ffw":
+		opts = append(opts, centurion.WithModel(centurion.ModelFFW))
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	sys := centurion.NewSystem(opts...)
+	if *showMap {
+		fmt.Println("initial task map:")
+		fmt.Print(sys.MapASCII())
+	}
+
+	if *faultN > 0 && *faultAt > 0 && *faultAt < *ms {
+		sys.RunMs(*faultAt)
+		pre := sys.Counters()
+		sys.InjectRandomFaults(*faultN, *seed^0xfa17)
+		sys.RunMs(*ms - *faultAt)
+		post := sys.Counters()
+		preRate := float64(pre.InstancesCompleted) / *faultAt
+		postRate := float64(post.InstancesCompleted-pre.InstancesCompleted) / (*ms - *faultAt)
+		fmt.Printf("model=%s seed=%d: pre-fault %.2f inst/ms, post-fault (%d faults) %.2f inst/ms\n",
+			*model, *seed, preRate, *faultN, postRate)
+	} else {
+		sys.RunMs(*ms)
+		c := sys.Counters()
+		fmt.Printf("model=%s seed=%d: %d instances completed in %.0f ms (%.2f inst/ms), %d task switches\n",
+			*model, *seed, c.InstancesCompleted, *ms,
+			float64(c.InstancesCompleted)/(*ms), c.TaskSwitches)
+	}
+	if *showMap {
+		fmt.Println("final task map:")
+		fmt.Print(sys.MapASCII())
+	}
+	counts := sys.TaskCounts()
+	fmt.Printf("task populations: %v (alive nodes: %d)\n", counts[1:], sys.AliveNodes())
+	return nil
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	out := fs.String("o", "", "write disassembly listing to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var src string
+	if fs.NArg() == 0 {
+		// No file: assemble the built-in NI pathway as a demonstration.
+		src = picoblaze.NIProgram
+		fmt.Fprintln(os.Stderr, "no input file; assembling the built-in NI pathway")
+	} else {
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+	prog, err := picoblaze.Assemble(src)
+	if err != nil {
+		return err
+	}
+	listing := picoblaze.Disassemble(prog)
+	if *out == "" {
+		fmt.Print(listing)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(listing), 0o644)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad fault count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

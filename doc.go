@@ -1,0 +1,29 @@
+// Package centurion is a from-scratch reproduction of "Embedded Social
+// Insect-Inspired Intelligence Networks for System-level Runtime Management"
+// (Rowlings, Tyrrell, Trefzer — DATE 2020).
+//
+// It provides a deterministic simulator of the paper's Centurion many-core
+// platform — a 16×8 mesh of wormhole NoC routers, processing elements and
+// embedded Artificial Intelligence Modules (AIMs) — together with the
+// paper's three runtime-management schemes (no intelligence, Network
+// Interaction, Foraging for Work), its fork–join workload, fault injection,
+// and the experiment harness that regenerates Table I, Table II and
+// Figure 4.
+//
+// # Quick start
+//
+//	sys := centurion.NewSystem(
+//		centurion.WithModel(centurion.ModelFFW),
+//		centurion.WithSeed(1),
+//	)
+//	sys.RunMs(1000)
+//	fmt.Println(sys.Throughput(), "instances completed")
+//
+// # Reproducing the paper's evaluation
+//
+//	t1 := centurion.RunTable1(100, 1)
+//	fmt.Print(t1.Render())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results versus the paper.
+package centurion

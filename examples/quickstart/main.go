@@ -1,0 +1,39 @@
+// Quickstart: assemble the Centurion platform with the Foraging-for-Work
+// intelligence, run it for one simulated second from a random task mapping,
+// and watch the colony organise itself.
+package main
+
+import (
+	"fmt"
+
+	"centurion"
+)
+
+func main() {
+	sys := centurion.NewSystem(
+		centurion.WithModel(centurion.ModelFFW),
+		centurion.WithSeed(1),
+	)
+
+	fmt.Println("initial task mapping (1=source, 2=worker, 3=sink):")
+	fmt.Print(sys.MapASCII())
+
+	for step := 0; step < 5; step++ {
+		before := sys.Throughput()
+		sys.RunMs(200)
+		counts := sys.TaskCounts()
+		fmt.Printf("t=%4.0fms  throughput %.2f inst/ms  populations 1:%d 2:%d 3:%d  switches %d\n",
+			sys.NowMs(),
+			float64(sys.Throughput()-before)/200,
+			counts[1], counts[2], counts[3],
+			sys.Counters().TaskSwitches)
+	}
+
+	fmt.Println("\nfinal task mapping:")
+	fmt.Print(sys.MapASCII())
+
+	c := sys.Counters()
+	fmt.Printf("\ncompleted %d of %d started instances (%.1f%%)\n",
+		c.InstancesCompleted, c.InstancesStarted,
+		100*float64(c.InstancesCompleted)/float64(c.InstancesStarted))
+}

@@ -1,0 +1,52 @@
+// Thermal management: the remaining monitors and knobs of the paper's AIM
+// interface — "local temperature sensing" and "node-level frequency scaling
+// (10MHz - 300MHz)" — closing the loop the paper envisions for autonomous
+// adaptation.
+//
+// A hot process technology (aggressive HeatPerWork) makes the busiest nodes
+// exceed the safe die temperature. With the DVFS governor enabled, those
+// nodes are halved in frequency until they cool; combined with Foraging for
+// Work, the colony shifts work away from throttled nodes.
+package main
+
+import (
+	"fmt"
+
+	"centurion"
+	"centurion/internal/thermal"
+)
+
+func main() {
+	// A deliberately hot calibration so the default workload stresses it.
+	hot := thermal.DefaultParams()
+	hot.HeatPerWork = 16
+	hot.MaxSafe = 80
+
+	run := func(name string, opts ...centurion.Option) {
+		opts = append(opts,
+			centurion.WithModel(centurion.ModelFFW),
+			centurion.WithSeed(5),
+			centurion.WithThermal(hot),
+		)
+		sys := centurion.NewSystem(opts...)
+		fmt.Printf("%-14s", name)
+		for step := 0; step < 5; step++ {
+			before := sys.Throughput()
+			sys.RunMs(200)
+			_, peak := sys.Thermal().Hottest()
+			fmt.Printf("  [%3.0fms %4.2fi/ms %5.1f°C]",
+				sys.NowMs(), float64(sys.Throughput()-before)/200, peak)
+		}
+		_, peak := sys.Thermal().Hottest()
+		fmt.Printf("\n%14sfinal: mean %.1f°C, hottest %.1f°C, %d completions\n\n",
+			"", sys.Thermal().Mean(), peak, sys.Throughput())
+	}
+
+	fmt.Println("workload on a hot process, per-200ms [time, throughput, peak temp]:")
+	run("no governor")
+	run("DVFS governor", centurion.WithThermalDVFS())
+
+	fmt.Println("The governor trades throughput for a bounded die temperature;")
+	fmt.Println("task allocation then routes work around the throttled hot")
+	fmt.Println("spots — the paper's envisioned closed loop.")
+}

@@ -1,0 +1,143 @@
+package aim
+
+import (
+	"testing"
+
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+func adaptiveNI() *NI {
+	return NewNI(fj(), NIParams{
+		Threshold:  5,
+		PinSources: true,
+		AdaptStep:  4,
+		AdaptDecay: 100,
+	})
+}
+
+func TestAdaptiveThresholdRisesOnSwitch(t *testing.T) {
+	e := adaptiveNI()
+	e.NoteTask(taskgraph.ForkSink)
+	if e.Level() != 5 {
+		t.Fatalf("initial level = %d", e.Level())
+	}
+	for i := 0; i < 5; i++ {
+		e.OnRouted(taskgraph.ForkWorker, 0)
+	}
+	if _, ok := e.Decide(0); !ok {
+		t.Fatal("no switch at base threshold")
+	}
+	if e.Level() != 9 {
+		t.Fatalf("level after switch = %d, want 9", e.Level())
+	}
+	// Now 5 impulses are no longer enough.
+	e.NoteTask(taskgraph.ForkWorker)
+	for i := 0; i < 5; i++ {
+		e.OnRouted(taskgraph.ForkSink, 1)
+	}
+	if _, ok := e.Decide(1); ok {
+		t.Fatal("switched below the adapted threshold")
+	}
+	for i := 0; i < 4; i++ {
+		e.OnRouted(taskgraph.ForkSink, 2)
+	}
+	if _, ok := e.Decide(2); !ok {
+		t.Fatal("no switch at the adapted threshold")
+	}
+}
+
+func TestAdaptiveThresholdDecays(t *testing.T) {
+	e := adaptiveNI()
+	e.NoteTask(taskgraph.ForkSink)
+	for i := 0; i < 5; i++ {
+		e.OnRouted(taskgraph.ForkWorker, 0)
+	}
+	e.Decide(0) // level -> 9
+	e.NoteTask(taskgraph.ForkWorker)
+	// Decay one step per 100 ticks; after 400+ ticks it is back to base 5.
+	for now := sim.Tick(1); now <= 500; now++ {
+		e.Decide(now)
+	}
+	if e.Level() != 5 {
+		t.Fatalf("level after decay = %d, want base 5", e.Level())
+	}
+	// Never decays below base.
+	for now := sim.Tick(501); now <= 1500; now++ {
+		e.Decide(now)
+	}
+	if e.Level() != 5 {
+		t.Fatalf("level decayed below base: %d", e.Level())
+	}
+}
+
+func TestAdaptiveThresholdSaturates(t *testing.T) {
+	e := NewNI(fj(), NIParams{Threshold: 250, PinSources: true, AdaptStep: 100, AdaptDecay: 10})
+	e.NoteTask(taskgraph.ForkSink)
+	for i := 0; i < 250; i++ {
+		e.OnRouted(taskgraph.ForkWorker, 0)
+	}
+	e.Decide(0)
+	if e.Level() != CounterMax {
+		t.Fatalf("level = %d, want cap at %d", e.Level(), CounterMax)
+	}
+}
+
+func TestAdaptiveDisabledByDefault(t *testing.T) {
+	e := NewNI(fj(), DefaultNIParams())
+	e.NoteTask(taskgraph.ForkSink)
+	base := e.Level()
+	for i := 0; i < base; i++ {
+		e.OnRouted(taskgraph.ForkWorker, 0)
+	}
+	e.Decide(0)
+	if e.Level() != base {
+		t.Fatalf("level changed (%d -> %d) with adaptation disabled", base, e.Level())
+	}
+}
+
+func TestAdaptiveParamViaRCAP(t *testing.T) {
+	e := NewNI(fj(), NIParams{Threshold: 5, PinSources: true})
+	e.SetParam(ParamAdaptStep, 3)
+	e.NoteTask(taskgraph.ForkSink)
+	for i := 0; i < 5; i++ {
+		e.OnRouted(taskgraph.ForkWorker, 0)
+	}
+	e.Decide(0)
+	if e.Level() != 8 {
+		t.Fatalf("level = %d after RCAP-enabled adaptation, want 8", e.Level())
+	}
+}
+
+// Churn comparison: under a persistently oscillating stimulus the adaptive
+// engine must switch fewer times than the fixed-threshold engine.
+func TestAdaptiveThresholdDampsChurn(t *testing.T) {
+	count := func(par NIParams) int {
+		e := NewNI(fj(), par)
+		cur := taskgraph.ForkWorker
+		e.NoteTask(cur)
+		switches := 0
+		for now := sim.Tick(0); now < 5000; now++ {
+			// Alternating bursts of worker and sink traffic.
+			if (now/50)%2 == 0 {
+				e.OnRouted(taskgraph.ForkWorker, now)
+			} else {
+				e.OnRouted(taskgraph.ForkSink, now)
+			}
+			if task, ok := e.Decide(now); ok {
+				switches++
+				cur = task
+				e.NoteTask(cur)
+			}
+		}
+		return switches
+	}
+	fixed := count(NIParams{Threshold: 10, PinSources: true})
+	adaptive := count(NIParams{Threshold: 10, PinSources: true, AdaptStep: 8, AdaptDecay: 200})
+	if adaptive >= fixed {
+		t.Errorf("adaptive thresholds did not damp churn: %d vs %d switches", adaptive, fixed)
+	}
+	if adaptive == 0 {
+		t.Error("adaptive engine never switched at all")
+	}
+}

@@ -1,0 +1,369 @@
+package aim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+func fj() *taskgraph.Graph { return taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams()) }
+
+func TestThresholderFiring(t *testing.T) {
+	th := NewThresholder(3)
+	if th.Fired() {
+		t.Fatal("fresh thresholder fired")
+	}
+	th.Excite(2)
+	if th.Fired() {
+		t.Fatal("fired below threshold")
+	}
+	th.Excite(1)
+	if !th.Fired() {
+		t.Fatal("did not fire at threshold")
+	}
+	th.Reset()
+	if th.Fired() || th.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestThresholderSaturationAndFloor(t *testing.T) {
+	th := NewThresholder(10)
+	th.Excite(1000)
+	if th.Count() != CounterMax {
+		t.Errorf("count = %d, want saturation at %d", th.Count(), CounterMax)
+	}
+	th.Inhibit(1000)
+	if th.Count() != 0 {
+		t.Errorf("count = %d, want floor at 0", th.Count())
+	}
+}
+
+func TestThresholderSetThreshold(t *testing.T) {
+	th := NewThresholder(5)
+	th.Excite(4)
+	th.SetThreshold(4)
+	if !th.Fired() {
+		t.Error("lowered threshold did not fire")
+	}
+	th.SetThreshold(0) // clamps to 1
+	if th.Threshold() != 1 {
+		t.Errorf("threshold = %d, want clamp to 1", th.Threshold())
+	}
+}
+
+// Property: a thresholder never fires while fewer net excitations than the
+// threshold have been applied.
+func TestThresholderProperty(t *testing.T) {
+	f := func(ops []int8, thRaw uint8) bool {
+		threshold := int(thRaw%50) + 1
+		th := NewThresholder(threshold)
+		net := 0
+		for _, op := range ops {
+			n := int(op)
+			if n >= 0 {
+				th.Excite(n)
+				net += n
+				if net > CounterMax {
+					net = CounterMax
+				}
+			} else {
+				th.Inhibit(-n)
+				net += n
+				if net < 0 {
+					net = 0
+				}
+			}
+			if th.Count() != net {
+				return false
+			}
+			if th.Fired() != (net >= threshold) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComparator(t *testing.T) {
+	c := Comparator{Ref: 7}
+	if c.Match(7) != 1 || c.Match(6) != 0 {
+		t.Error("comparator mismatch")
+	}
+}
+
+func TestNoneNeverSwitches(t *testing.T) {
+	e := NewNone(fj())
+	e.NoteTask(2)
+	for now := sim.Tick(0); now < 1000; now++ {
+		e.OnRouted(3, now)
+		e.OnInternal(2, now)
+		e.OnDeadlineLapse(3, now)
+		if task, ok := e.Decide(now); ok {
+			t.Fatalf("baseline switched to %d", task)
+		}
+	}
+	if e.Name() != "none" {
+		t.Errorf("Name = %q", e.Name())
+	}
+}
+
+func TestNISwitchesOnTraffic(t *testing.T) {
+	e := NewNI(fj(), NIParams{Threshold: 10, InhibitWeight: 4, PinSources: true})
+	e.NoteTask(taskgraph.ForkSink) // an idle sink in a worker-traffic corridor
+	for i := 0; i < 9; i++ {
+		e.OnRouted(taskgraph.ForkWorker, sim.Tick(i))
+		if _, ok := e.Decide(sim.Tick(i)); ok {
+			t.Fatalf("switched after %d impulses, threshold 10", i+1)
+		}
+	}
+	e.OnRouted(taskgraph.ForkWorker, 9)
+	task, ok := e.Decide(9)
+	if !ok || task != taskgraph.ForkWorker {
+		t.Fatalf("Decide = %d,%v, want worker switch", task, ok)
+	}
+	// Counters must reset after the decision.
+	for _, c := range e.Counts() {
+		if c != 0 {
+			t.Fatalf("counters not reset: %v", e.Counts())
+		}
+	}
+}
+
+func TestNIInhibitionByLocalWork(t *testing.T) {
+	e := NewNI(fj(), NIParams{Threshold: 10, InhibitWeight: 5, PinSources: true})
+	e.NoteTask(taskgraph.ForkWorker)
+	// Interleave through-traffic for task 3 with local work: inhibition must
+	// keep the counter below threshold indefinitely.
+	for i := 0; i < 200; i++ {
+		e.OnRouted(taskgraph.ForkSink, sim.Tick(i))
+		if i%3 == 0 {
+			e.OnInternal(taskgraph.ForkWorker, sim.Tick(i))
+		}
+		if task, ok := e.Decide(sim.Tick(i)); ok {
+			t.Fatalf("busy node captured by through-traffic at %d (to task %d)", i, task)
+		}
+	}
+}
+
+func TestNIReElectionResetsWithoutSwitch(t *testing.T) {
+	e := NewNI(fj(), NIParams{Threshold: 5, InhibitWeight: 0, PinSources: true})
+	e.NoteTask(taskgraph.ForkWorker)
+	for i := 0; i < 5; i++ {
+		e.OnRouted(taskgraph.ForkWorker, 0)
+	}
+	if task, ok := e.Decide(0); ok {
+		t.Fatalf("re-election switched to %d", task)
+	}
+	for _, c := range e.Counts() {
+		if c != 0 {
+			t.Fatal("counters not reset on re-election")
+		}
+	}
+}
+
+func TestNIPinSources(t *testing.T) {
+	e := NewNI(fj(), NIParams{Threshold: 3, InhibitWeight: 0, PinSources: true})
+	e.NoteTask(taskgraph.ForkSource)
+	for i := 0; i < 100; i++ {
+		e.OnRouted(taskgraph.ForkWorker, sim.Tick(i))
+	}
+	if task, ok := e.Decide(100); ok {
+		t.Fatalf("pinned source switched to %d", task)
+	}
+	// Unpinned: the same pressure must switch it.
+	e2 := NewNI(fj(), NIParams{Threshold: 3, InhibitWeight: 0, PinSources: false})
+	e2.NoteTask(taskgraph.ForkSource)
+	for i := 0; i < 3; i++ {
+		e2.OnRouted(taskgraph.ForkWorker, sim.Tick(i))
+	}
+	if _, ok := e2.Decide(3); !ok {
+		t.Fatal("unpinned source did not switch")
+	}
+}
+
+func TestNINeighborSignalExtension(t *testing.T) {
+	e := NewNI(fj(), NIParams{Threshold: 10, NeighborWeight: 5, PinSources: true})
+	e.NoteTask(taskgraph.ForkSink)
+	e.OnNeighborSignal(taskgraph.ForkWorker, 0)
+	e.OnNeighborSignal(taskgraph.ForkWorker, 1)
+	task, ok := e.Decide(1)
+	if !ok || task != taskgraph.ForkWorker {
+		t.Fatalf("neighbour signals did not drive switch: %d,%v", task, ok)
+	}
+	// Disabled by default.
+	e2 := NewNI(fj(), DefaultNIParams())
+	e2.NoteTask(taskgraph.ForkSink)
+	e2.OnNeighborSignal(taskgraph.ForkWorker, 0)
+	if got := e2.Counts()[taskgraph.ForkWorker]; got != 0 {
+		t.Errorf("neighbour weight default should be 0, counter = %d", got)
+	}
+}
+
+func TestNISetParam(t *testing.T) {
+	e := NewNI(fj(), DefaultNIParams())
+	e.NoteTask(taskgraph.ForkSink)
+	e.SetParam(ParamThreshold, 2)
+	e.OnRouted(taskgraph.ForkWorker, 0)
+	e.OnRouted(taskgraph.ForkWorker, 0)
+	if _, ok := e.Decide(0); !ok {
+		t.Fatal("lowered threshold (via RCAP param) did not take effect")
+	}
+	e.SetParam(ParamPinSources, 0)
+	e.NoteTask(taskgraph.ForkSource)
+	e.OnRouted(taskgraph.ForkWorker, 1)
+	e.OnRouted(taskgraph.ForkWorker, 1)
+	if _, ok := e.Decide(1); !ok {
+		t.Fatal("unpinning via RCAP param did not take effect")
+	}
+}
+
+func TestFFWTimeoutSwitch(t *testing.T) {
+	e := NewFFW(fj(), FFWParams{Timeout: 100, PinSources: true})
+	e.NoteTask(taskgraph.ForkSink)
+	queued := taskgraph.ForkWorker
+	e.SetQueuePeek(func(now sim.Tick) (taskgraph.TaskID, bool) { return queued, true })
+
+	// Before the timeout: no switch.
+	for now := sim.Tick(0); now < 100; now++ {
+		if task, ok := e.Decide(now); ok {
+			t.Fatalf("switched to %d before timeout at %d", task, now)
+		}
+	}
+	task, ok := e.Decide(100)
+	if !ok || task != taskgraph.ForkWorker {
+		t.Fatalf("Decide at timeout = %d,%v, want worker", task, ok)
+	}
+}
+
+func TestFFWInternalWorkSuppressesSwitch(t *testing.T) {
+	e := NewFFW(fj(), FFWParams{Timeout: 50, PinSources: true})
+	e.NoteTask(taskgraph.ForkWorker)
+	e.SetQueuePeek(func(now sim.Tick) (taskgraph.TaskID, bool) { return taskgraph.ForkSink, true })
+	for now := sim.Tick(0); now < 500; now++ {
+		if now%40 == 0 { // steady internal deliveries inside the window
+			e.OnInternal(taskgraph.ForkWorker, now)
+		}
+		if task, ok := e.Decide(now); ok {
+			t.Fatalf("busy node switched to %d at %d", task, now)
+		}
+	}
+}
+
+func TestFFWEmptyQueueNoSwitch(t *testing.T) {
+	e := NewFFW(fj(), FFWParams{Timeout: 10, PinSources: true})
+	e.NoteTask(taskgraph.ForkSink)
+	e.SetQueuePeek(func(now sim.Tick) (taskgraph.TaskID, bool) { return taskgraph.None, false })
+	swings := 0
+	for now := sim.Tick(0); now < 100; now++ {
+		if _, ok := e.Decide(now); ok {
+			swings++
+		}
+	}
+	if swings != 0 {
+		t.Fatalf("switched %d times with an empty queue", swings)
+	}
+}
+
+func TestFFWReArmAfterExpiry(t *testing.T) {
+	e := NewFFW(fj(), FFWParams{Timeout: 10, PinSources: true})
+	e.NoteTask(taskgraph.ForkSink)
+	calls := 0
+	e.SetQueuePeek(func(now sim.Tick) (taskgraph.TaskID, bool) { calls++; return taskgraph.None, false })
+	for now := sim.Tick(0); now < 35; now++ {
+		e.Decide(now)
+	}
+	// Expiries at t=10, 20, 30 → exactly 3 peeks, not one per tick.
+	if calls != 3 {
+		t.Fatalf("peeked %d times in 35 ticks with timeout 10, want 3", calls)
+	}
+}
+
+func TestFFWLapseArming(t *testing.T) {
+	e := NewFFW(fj(), FFWParams{Timeout: 100, ArmOnLapse: true, PinSources: true})
+	e.NoteTask(taskgraph.ForkSink)
+	e.SetQueuePeek(func(now sim.Tick) (taskgraph.TaskID, bool) { return taskgraph.ForkWorker, true })
+	// Without a lapse the engine never arms, no matter how idle.
+	if _, ok := e.Decide(5000); ok {
+		t.Fatal("switched without deadline-lapse evidence")
+	}
+	e.OnDeadlineLapse(taskgraph.ForkWorker, 5000)
+	if !e.Armed() {
+		t.Fatal("lapse did not arm the timer")
+	}
+	if _, ok := e.Decide(5099); ok {
+		t.Fatal("switched before the armed timeout expired")
+	}
+	if task, ok := e.Decide(5100); !ok || task != taskgraph.ForkWorker {
+		t.Fatal("armed timeout expiry did not switch")
+	}
+	if e.Armed() {
+		t.Fatal("timer still armed after the decision")
+	}
+	// Internal work disarms a pending switch.
+	e.OnDeadlineLapse(taskgraph.ForkWorker, 6000)
+	e.OnInternal(taskgraph.ForkSink, 6050)
+	if _, ok := e.Decide(6100); ok {
+		t.Fatal("internal delivery did not disarm the timer")
+	}
+}
+
+func TestFFWPinSources(t *testing.T) {
+	e := NewFFW(fj(), FFWParams{Timeout: 10, PinSources: true})
+	e.NoteTask(taskgraph.ForkSource)
+	e.SetQueuePeek(func(now sim.Tick) (taskgraph.TaskID, bool) { return taskgraph.ForkWorker, true })
+	for now := sim.Tick(0); now < 100; now++ {
+		if _, ok := e.Decide(now); ok {
+			t.Fatal("pinned source switched away")
+		}
+	}
+}
+
+func TestFFWSetParam(t *testing.T) {
+	e := NewFFW(fj(), DefaultFFWParams())
+	e.NoteTask(taskgraph.ForkSink)
+	e.SetQueuePeek(func(now sim.Tick) (taskgraph.TaskID, bool) { return taskgraph.ForkWorker, true })
+	e.SetParam(ParamTimeout, 5)
+	e.OnDeadlineLapse(taskgraph.ForkWorker, 0)
+	if task, ok := e.Decide(5); !ok || task != taskgraph.ForkWorker {
+		t.Fatal("RCAP timeout param did not take effect")
+	}
+	e.SetParam(ParamLapseBoost, 3)
+	e.SetParam(ParamPinSources, 1)
+	e.NoteTask(taskgraph.ForkSource)
+	if _, ok := e.Decide(1000); ok {
+		t.Fatal("RCAP pin param did not take effect")
+	}
+}
+
+func TestFFWNoPeekNoDecision(t *testing.T) {
+	e := NewFFW(fj(), FFWParams{Timeout: 1})
+	e.NoteTask(taskgraph.ForkSink)
+	if _, ok := e.Decide(1000); ok {
+		t.Fatal("decided without a queue peek wired")
+	}
+}
+
+func TestFFWDefaultTimeoutIs20ms(t *testing.T) {
+	if got := DefaultFFWParams().Timeout; got != sim.Ms(20) {
+		t.Errorf("default FFW timeout = %v, want 20 ms (paper)", got)
+	}
+}
+
+func TestEngineInterfaceCompliance(t *testing.T) {
+	g := fj()
+	var engines = []Engine{NewNone(g), NewNI(g, DefaultNIParams()), NewFFW(g, DefaultFFWParams())}
+	names := map[string]bool{}
+	for _, e := range engines {
+		if names[e.Name()] {
+			t.Errorf("duplicate engine name %q", e.Name())
+		}
+		names[e.Name()] = true
+		e.Reset() // must not panic on fresh engines
+	}
+}

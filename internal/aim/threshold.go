@@ -1,0 +1,75 @@
+package aim
+
+// CounterMax saturates thresholder counters, matching the 8-bit registers
+// of the PicoBlaze-hosted hardware pathways.
+const CounterMax = 255
+
+// Thresholder is the paper's sense–react primitive (Figure 2b): an
+// impulse-driven counter with a firing threshold. Excitatory impulses
+// increase the count, inhibitory impulses decrease it, and Fired reports
+// whether the knob output is set.
+type Thresholder struct {
+	count     int
+	threshold int
+}
+
+// NewThresholder returns a thresholder firing at the given level.
+func NewThresholder(threshold int) *Thresholder {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Thresholder{threshold: threshold}
+}
+
+// Excite applies n excitatory impulses (saturating at CounterMax).
+func (t *Thresholder) Excite(n int) {
+	t.count += n
+	if t.count > CounterMax {
+		t.count = CounterMax
+	}
+}
+
+// Inhibit applies n inhibitory impulses (flooring at zero).
+func (t *Thresholder) Inhibit(n int) {
+	t.count -= n
+	if t.count < 0 {
+		t.count = 0
+	}
+}
+
+// Fired reports whether the count has reached the threshold.
+func (t *Thresholder) Fired() bool { return t.count >= t.threshold }
+
+// Count returns the current count.
+func (t *Thresholder) Count() int { return t.count }
+
+// Threshold returns the firing level.
+func (t *Thresholder) Threshold() int { return t.threshold }
+
+// SetThreshold changes the firing level (an RCAP-tunable parameter).
+func (t *Thresholder) SetThreshold(level int) {
+	if level < 1 {
+		level = 1
+	}
+	t.threshold = level
+}
+
+// Reset clears the count.
+func (t *Thresholder) Reset() { t.count = 0 }
+
+// Comparator generates an impulse when its vector input matches a reference
+// value — the "logical comparators that generate impulses when vector inputs
+// match" of the PicoBlaze software platform. It is used by the embedded
+// (instruction-level) AIM implementation and kept here so the behavioural
+// and embedded pathways share one vocabulary.
+type Comparator struct {
+	Ref int
+}
+
+// Match returns 1 when v equals the reference, else 0.
+func (c Comparator) Match(v int) int {
+	if v == c.Ref {
+		return 1
+	}
+	return 0
+}

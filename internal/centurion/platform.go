@@ -1,0 +1,456 @@
+// Package centurion assembles the full experimentation platform of the
+// paper: an 8×16 (by default) mesh of {wormhole router + processing element
+// + embedded intelligence module}, a shared task directory, and the
+// experiment controller used for parameter upload, runtime data readout and
+// fault injection.
+//
+// One Platform value is one independent experiment run; the experiment
+// harness (internal/experiments) creates hundreds of them with different
+// seeds.
+package centurion
+
+import (
+	"fmt"
+
+	"centurion/internal/aim"
+	"centurion/internal/noc"
+	"centurion/internal/node"
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+	"centurion/internal/thermal"
+	"centurion/internal/trace"
+)
+
+// Config assembles a platform.
+type Config struct {
+	// Width, Height set the mesh dimensions (default 16×8 = 128 nodes,
+	// Centurion-V6).
+	Width, Height int
+	// Graph is the application task graph (default: the paper's fork–join).
+	Graph *taskgraph.Graph
+	// Mapper produces the initial task mapping (default: random — the
+	// adaptive models' starting point; use taskgraph.HeuristicMapper for
+	// the no-intelligence baseline).
+	Mapper taskgraph.Mapper
+	// Engines builds one AIM per node (default: aim.NewNone).
+	Engines aim.Factory
+	// Seed drives all randomness of the run.
+	Seed uint64
+	// NoC are the fabric parameters.
+	NoC noc.Params
+	// PE are the processing-element parameters.
+	PE node.Params
+	// MaxGenPhase staggers source generators uniformly in [0, MaxGenPhase)
+	// ticks (defaults to the source task's generation period).
+	MaxGenPhase sim.Tick
+	// NeighborSignals, when true, broadcasts each node's task switches to
+	// the four mesh neighbours' AIMs (the information-transfer extension).
+	NeighborSignals bool
+	// Trace, when non-nil, records switch/fault/completion/loss/drop events
+	// (the runtime data the experiment controller streams to the host).
+	Trace *trace.Log
+	// Thermal, when non-nil, enables the per-node temperature model (the
+	// AIM's temperature monitor).
+	Thermal *thermal.Params
+	// ThermalDVFS enables the frequency-scaling governor: nodes above the
+	// safe temperature are halved in frequency until they cool below the
+	// hysteresis threshold (the paper's frequency knob, 10–300 MHz on the
+	// real platform).
+	ThermalDVFS bool
+}
+
+// DefaultConfig returns the paper's experiment configuration with the given
+// model factory and seed.
+func DefaultConfig(engines aim.Factory, mapper taskgraph.Mapper, seed uint64) Config {
+	return Config{
+		Width:   16,
+		Height:  8,
+		Graph:   taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams()),
+		Mapper:  mapper,
+		Engines: engines,
+		Seed:    seed,
+		NoC:     noc.DefaultConfig(),
+		PE:      node.DefaultParams(),
+	}
+}
+
+// Counters aggregate platform-wide accounting for one run.
+type Counters struct {
+	InstancesStarted   uint64
+	InstancesCompleted uint64
+	InstancesLost      uint64 // lost reports may repeat per instance (see DESIGN.md)
+	TaskSwitches       uint64
+	PacketsDropped     uint64
+	PacketsRescued     uint64
+}
+
+// Platform is one assembled many-core system.
+type Platform struct {
+	Cfg   Config
+	Topo  noc.Topology
+	Net   *noc.Network
+	Dir   *node.Directory
+	Graph *taskgraph.Graph
+
+	pes     []*node.PE
+	engines []aim.Engine
+	clock   sim.Clock
+	rng     *sim.RNG
+	events  sim.EventQueue
+
+	nextPkt  uint64
+	nextInst uint64
+
+	heat      *thermal.Model
+	nextHeat  sim.Tick
+	throttled []bool
+	workScan  []uint64
+
+	counters Counters
+}
+
+// New assembles a platform from the configuration.
+func New(cfg Config) *Platform {
+	if cfg.Width <= 0 {
+		cfg.Width = 16
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 8
+	}
+	if cfg.Graph == nil {
+		cfg.Graph = taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams())
+	}
+	if cfg.Mapper == nil {
+		cfg.Mapper = taskgraph.RandomMapper{}
+	}
+	if cfg.Engines == nil {
+		cfg.Engines = aim.NewNone
+	}
+	if cfg.PE.QueueCap == 0 {
+		cfg.PE = node.DefaultParams()
+	}
+	if cfg.NoC.BufferFlits == 0 {
+		cfg.NoC = noc.DefaultConfig()
+	}
+
+	p := &Platform{
+		Cfg:   cfg,
+		Topo:  noc.NewTopology(cfg.Width, cfg.Height),
+		Graph: cfg.Graph,
+		rng:   sim.NewRNG(cfg.Seed),
+	}
+	p.Net = noc.NewNetwork(p.Topo, cfg.NoC)
+	mapping := cfg.Mapper.Map(cfg.Graph, cfg.Width, cfg.Height, p.rng)
+	p.Dir = node.NewDirectory(p.Topo, mapping)
+
+	maxPhase := cfg.MaxGenPhase
+	if maxPhase <= 0 {
+		// Default: stagger within one generation period of the first source.
+		for _, id := range cfg.Graph.Sources() {
+			if gp := cfg.Graph.Task(id).GenPeriod; sim.Tick(gp) > maxPhase {
+				maxPhase = sim.Tick(gp)
+			}
+		}
+		if maxPhase <= 0 {
+			maxPhase = 1
+		}
+	}
+
+	p.pes = make([]*node.PE, p.Topo.Nodes())
+	p.engines = make([]aim.Engine, p.Topo.Nodes())
+	for id := 0; id < p.Topo.Nodes(); id++ {
+		nid := noc.NodeID(id)
+		phase := sim.Tick(p.rng.Intn(int(maxPhase)))
+		pe := node.NewPE(nid, platformEnv{p}, cfg.PE, mapping[id], phase)
+		p.pes[id] = pe
+
+		engine := cfg.Engines(cfg.Graph)
+		engine.NoteTask(mapping[id])
+		p.engines[id] = engine
+
+		p.wireNode(nid, pe, engine)
+	}
+
+	p.Net.DropHandler = func(at noc.NodeID, pkt *noc.Packet, reason noc.DropReason) {
+		p.counters.PacketsDropped++
+		if pkt.Kind == noc.Data {
+			p.counters.InstancesLost++
+			p.ack(pkt.Instance, pkt.Origin)
+		}
+		if p.Cfg.Trace != nil {
+			p.Cfg.Trace.Add(trace.Event{At: p.clock.Now(), Kind: trace.KindDrop, Node: at, Task: pkt.Task, Info: pkt.ID})
+		}
+	}
+	p.Net.RecoveryHandler = p.rescuePacket
+
+	if cfg.Thermal != nil {
+		p.heat = thermal.New(p.Topo, *cfg.Thermal)
+		p.throttled = make([]bool, p.Topo.Nodes())
+		p.workScan = make([]uint64, p.Topo.Nodes())
+	}
+	return p
+}
+
+// Thermal returns the temperature model, or nil when disabled.
+func (p *Platform) Thermal() *thermal.Model { return p.heat }
+
+// stepThermal advances the temperature field and applies the DVFS governor.
+func (p *Platform) stepThermal(now sim.Tick) {
+	if p.heat == nil || now < p.nextHeat {
+		return
+	}
+	p.nextHeat = now + p.heat.Params().StepTicks
+	for i, pe := range p.pes {
+		p.workScan[i] = pe.WorkCount()
+	}
+	p.heat.Step(p.workScan)
+	if !p.Cfg.ThermalDVFS {
+		return
+	}
+	for _, id := range p.heat.OverLimit() {
+		if !p.throttled[id] {
+			p.throttled[id] = true
+			p.pes[id].SetFrequencyDivider(2)
+		}
+	}
+	for id, on := range p.throttled {
+		if on && p.heat.CoolEnough(noc.NodeID(id)) {
+			p.throttled[id] = false
+			p.pes[id].SetFrequencyDivider(1)
+		}
+	}
+}
+
+// wireNode connects one node's router monitors and knobs to its AIM and PE.
+func (p *Platform) wireNode(id noc.NodeID, pe *node.PE, engine aim.Engine) {
+	r := p.Net.Router(id)
+	r.SetSink(pe)
+	// Task-addressed absorption: this node consumes any passing data packet
+	// of its own task (join-bound sink packets stay bound to their fork-time
+	// join node so branches converge).
+	r.Absorb = func(pkt *noc.Packet, now sim.Tick) bool {
+		if pkt.Task != pe.Task() {
+			return false
+		}
+		if p.Graph.IsSink(pkt.Task) && p.Graph.JoinWidth(pkt.Task) > 1 {
+			return false
+		}
+		return pe.Accept(pkt, now)
+	}
+	r.Monitors.RoutedTask = engine.OnRouted
+	r.Monitors.InternalDelivery = engine.OnInternal
+	r.Monitors.DeadlineLapse = engine.OnDeadlineLapse
+	pe.OnGenerate = engine.OnGenerated
+	if ffw, ok := engine.(*aim.FFW); ok {
+		// FFW adoption is limited to packets this node could sink locally:
+		// join-bound traffic belongs to its fork-time join node.
+		ffw.SetQueuePeek(func(now sim.Tick) (taskgraph.TaskID, bool) {
+			return r.QueuedHeadTaskFunc(now, func(pkt *noc.Packet) bool {
+				return !(p.Graph.IsSink(pkt.Task) && p.Graph.JoinWidth(pkt.Task) > 1)
+			})
+		})
+	}
+	pe.OnSwitch = func(from, to taskgraph.TaskID, now sim.Tick) {
+		p.counters.TaskSwitches++
+		if p.Cfg.Trace != nil {
+			p.Cfg.Trace.Add(trace.Event{At: now, Kind: trace.KindSwitch, Node: id, Task: to, Info: uint64(from)})
+		}
+		if p.Cfg.NeighborSignals {
+			for port := noc.North; port <= noc.West; port++ {
+				if nb, ok := p.Topo.Neighbor(id, port); ok {
+					p.engines[nb].OnNeighborSignal(to, now)
+				}
+			}
+		}
+	}
+	r.SetConfigSink(&nodeConfig{p: p, id: id})
+}
+
+// nodeConfig dispatches RCAP operations addressed to one node.
+type nodeConfig struct {
+	p  *Platform
+	id noc.NodeID
+}
+
+// ApplyConfig implements noc.ConfigSink.
+func (c *nodeConfig) ApplyConfig(op noc.ConfigOp, arg, arg2 int, now sim.Tick) {
+	pe := c.p.pes[c.id]
+	switch op {
+	case noc.OpAIMParam:
+		c.p.engines[c.id].SetParam(arg, arg2)
+	case noc.OpNodeReset:
+		pe.Reset(now)
+	case noc.OpNodeClockEnable:
+		pe.SetClockEnable(arg != 0)
+	case noc.OpNodeFrequency:
+		pe.SetFrequencyDivider(arg)
+	}
+}
+
+// platformEnv adapts Platform to node.Env without exporting the methods on
+// Platform itself.
+type platformEnv struct{ p *Platform }
+
+// Inject implements node.Env.
+func (e platformEnv) Inject(from noc.NodeID, pkt *noc.Packet, now sim.Tick) bool {
+	return e.p.Net.Inject(from, pkt, now)
+}
+
+// Directory implements node.Env.
+func (e platformEnv) Directory() *node.Directory { return e.p.Dir }
+
+// Graph implements node.Env.
+func (e platformEnv) Graph() *taskgraph.Graph { return e.p.Graph }
+
+// NextPacketID implements node.Env.
+func (e platformEnv) NextPacketID() uint64 { e.p.nextPkt++; return e.p.nextPkt }
+
+// NextInstanceID implements node.Env.
+func (e platformEnv) NextInstanceID() uint64 {
+	e.p.nextInst++
+	e.p.counters.InstancesStarted++
+	return e.p.nextInst
+}
+
+// InstanceCompleted implements node.Env: count the throughput event and
+// deliver the completion acknowledgement to the origin source (modelled as
+// an out-of-band ack; see DESIGN.md §5).
+func (e platformEnv) InstanceCompleted(inst uint64, origin, at noc.NodeID, now sim.Tick) {
+	e.p.counters.InstancesCompleted++
+	e.p.ack(inst, origin)
+	if e.p.Cfg.Trace != nil {
+		e.p.Cfg.Trace.Add(trace.Event{At: now, Kind: trace.KindComplete, Node: at, Info: inst})
+	}
+}
+
+// InstanceLost implements node.Env: a loss report also frees the origin's
+// flow-control slot so sources do not stall on dead work.
+func (e platformEnv) InstanceLost(inst uint64, origin, at noc.NodeID, now sim.Tick) {
+	e.p.counters.InstancesLost++
+	e.p.ack(inst, origin)
+	if e.p.Cfg.Trace != nil {
+		e.p.Cfg.Trace.Add(trace.Event{At: now, Kind: trace.KindLost, Node: at, Info: inst})
+	}
+}
+
+// ack frees the origin source's flow-control window slot.
+func (p *Platform) ack(inst uint64, origin noc.NodeID) {
+	if origin >= 0 && int(origin) < len(p.pes) {
+		p.pes[origin].AckInstance(inst)
+	}
+}
+
+// PacketDropped implements node.Env.
+func (e platformEnv) PacketDropped(pkt *noc.Packet, at noc.NodeID, now sim.Tick) {
+	e.p.counters.PacketsDropped++
+}
+
+// rescuePacket retargets a packet ejected by deadlock recovery or stranded
+// by an unreachable destination, then re-injects it locally.
+func (p *Platform) rescuePacket(at noc.NodeID, pkt *noc.Packet, now sim.Tick) bool {
+	if pkt.Kind != noc.Data {
+		return false
+	}
+	isJoin := pkt.JoinDst != noc.Invalid && p.Graph.IsSink(pkt.Task)
+	if isJoin && p.Dir.Alive(pkt.JoinDst) && p.Dir.TaskOf(pkt.JoinDst) == pkt.Task &&
+		p.Net.Reachable(at, pkt.JoinDst) {
+		// The join binding is still valid: the packet was ejected by
+		// congestion, not by a lost destination. Requeue it unchanged so
+		// sibling branches still converge.
+		pkt.Dst = pkt.JoinDst
+	} else {
+		anchor := at
+		if isJoin {
+			anchor = pkt.JoinDst
+		}
+		dst, ok := p.Dir.Nearest(pkt.Task, anchor)
+		if !ok || !p.Net.Reachable(at, dst) {
+			return false
+		}
+		pkt.Dst = dst
+		if p.Graph.IsSink(pkt.Task) {
+			pkt.JoinDst = dst
+		}
+		pkt.Retargets++
+	}
+	if !p.Net.Inject(at, pkt, now) {
+		return false
+	}
+	p.counters.PacketsRescued++
+	return true
+}
+
+// Now returns the current simulation tick.
+func (p *Platform) Now() sim.Tick { return p.clock.Now() }
+
+// Counters returns the run's cumulative accounting.
+func (p *Platform) Counters() Counters { return p.counters }
+
+// PEs returns the processing elements indexed by NodeID (do not mutate).
+func (p *Platform) PEs() []*node.PE { return p.pes }
+
+// Engine returns the AIM of one node.
+func (p *Platform) Engine(id noc.NodeID) aim.Engine { return p.engines[id] }
+
+// Schedule registers a callback at an absolute tick (used by the experiment
+// controller for fault injection and runtime reconfiguration).
+func (p *Platform) Schedule(at sim.Tick, fn func(now sim.Tick)) {
+	p.events.Schedule(at, fn)
+}
+
+// InjectFaults kills the given nodes now: their routers stop forwarding,
+// their PEs stop processing, and fault-aware routes are recomputed. This is
+// the experiment controller's out-of-band debug interface, so it does not
+// perturb NoC traffic.
+func (p *Platform) InjectFaults(nodes []noc.NodeID) {
+	now := p.clock.Now()
+	for _, id := range nodes {
+		p.pes[id].Fail(now)
+		p.Net.Fail(id, now)
+		if p.Cfg.Trace != nil {
+			p.Cfg.Trace.Add(trace.Event{At: now, Kind: trace.KindFault, Node: id})
+		}
+	}
+}
+
+// Step advances the platform one tick: scheduled events, processing
+// elements, fabric, then intelligence decisions.
+func (p *Platform) Step() {
+	now := p.clock.Now()
+	p.events.RunDue(now)
+	p.stepThermal(now)
+	for _, pe := range p.pes {
+		pe.Tick(now)
+	}
+	p.Net.Tick(now)
+	for id, engine := range p.engines {
+		task, ok := engine.Decide(now)
+		if !ok {
+			continue
+		}
+		pe := p.pes[id]
+		if !pe.Alive() {
+			continue
+		}
+		pe.SwitchTask(task, now)
+		engine.NoteTask(pe.Task())
+	}
+	p.clock.Step()
+}
+
+// RunFor advances the platform by d ticks, invoking onTick (when non-nil)
+// after each step with the tick that just executed.
+func (p *Platform) RunFor(d sim.Tick, onTick func(now sim.Tick)) {
+	for i := sim.Tick(0); i < d; i++ {
+		start := p.clock.Now()
+		p.Step()
+		if onTick != nil {
+			onTick(start)
+		}
+	}
+}
+
+// String summarises the platform.
+func (p *Platform) String() string {
+	return fmt.Sprintf("centurion %s seed=%d t=%s", p.Topo, p.Cfg.Seed, p.clock.Now())
+}

@@ -1,0 +1,252 @@
+// Package experiments defines and runs the paper's evaluation: Table I
+// (settling time and relative performance without faults), Table II
+// (recovery time and relative performance after fault injection at 500 ms)
+// and Figure 4 (throughput and task-switch time series for 5- and 42-fault
+// cases), each over many independently seeded runs.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"centurion/internal/aim"
+	"centurion/internal/centurion"
+	"centurion/internal/faults"
+	"centurion/internal/metrics"
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+// Model selects the runtime-management scheme of a run.
+type Model int
+
+const (
+	// ModelNone is the paper's no-intelligence reference: the heuristic
+	// fixed mapping (minimised Manhattan distance) with no adaptation.
+	ModelNone Model = iota
+	// ModelNI is the Network Interaction scheme from a random initial
+	// mapping.
+	ModelNI
+	// ModelFFW is the Foraging for Work scheme from a random initial
+	// mapping.
+	ModelFFW
+	// ModelRandomStatic is an ablation: the adaptive models' random initial
+	// mapping with the intelligence disabled.
+	ModelRandomStatic
+)
+
+// Models lists the paper's three schemes in table order.
+var Models = []Model{ModelNone, ModelNI, ModelFFW}
+
+// String names the model as in the paper's tables.
+func (m Model) String() string {
+	switch m {
+	case ModelNone:
+		return "No Intelligence"
+	case ModelNI:
+		return "Network Interaction"
+	case ModelFFW:
+		return "Foraging For Work"
+	case ModelRandomStatic:
+		return "Random Static"
+	}
+	return "unknown"
+}
+
+// Spec configures one run.
+type Spec struct {
+	Model Model
+	Seed  uint64
+	// DurationMs is the run length (the paper plots 1000 ms).
+	DurationMs int
+	// FaultAtMs injects NumFaults random node failures at this time
+	// (0 disables fault injection).
+	FaultAtMs int
+	NumFaults int
+	// WindowMs is the metric sampling window (1 ms by default).
+	WindowMs int
+	// Overrides for ablation studies (nil = experiment defaults).
+	NI  *aim.NIParams
+	FFW *aim.FFWParams
+	// NeighborSignals enables the information-transfer extension.
+	NeighborSignals bool
+	// Mapper overrides the model's default initial mapping (ablations).
+	Mapper taskgraph.Mapper
+	// Platform-level overrides (zero values = defaults).
+	Width, Height int
+}
+
+// DefaultSpec returns the paper's experiment shape for a model and seed.
+func DefaultSpec(model Model, seed uint64) Spec {
+	return Spec{
+		Model:      model,
+		Seed:       seed,
+		DurationMs: 1000,
+		WindowMs:   1,
+	}
+}
+
+// Result holds the measured series and summary figures of one run.
+type Result struct {
+	Spec Spec
+
+	// Throughput is completed fork–join instances per window.
+	Throughput *metrics.Series
+	// NodesActive is the number of nodes that did useful work per window.
+	NodesActive *metrics.Series
+	// Switches is task switches per window summed over the grid.
+	Switches *metrics.Series
+
+	// SettlingMs is the settling time from t=0 (Table I).
+	SettlingMs float64
+	Settled    bool
+	// RecoveryMs is the recovery time from fault injection (Table II);
+	// meaningful only when the spec injects faults.
+	RecoveryMs float64
+	Recovered  bool
+
+	// SteadyRate is the mean throughput per ms over the steady tail of the
+	// pre-fault (or whole, when fault-free) segment.
+	SteadyRate float64
+	// PostFaultRate is the mean throughput per ms over the tail of the
+	// post-fault segment (equals SteadyRate when fault-free).
+	PostFaultRate float64
+
+	Counters centurion.Counters
+}
+
+// engineFactory returns the AIM factory for the spec.
+func (s Spec) engineFactory() aim.Factory {
+	switch s.Model {
+	case ModelNI:
+		par := aim.DefaultNIParams()
+		if s.NI != nil {
+			par = *s.NI
+		}
+		return aim.NewNIFactory(par)
+	case ModelFFW:
+		par := aim.DefaultFFWParams()
+		if s.FFW != nil {
+			par = *s.FFW
+		}
+		return aim.NewFFWFactory(par)
+	default:
+		return aim.NewNone
+	}
+}
+
+// mapper returns the initial mapping strategy for the spec.
+func (s Spec) mapper() taskgraph.Mapper {
+	if s.Mapper != nil {
+		return s.Mapper
+	}
+	if s.Model == ModelNone {
+		return taskgraph.HeuristicMapper{}
+	}
+	return taskgraph.RandomMapper{}
+}
+
+// Run executes one experiment run.
+func Run(spec Spec) Result {
+	if spec.DurationMs <= 0 {
+		spec.DurationMs = 1000
+	}
+	if spec.WindowMs <= 0 {
+		spec.WindowMs = 1
+	}
+	cfg := centurion.DefaultConfig(spec.engineFactory(), spec.mapper(), spec.Seed)
+	cfg.NeighborSignals = spec.NeighborSignals
+	if spec.Width > 0 {
+		cfg.Width = spec.Width
+	}
+	if spec.Height > 0 {
+		cfg.Height = spec.Height
+	}
+	p := centurion.New(cfg)
+	ctl := centurion.NewController(p)
+
+	// Fault plan through the controller's debug interface.
+	if spec.NumFaults > 0 && spec.FaultAtMs > 0 {
+		// The fault-site RNG stream is derived from the seed but independent
+		// of the platform's own stream.
+		faultRNG := sim.NewRNG(spec.Seed ^ 0xfa17517e5eed)
+		plan := faults.Plan{
+			At:    sim.Ms(float64(spec.FaultAtMs)),
+			Nodes: faults.RandomNodes(p.Topo, spec.NumFaults, faultRNG),
+		}
+		ctl.ScheduleFaults(plan.At, plan.Nodes)
+	}
+
+	windows := spec.DurationMs / spec.WindowMs
+	res := Result{
+		Spec:        spec,
+		Throughput:  metrics.NewSeries(float64(spec.WindowMs), windows),
+		NodesActive: metrics.NewSeries(float64(spec.WindowMs), windows),
+		Switches:    metrics.NewSeries(float64(spec.WindowMs), windows),
+	}
+
+	windowTicks := sim.Tick(spec.WindowMs) * sim.TicksPerMs
+	pes := p.PEs()
+	lastWork := make([]uint64, len(pes))
+	var lastCompleted, lastSwitches uint64
+	for w := 0; w < windows; w++ {
+		p.RunFor(windowTicks, nil)
+		c := p.Counters()
+		res.Throughput.Values[w] = float64(c.InstancesCompleted - lastCompleted)
+		res.Switches.Values[w] = float64(c.TaskSwitches - lastSwitches)
+		lastCompleted, lastSwitches = c.InstancesCompleted, c.TaskSwitches
+		active := 0
+		for i, pe := range pes {
+			if wc := pe.WorkCount(); wc != lastWork[i] {
+				active++
+				lastWork[i] = wc
+			}
+		}
+		res.NodesActive.Values[w] = float64(active)
+	}
+	res.Counters = p.Counters()
+
+	par := metrics.DefaultSettleParams()
+	faultIdx := windows
+	if spec.NumFaults > 0 && spec.FaultAtMs > 0 {
+		faultIdx = spec.FaultAtMs / spec.WindowMs
+	}
+	res.SettlingMs, res.Settled = metrics.SettlingTime(res.Throughput, 0, faultIdx, par)
+	res.SteadyRate = res.Throughput.MeanRange(faultIdx-faultIdx/4, faultIdx) / float64(spec.WindowMs)
+	if faultIdx < windows {
+		res.RecoveryMs, res.Recovered = metrics.SettlingTime(res.Throughput, faultIdx, windows, par)
+		res.PostFaultRate = res.Throughput.MeanRange(windows-(windows-faultIdx)/3, windows) / float64(spec.WindowMs)
+	} else {
+		res.PostFaultRate = res.SteadyRate
+	}
+	return res
+}
+
+// RunMany executes n runs of the spec with seeds seedBase..seedBase+n-1 in
+// parallel across CPUs. Results are ordered by seed.
+func RunMany(spec Spec, n int, seedBase uint64) []Result {
+	out := make([]Result, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s := spec
+				s.Seed = seedBase + uint64(i)
+				out[i] = Run(s)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

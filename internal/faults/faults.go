@@ -1,0 +1,74 @@
+// Package faults builds fault-injection plans for the Centurion platform.
+//
+// The paper injects node failures at 500 ms: small counts model local
+// application faults, large counts (42 = one third of the 128 nodes) model
+// the failure of a global clock buffer, other critical global circuitry, or
+// a thermal event. Each plan names the nodes that die and when.
+package faults
+
+import (
+	"fmt"
+
+	"centurion/internal/noc"
+	"centurion/internal/sim"
+)
+
+// Plan is a scheduled set of node failures.
+type Plan struct {
+	At    sim.Tick
+	Nodes []noc.NodeID
+}
+
+// Empty reports whether the plan kills no nodes.
+func (p Plan) Empty() bool { return len(p.Nodes) == 0 }
+
+// String summarises the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("%d faults at %s", len(p.Nodes), p.At)
+}
+
+// RandomNodes picks k distinct random nodes — the paper's multiple-node
+// fault model. It panics if k exceeds the node count.
+func RandomNodes(topo noc.Topology, k int, rng *sim.RNG) []noc.NodeID {
+	if k < 0 || k > topo.Nodes() {
+		panic(fmt.Sprintf("faults: cannot pick %d of %d nodes", k, topo.Nodes()))
+	}
+	perm := rng.Perm(topo.Nodes())
+	out := make([]noc.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = noc.NodeID(perm[i])
+	}
+	return out
+}
+
+// Region kills every node in the rectangle [x0, x0+w) × [y0, y0+h),
+// clipped to the mesh — a localised thermal hot-spot.
+func Region(topo noc.Topology, x0, y0, w, h int) []noc.NodeID {
+	var out []noc.NodeID
+	for y := y0; y < y0+h; y++ {
+		for x := x0; x < x0+w; x++ {
+			c := noc.Coord{X: x, Y: y}
+			if topo.InBounds(c) {
+				out = append(out, topo.ID(c))
+			}
+		}
+	}
+	return out
+}
+
+// Column kills a full mesh column — the shape of a failed clock spine or
+// column buffer on the FPGA.
+func Column(topo noc.Topology, x int) []noc.NodeID {
+	return Region(topo, x, 0, 1, topo.H)
+}
+
+// Row kills a full mesh row.
+func Row(topo noc.Topology, y int) []noc.NodeID {
+	return Region(topo, 0, y, topo.W, 1)
+}
+
+// HalfGrid kills the right half of the mesh — the paper's "failure of a
+// global clock buffer" scale of damage.
+func HalfGrid(topo noc.Topology) []noc.NodeID {
+	return Region(topo, topo.W/2, 0, topo.W-topo.W/2, topo.H)
+}

@@ -1,0 +1,105 @@
+package faults
+
+import (
+	"testing"
+	"testing/quick"
+
+	"centurion/internal/noc"
+	"centurion/internal/sim"
+)
+
+func TestRandomNodesDistinct(t *testing.T) {
+	topo := noc.NewTopology(16, 8)
+	for _, k := range []int{0, 1, 5, 42, 128} {
+		got := RandomNodes(topo, k, sim.NewRNG(uint64(k)))
+		if len(got) != k {
+			t.Fatalf("k=%d: got %d nodes", k, len(got))
+		}
+		seen := map[noc.NodeID]bool{}
+		for _, id := range got {
+			if seen[id] || int(id) >= topo.Nodes() || id < 0 {
+				t.Fatalf("k=%d: invalid or duplicate node %d", k, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRandomNodesPanicsOnExcess(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for k > nodes")
+		}
+	}()
+	RandomNodes(noc.NewTopology(2, 2), 5, sim.NewRNG(1))
+}
+
+func TestRandomNodesSeedVariation(t *testing.T) {
+	topo := noc.NewTopology(16, 8)
+	a := RandomNodes(topo, 10, sim.NewRNG(1))
+	b := RandomNodes(topo, 10, sim.NewRNG(2))
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds picked identical fault sets")
+	}
+}
+
+func TestRegionClipping(t *testing.T) {
+	topo := noc.NewTopology(4, 4)
+	got := Region(topo, 2, 2, 5, 5) // clips to 2x2 corner
+	if len(got) != 4 {
+		t.Fatalf("clipped region has %d nodes, want 4", len(got))
+	}
+}
+
+func TestColumnRowHalf(t *testing.T) {
+	topo := noc.NewTopology(16, 8)
+	if got := Column(topo, 3); len(got) != 8 {
+		t.Errorf("Column = %d nodes, want 8", len(got))
+	}
+	if got := Row(topo, 0); len(got) != 16 {
+		t.Errorf("Row = %d nodes, want 16", len(got))
+	}
+	if got := HalfGrid(topo); len(got) != 64 {
+		t.Errorf("HalfGrid = %d nodes, want 64", len(got))
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{At: sim.Ms(500), Nodes: []noc.NodeID{1, 2, 3}}
+	if p.Empty() {
+		t.Error("non-empty plan reported Empty")
+	}
+	if s := p.String(); s == "" {
+		t.Error("empty String")
+	}
+	if !(Plan{}).Empty() {
+		t.Error("zero plan not Empty")
+	}
+}
+
+// Property: RandomNodes(k) always returns k distinct in-bounds nodes.
+func TestRandomNodesProperty(t *testing.T) {
+	topo := noc.NewTopology(8, 8)
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw) % (topo.Nodes() + 1)
+		got := RandomNodes(topo, k, sim.NewRNG(seed))
+		seen := map[noc.NodeID]bool{}
+		for _, id := range got {
+			if id < 0 || int(id) >= topo.Nodes() || seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return len(got) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

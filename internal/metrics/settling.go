@@ -1,0 +1,78 @@
+package metrics
+
+// SettleParams tune the settling/recovery detector.
+type SettleParams struct {
+	// Smooth is the moving-average half-width applied before detection
+	// (completions arrive in bursts; the paper's plots are visibly noisy).
+	Smooth int
+	// Tol is the relative tolerance band around the steady-state level.
+	Tol float64
+	// AbsTol is the absolute tolerance floor (completions per window), so
+	// near-zero steady states do not demand impossible precision.
+	AbsTol float64
+	// SteadyFrac is the fraction of the segment tail used to estimate the
+	// steady-state level.
+	SteadyFrac float64
+}
+
+// DefaultSettleParams mirror the detector used for Tables I and II.
+func DefaultSettleParams() SettleParams {
+	return SettleParams{
+		Smooth:     5,
+		Tol:        0.12,
+		AbsTol:     0.75,
+		SteadyFrac: 0.25,
+	}
+}
+
+// SettlingTime finds when the series segment [from, to) settles: the first
+// window index i such that the smoothed series stays inside the tolerance
+// band around the segment's steady-state level for the remainder of the
+// segment. It returns the settling time in milliseconds relative to the
+// segment start, and ok=false when the segment never settles.
+//
+// This is the detector behind both Table I ("settling time" from t=0) and
+// Table II ("recovery time" from the fault-injection window).
+func SettlingTime(s *Series, from, to int, par SettleParams) (ms float64, ok bool) {
+	if from < 0 {
+		from = 0
+	}
+	if to > s.Len() {
+		to = s.Len()
+	}
+	if to-from < 2 {
+		return 0, false
+	}
+	smooth := MovingAverage(s.Values[from:to], par.Smooth)
+
+	// Steady-state level: mean of the tail of the segment.
+	tail := int(float64(len(smooth)) * par.SteadyFrac)
+	if tail < 1 {
+		tail = 1
+	}
+	steady := Mean(smooth[len(smooth)-tail:])
+
+	band := par.Tol * steady
+	if band < par.AbsTol {
+		band = par.AbsTol
+	}
+
+	// Walk backwards: find the last excursion outside the band; settling is
+	// the window right after it.
+	settleIdx := 0
+	for i := len(smooth) - 1; i >= 0; i-- {
+		d := smooth[i] - steady
+		if d < 0 {
+			d = -d
+		}
+		if d > band {
+			settleIdx = i + 1
+			break
+		}
+	}
+	if settleIdx >= len(smooth) {
+		// The series never entered the band — it never settled.
+		return float64(len(smooth)) * s.WindowMs, false
+	}
+	return float64(settleIdx) * s.WindowMs, true
+}

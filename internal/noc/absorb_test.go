@@ -1,0 +1,75 @@
+package noc
+
+import (
+	"testing"
+
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+func TestAbsorptionConsumesEnRoute(t *testing.T) {
+	net := testNet(8, 1, RouteAuto)
+	final := &collectSink{}
+	net.Router(7).SetSink(final)
+
+	// Node 3 runs task 2 and absorbs passing task-2 packets.
+	absorbed := &collectSink{}
+	net.Router(3).SetSink(absorbed)
+	net.Router(3).Absorb = func(p *Packet, now sim.Tick) bool {
+		if p.Task != 2 {
+			return false
+		}
+		return absorbed.Accept(p, now)
+	}
+	var internals int
+	net.Router(3).Monitors.InternalDelivery = func(task taskgraph.TaskID, now sim.Tick) {
+		internals++
+	}
+
+	var clk sim.Clock
+	net.Inject(0, dataPacket(1, 0, 7, 2, 2), clk.Now()) // task 2: absorbable
+	net.Inject(0, dataPacket(2, 0, 7, 3, 2), clk.Now()) // task 3: passes through
+	run(net, &clk, 100)
+
+	if len(absorbed.got) != 1 || absorbed.got[0].ID != 1 {
+		t.Fatalf("absorbed %d packets (%v), want packet #1", len(absorbed.got), absorbed.got)
+	}
+	if len(final.got) != 1 || final.got[0].ID != 2 {
+		t.Fatalf("final sink got %d packets, want only packet #2", len(final.got))
+	}
+	if internals != 1 {
+		t.Errorf("InternalDelivery fired %d times at the absorber, want 1", internals)
+	}
+	st := net.Stats()
+	if st.Delivered != 2 {
+		t.Errorf("Delivered = %d, want 2", st.Delivered)
+	}
+}
+
+func TestAbsorptionRespectsRejection(t *testing.T) {
+	net := testNet(4, 1, RouteAuto)
+	final := &collectSink{}
+	net.Router(3).SetSink(final)
+	// Absorber with a full queue must not strand the packet.
+	net.Router(1).Absorb = func(p *Packet, now sim.Tick) bool { return false }
+	var clk sim.Clock
+	net.Inject(0, dataPacket(1, 0, 3, 2, 2), clk.Now())
+	run(net, &clk, 60)
+	if len(final.got) != 1 {
+		t.Fatal("packet lost after absorber rejected it")
+	}
+}
+
+func TestAbsorptionSkipsConfigPackets(t *testing.T) {
+	net := testNet(4, 1, RouteAuto)
+	net.Router(1).Absorb = func(p *Packet, now sim.Tick) bool {
+		t.Errorf("absorb consulted for a %v packet", p.Kind)
+		return true
+	}
+	var clk sim.Clock
+	net.Inject(0, &Packet{ID: 1, Kind: Config, Src: 0, Dst: 3, Flits: 1, Op: OpSetDeadlockLimit, Arg: 9}, clk.Now())
+	run(net, &clk, 40)
+	if got := net.Router(3).deadlockLimit; got != 9 {
+		t.Errorf("config packet not applied at destination (limit=%d)", got)
+	}
+}

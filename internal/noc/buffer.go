@@ -1,0 +1,80 @@
+package noc
+
+import "centurion/internal/sim"
+
+// buffer is a router input FIFO with flit-granular capacity, matching the
+// wormhole router's small per-channel buffers (the paper's router trades
+// buffer space for deadlock-recovery logic).
+type buffer struct {
+	pkts     []*Packet
+	head     int
+	capFlits int
+	usedFlit int
+	// readyAt[i] aligned with pkts: tick at which the packet has fully
+	// arrived (tail flit received) and may be forwarded.
+	readyAt []sim.Tick
+}
+
+func newBuffer(capFlits int) *buffer {
+	return &buffer{capFlits: capFlits}
+}
+
+// Len returns the number of queued packets.
+func (b *buffer) Len() int { return len(b.pkts) - b.head }
+
+// FreeFlits returns the remaining flit capacity.
+func (b *buffer) FreeFlits() int { return b.capFlits - b.usedFlit }
+
+// CanAccept reports whether a packet of the given flit length fits.
+func (b *buffer) CanAccept(flits int) bool { return b.FreeFlits() >= flits }
+
+// Push enqueues a packet whose tail flit arrives at readyAt. It returns
+// false (and leaves the buffer unchanged) when capacity is insufficient.
+func (b *buffer) Push(p *Packet, readyAt sim.Tick) bool {
+	if !b.CanAccept(p.Flits) {
+		return false
+	}
+	b.pkts = append(b.pkts, p)
+	b.readyAt = append(b.readyAt, readyAt)
+	b.usedFlit += p.Flits
+	return true
+}
+
+// Head returns the oldest packet and its ready tick without removing it,
+// or nil when empty.
+func (b *buffer) Head() (*Packet, sim.Tick) {
+	if b.Len() == 0 {
+		return nil, 0
+	}
+	return b.pkts[b.head], b.readyAt[b.head]
+}
+
+// Pop removes and returns the oldest packet. It returns nil when empty.
+func (b *buffer) Pop() *Packet {
+	if b.Len() == 0 {
+		return nil
+	}
+	p := b.pkts[b.head]
+	b.pkts[b.head] = nil // allow GC
+	b.head++
+	b.usedFlit -= p.Flits
+	// Compact once the dead prefix dominates, to keep memory bounded.
+	if b.head > 32 && b.head*2 >= len(b.pkts) {
+		n := copy(b.pkts, b.pkts[b.head:])
+		copy(b.readyAt, b.readyAt[b.head:])
+		b.pkts = b.pkts[:n]
+		b.readyAt = b.readyAt[:n]
+		b.head = 0
+	}
+	return p
+}
+
+// Drain removes and returns all queued packets (used when a router fails:
+// its buffered traffic is lost and accounted as dropped).
+func (b *buffer) Drain() []*Packet {
+	var out []*Packet
+	for b.Len() > 0 {
+		out = append(out, b.Pop())
+	}
+	return out
+}

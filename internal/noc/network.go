@@ -1,0 +1,240 @@
+package noc
+
+import (
+	"fmt"
+
+	"centurion/internal/sim"
+)
+
+// DropReason classifies why the fabric dropped a packet.
+type DropReason int
+
+const (
+	// DropUnreachable: no alive path to the destination.
+	DropUnreachable DropReason = iota
+	// DropRecoveryFailed: deadlock recovery ejected the packet and no
+	// handler rescued it.
+	DropRecoveryFailed
+	// DropRouterFailed: the packet was buffered in a router that failed.
+	DropRouterFailed
+	// DropNoSink: delivered to a node with no processing element attached.
+	DropNoSink
+)
+
+// String names the drop reason.
+func (d DropReason) String() string {
+	switch d {
+	case DropUnreachable:
+		return "unreachable"
+	case DropRecoveryFailed:
+		return "recovery-failed"
+	case DropRouterFailed:
+		return "router-failed"
+	case DropNoSink:
+		return "no-sink"
+	}
+	return "unknown"
+}
+
+// Params sets the fabric parameters.
+type Params struct {
+	// BufferFlits is the flit capacity of each router input channel.
+	BufferFlits int
+	// DeadlockLimit is how long a head packet may block before the recovery
+	// mechanism acts on it (0 disables recovery).
+	DeadlockLimit sim.Tick
+	// RequeueLimit is how many consecutive recovery rotations a packet gets
+	// before it is ejected from the router entirely.
+	RequeueLimit int
+	// Mode selects the routing strategy (default RouteAuto).
+	Mode RoutingMode
+}
+
+// DefaultConfig returns Params mirroring the Centurion router: small wormhole buffers and a
+// aggressive 2 ms recovery rotation that doubles as head-of-line relief.
+func DefaultConfig() Params {
+	return Params{
+		BufferFlits:   8,
+		DeadlockLimit: sim.Ms(2),
+		RequeueLimit:  64,
+		Mode:          RouteAuto,
+	}
+}
+
+// NetworkStats are fabric-wide counters used for packet-conservation checks.
+type NetworkStats struct {
+	Injected  uint64
+	Delivered uint64
+	ConfigOps uint64
+	Dropped   uint64
+	Rescued   uint64 // recovery-path packets re-admitted by the handler
+}
+
+// Network is the mesh fabric: topology, routers, links and routing state.
+type Network struct {
+	Topo    Topology
+	cfg     Params
+	routers []*Router
+
+	tables     *routeTables
+	haveFaults bool
+	faultyCnt  int
+
+	// DropHandler observes every dropped packet (may be nil).
+	DropHandler func(at NodeID, p *Packet, reason DropReason)
+	// RecoveryHandler may rescue a packet ejected by deadlock recovery or
+	// unreachable-destination handling, e.g. by retargeting and re-injecting
+	// it. Return true when the packet was taken over. May be nil.
+	RecoveryHandler func(at NodeID, p *Packet, now sim.Tick) bool
+
+	stats NetworkStats
+}
+
+// NewNetwork builds a W×H mesh with the given configuration.
+func NewNetwork(topo Topology, cfg Params) *Network {
+	if cfg.BufferFlits <= 0 {
+		cfg.BufferFlits = DefaultConfig().BufferFlits
+	}
+	n := &Network{Topo: topo, cfg: cfg}
+	n.routers = make([]*Router, topo.Nodes())
+	for id := range n.routers {
+		n.routers[id] = newRouter(NodeID(id), topo, n, cfg.BufferFlits, cfg.DeadlockLimit, cfg.RequeueLimit)
+	}
+	// Wire the mesh links.
+	for id := range n.routers {
+		r := n.routers[id]
+		for p := North; p <= West; p++ {
+			if nb, ok := topo.Neighbor(NodeID(id), p); ok {
+				r.neighbor[p] = n.routers[nb]
+			}
+		}
+	}
+	if cfg.Mode == RouteTables {
+		n.RecomputeRoutes()
+	}
+	return n
+}
+
+// Router returns the router at the given node.
+func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
+
+// Routers returns the router slice indexed by NodeID. Callers must not
+// mutate it.
+func (n *Network) Routers() []*Router { return n.routers }
+
+// Stats returns the fabric-wide counters.
+func (n *Network) Stats() NetworkStats { return n.stats }
+
+// Tick advances every router by one cycle.
+func (n *Network) Tick(now sim.Tick) {
+	for _, r := range n.routers {
+		r.Tick(now)
+	}
+}
+
+// Inject enqueues a packet at the source node's Local input channel.
+// It returns false (without consuming the packet) under back-pressure.
+func (n *Network) Inject(at NodeID, p *Packet, now sim.Tick) bool {
+	if n.routers[at].Inject(p, now) {
+		n.stats.Injected++
+		return true
+	}
+	return false
+}
+
+// NextHop returns the output port at from toward dst under the current
+// routing mode.
+func (n *Network) NextHop(from, dst NodeID) Port {
+	if dst < 0 || int(dst) >= n.Topo.Nodes() {
+		return PortInvalid
+	}
+	switch n.cfg.Mode {
+	case RouteXY:
+		return xyNextHop(n.Topo, from, dst)
+	case RouteTables:
+		return n.tables.NextHop(from, dst)
+	default: // RouteAuto
+		if !n.haveFaults {
+			return xyNextHop(n.Topo, from, dst)
+		}
+		return n.tables.NextHop(from, dst)
+	}
+}
+
+// Alive reports whether the node's router is functioning.
+func (n *Network) Alive(id NodeID) bool { return !n.routers[id].faulty }
+
+// FaultyCount returns the number of failed routers.
+func (n *Network) FaultyCount() int { return n.faultyCnt }
+
+// Fail marks a node's router as failed, drains and accounts its buffered
+// packets, and recomputes fault-aware routes. Failing an already-failed
+// router is a no-op.
+func (n *Network) Fail(id NodeID, now sim.Tick) {
+	r := n.routers[id]
+	if r.faulty {
+		return
+	}
+	lost := r.fail()
+	n.faultyCnt++
+	for _, p := range lost {
+		n.handleDrop(id, p, DropRouterFailed)
+	}
+	n.haveFaults = true
+	if n.cfg.Mode != RouteXY {
+		n.RecomputeRoutes()
+	}
+	_ = now
+}
+
+// RecomputeRoutes rebuilds the fault-aware shortest-path tables.
+func (n *Network) RecomputeRoutes() {
+	n.tables = computeTables(n.Topo, func(id NodeID) bool { return !n.routers[id].faulty })
+}
+
+// Reachable reports whether dst can be reached from src under the current
+// routing state.
+func (n *Network) Reachable(src, dst NodeID) bool {
+	if !n.Alive(src) || !n.Alive(dst) {
+		return false
+	}
+	if src == dst {
+		return true
+	}
+	if !n.haveFaults || n.cfg.Mode == RouteXY {
+		return true // healthy mesh is fully connected
+	}
+	return n.tables.NextHop(src, dst) != PortInvalid
+}
+
+// InFlight counts packets currently buffered anywhere in the fabric.
+func (n *Network) InFlight() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.QueuedPackets()
+	}
+	return total
+}
+
+func (n *Network) handleDrop(at NodeID, p *Packet, reason DropReason) {
+	n.stats.Dropped++
+	if n.DropHandler != nil {
+		n.DropHandler(at, p, reason)
+	}
+}
+
+func (n *Network) handleRecovery(at NodeID, p *Packet, now sim.Tick) bool {
+	if n.RecoveryHandler != nil && n.RecoveryHandler(at, p, now) {
+		n.stats.Rescued++
+		return true
+	}
+	return false
+}
+
+func (n *Network) noteDelivered() { n.stats.Delivered++ }
+func (n *Network) noteConfig()    { n.stats.ConfigOps++ }
+
+// String summarises the fabric state.
+func (n *Network) String() string {
+	return fmt.Sprintf("noc %s, %d faulty, %d in flight", n.Topo, n.faultyCnt, n.InFlight())
+}

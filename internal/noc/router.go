@@ -1,0 +1,380 @@
+package noc
+
+import (
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+// Sink receives packets delivered through a router's internal (Local output)
+// port — the processing element's receive interface. Accept returns false
+// when the element cannot take the packet this cycle (bounded input queue),
+// which back-pressures the network exactly like the real MicroBlaze node
+// interface.
+type Sink interface {
+	Accept(p *Packet, now sim.Tick) bool
+}
+
+// Monitors are the router's sense taps, mirroring the paper's monitor list.
+// Each field may be nil. The AIM engines subscribe to these impulses.
+type Monitors struct {
+	// RoutedTask fires once per data packet forwarded out of any port — the
+	// "task IDs of packets routed through the router" stimulus of the
+	// Network Interaction model.
+	RoutedTask func(task taskgraph.TaskID, now sim.Tick)
+	// InternalDelivery fires when a data packet is accepted by the local
+	// processing element ("packet routed to internal node" — the stimulus
+	// that suppresses Foraging-for-Work task switching).
+	InternalDelivery func(task taskgraph.TaskID, now sim.Tick)
+	// DeadlineLapse fires when the router notices a queued packet past its
+	// deadline ("time since sent" monitor).
+	DeadlineLapse func(task taskgraph.TaskID, now sim.Tick)
+	// Recovery fires when the deadlock-recovery mechanism ejects a blocked
+	// packet.
+	Recovery func(p *Packet, now sim.Tick)
+}
+
+// RouterStats are cumulative per-router counters, readable through the
+// experiment controller's debug interface.
+type RouterStats struct {
+	Forwarded    uint64 // packets sent out a cardinal port
+	Delivered    uint64 // packets accepted by the local sink
+	ConfigOps    uint64 // RCAP config packets applied
+	Recovered    uint64 // packets ejected by deadlock recovery
+	Dropped      uint64 // packets dropped at this router
+	BlockedTicks uint64 // port-cycles spent with a blocked head packet
+	LapsesSeen   uint64 // deadline lapses noticed
+}
+
+// ConfigSink applies RCAP operations addressed to the node (router settings
+// knobs, AIM parameters, processing-element knobs). Implemented by the
+// platform layer.
+type ConfigSink interface {
+	ApplyConfig(op ConfigOp, arg, arg2 int, now sim.Tick)
+}
+
+// Router is one five-port wormhole router of the mesh.
+//
+// Service discipline: each tick the router scans its input ports starting
+// from a rotating offset (round-robin fairness) and tries to advance each
+// head packet one hop. An output link stays busy for the packet's flit count
+// once a transfer starts, which serialises long packets exactly like a
+// wormhole channel. A head packet blocked for longer than the deadlock limit
+// is ejected through the recovery path — the paper's "basic deadlock
+// recovery mechanism".
+type Router struct {
+	ID   NodeID
+	topo Topology
+	net  *Network
+
+	in            [NumPorts]*buffer
+	neighbor      [NumPorts]*Router
+	linkBusyUntil [NumPorts]sim.Tick
+	blockedSince  [NumPorts]sim.Tick
+	portDisabled  [NumPorts]bool
+	rr            int
+
+	faulty        bool
+	deadlockLimit sim.Tick
+	requeueLimit  int
+
+	sink       Sink
+	configSink ConfigSink
+
+	// Absorb, when non-nil, implements task-addressed delivery: a data
+	// packet passing through the router may be consumed by the local node
+	// when it runs the packet's task and has queue space, even though the
+	// packet's steer destination is elsewhere. This is what makes the
+	// Foraging-for-Work rule ("switch to the task of the next packet in the
+	// routing queue in order to sink and process it locally") meaningful,
+	// and it is the fabric's natural load balancer.
+	Absorb func(p *Packet, now sim.Tick) bool
+
+	// Monitors are the AIM sense taps for this router.
+	Monitors Monitors
+	// Stats accumulate over the run.
+	Stats RouterStats
+}
+
+func newRouter(id NodeID, topo Topology, net *Network, bufFlits int, deadlockLimit sim.Tick, requeueLimit int) *Router {
+	r := &Router{ID: id, topo: topo, net: net, deadlockLimit: deadlockLimit, requeueLimit: requeueLimit}
+	for p := Port(0); p < NumPorts; p++ {
+		r.in[p] = newBuffer(bufFlits)
+	}
+	return r
+}
+
+// SetSink attaches the processing element's receive interface.
+func (r *Router) SetSink(s Sink) { r.sink = s }
+
+// SetConfigSink attaches the RCAP configuration handler.
+func (r *Router) SetConfigSink(s ConfigSink) { r.configSink = s }
+
+// Faulty reports whether the router has failed.
+func (r *Router) Faulty() bool { return r.faulty }
+
+// QueuedPackets returns the number of packets across all input buffers.
+func (r *Router) QueuedPackets() int {
+	n := 0
+	for p := Port(0); p < NumPorts; p++ {
+		n += r.in[p].Len()
+	}
+	return n
+}
+
+// QueuedHeadTask returns the destination task of the oldest ready head
+// packet across the cardinal input ports — the "next packet in the routing
+// queue" a Foraging-for-Work node adopts when its switch timer expires.
+// ok is false when no data packet is queued.
+func (r *Router) QueuedHeadTask(now sim.Tick) (taskgraph.TaskID, bool) {
+	return r.QueuedHeadTaskFunc(now, nil)
+}
+
+// QueuedHeadTaskFunc is QueuedHeadTask restricted to packets the accept
+// filter admits. The platform uses it to limit Foraging-for-Work adoption to
+// tasks the node could actually sink locally: a join-bound packet is owned
+// by its fork-time join node, so adopting its task cannot serve it.
+func (r *Router) QueuedHeadTaskFunc(now sim.Tick, accept func(*Packet) bool) (taskgraph.TaskID, bool) {
+	bestTask := taskgraph.None
+	var bestCreated sim.Tick
+	found := false
+	for p := Port(0); p < NumPorts; p++ {
+		pkt, readyAt := r.in[p].Head()
+		if pkt == nil || pkt.Kind != Data || readyAt > now {
+			continue
+		}
+		if accept != nil && !accept(pkt) {
+			continue
+		}
+		if !found || pkt.Created < bestCreated {
+			found = true
+			bestTask = pkt.Task
+			bestCreated = pkt.Created
+		}
+	}
+	return bestTask, found
+}
+
+// Inject places a packet from the local processing element into the router's
+// Local input channel. It returns false when the channel is full — the
+// back-pressure that stalls generation under congestion.
+func (r *Router) Inject(p *Packet, now sim.Tick) bool {
+	if r.faulty || r.portDisabled[Local] {
+		return false
+	}
+	return r.in[Local].Push(p, now)
+}
+
+// Tick advances the router by one cycle.
+func (r *Router) Tick(now sim.Tick) {
+	if r.faulty {
+		return
+	}
+	// Fast path: idle routers do nothing, which keeps 100-run sweeps cheap.
+	queued := 0
+	for p := Port(0); p < NumPorts; p++ {
+		queued += r.in[p].Len()
+	}
+	if queued == 0 {
+		return
+	}
+
+	start := r.rr
+	r.rr++
+	if r.rr >= int(NumPorts) {
+		r.rr = 0
+	}
+	for i := 0; i < int(NumPorts); i++ {
+		port := Port((start + i) % int(NumPorts))
+		r.servicePort(port, now)
+	}
+}
+
+func (r *Router) servicePort(port Port, now sim.Tick) {
+	b := r.in[port]
+	pkt, readyAt := b.Head()
+	if pkt == nil || readyAt > now {
+		return
+	}
+	if pkt.Kind == Data && pkt.Lapsed(now) {
+		r.Stats.LapsesSeen++
+		if r.Monitors.DeadlineLapse != nil {
+			r.Monitors.DeadlineLapse(pkt.Task, now)
+		}
+	}
+
+	if pkt.Dst == r.ID {
+		r.deliverLocal(port, pkt, now)
+		return
+	}
+
+	// Task-addressed absorption: an en-route owner of the packet's task may
+	// sink it locally instead of forwarding.
+	if pkt.Kind == Data && r.Absorb != nil && r.Absorb(pkt, now) {
+		b.Pop()
+		r.blockedSince[port] = 0
+		r.Stats.Delivered++
+		if r.Monitors.InternalDelivery != nil {
+			r.Monitors.InternalDelivery(pkt.Task, now)
+		}
+		r.net.noteDelivered()
+		return
+	}
+
+	out := r.net.NextHop(r.ID, pkt.Dst)
+	if out == PortInvalid || out == Local {
+		// Unreachable destination (e.g. partitioned by faults): hand the
+		// packet to the recovery path so the platform can retarget it.
+		b.Pop()
+		r.recover(pkt, now)
+		return
+	}
+	if r.tryForward(port, out, pkt, now) {
+		r.blockedSince[port] = 0
+		return
+	}
+	// Head is blocked: track for deadlock recovery.
+	r.Stats.BlockedTicks++
+	if r.blockedSince[port] == 0 {
+		r.blockedSince[port] = now
+		return
+	}
+	if r.deadlockLimit > 0 && now-r.blockedSince[port] >= r.deadlockLimit {
+		r.recoverBlocked(port, pkt, now)
+	}
+}
+
+// recoverBlocked applies the deadlock-recovery action to the blocked head of
+// an input port. The first recoveries rotate the packet to the buffer tail,
+// releasing head-of-line blocking without losing traffic; after requeueLimit
+// consecutive rotations without a successful forward, the packet is ejected
+// through the recovery path (retarget or drop) — the "release deadlocked
+// packets" behaviour of the paper's router, which is explicitly not
+// guaranteed to resolve every deadlock.
+func (r *Router) recoverBlocked(port Port, pkt *Packet, now sim.Tick) {
+	b := r.in[port]
+	b.Pop()
+	r.blockedSince[port] = 0
+	r.Stats.Recovered++
+	if r.Monitors.Recovery != nil {
+		r.Monitors.Recovery(pkt, now)
+	}
+	pkt.requeues++
+	if pkt.requeues <= r.requeueLimit {
+		// Rotate to the tail: capacity freed by the pop guarantees the push.
+		b.Push(pkt, now)
+		return
+	}
+	pkt.requeues = 0
+	r.recover(pkt, now)
+}
+
+func (r *Router) deliverLocal(port Port, pkt *Packet, now sim.Tick) {
+	b := r.in[port]
+	switch pkt.Kind {
+	case Config:
+		b.Pop()
+		r.applyConfig(pkt, now)
+		r.blockedSince[port] = 0
+		r.net.noteConfig()
+	case Debug, Data:
+		if r.sink == nil {
+			b.Pop()
+			r.Stats.Dropped++
+			r.net.handleDrop(r.ID, pkt, DropNoSink)
+			return
+		}
+		if r.sink.Accept(pkt, now) {
+			b.Pop()
+			r.blockedSince[port] = 0
+			r.Stats.Delivered++
+			if pkt.Kind == Data && r.Monitors.InternalDelivery != nil {
+				r.Monitors.InternalDelivery(pkt.Task, now)
+			}
+			r.net.noteDelivered()
+			return
+		}
+		// Local sink full: same blocking rules as a busy link.
+		r.Stats.BlockedTicks++
+		if r.blockedSince[port] == 0 {
+			r.blockedSince[port] = now
+		} else if r.deadlockLimit > 0 && now-r.blockedSince[port] >= r.deadlockLimit {
+			r.recoverBlocked(port, pkt, now)
+		}
+	}
+}
+
+func (r *Router) tryForward(inPort, out Port, pkt *Packet, now sim.Tick) bool {
+	if r.portDisabled[out] {
+		return false
+	}
+	if r.linkBusyUntil[out] > now {
+		return false
+	}
+	next := r.neighbor[out]
+	if next == nil || next.faulty {
+		return false
+	}
+	inSide := out.Opposite()
+	if next.portDisabled[inSide] {
+		return false
+	}
+	dur := sim.Tick(pkt.Flits)
+	if dur < 1 {
+		dur = 1
+	}
+	if !next.in[inSide].Push(pkt, now+dur) {
+		return false
+	}
+	r.in[inPort].Pop()
+	r.linkBusyUntil[out] = now + dur
+	pkt.Hops++
+	pkt.requeues = 0
+	r.Stats.Forwarded++
+	if pkt.Kind == Data && r.Monitors.RoutedTask != nil {
+		r.Monitors.RoutedTask(pkt.Task, now)
+	}
+	return true
+}
+
+// recover hands a packet that cannot make progress to the network's recovery
+// handler; unrescued packets are dropped.
+func (r *Router) recover(pkt *Packet, now sim.Tick) {
+	if r.net.handleRecovery(r.ID, pkt, now) {
+		return
+	}
+	r.Stats.Dropped++
+	r.net.handleDrop(r.ID, pkt, DropRecoveryFailed)
+}
+
+func (r *Router) applyConfig(pkt *Packet, now sim.Tick) {
+	r.Stats.ConfigOps++
+	switch pkt.Op {
+	case OpSetDeadlockLimit:
+		r.deadlockLimit = sim.Tick(pkt.Arg)
+	case OpEnablePort:
+		if pkt.Arg >= 0 && pkt.Arg < int(NumPorts) {
+			r.portDisabled[Port(pkt.Arg)] = false
+		}
+	case OpDisablePort:
+		if pkt.Arg >= 0 && pkt.Arg < int(NumPorts) {
+			r.portDisabled[Port(pkt.Arg)] = true
+		}
+	default:
+		if r.configSink != nil {
+			r.configSink.ApplyConfig(pkt.Op, pkt.Arg, pkt.Arg2, now)
+		}
+	}
+}
+
+// fail marks the router dead and drains its buffers, returning the lost
+// packets so the network can account for them.
+func (r *Router) fail() []*Packet {
+	r.faulty = true
+	var lost []*Packet
+	for p := Port(0); p < NumPorts; p++ {
+		lost = append(lost, r.in[p].Drain()...)
+		r.blockedSince[p] = 0
+	}
+	r.Stats.Dropped += uint64(len(lost))
+	return lost
+}

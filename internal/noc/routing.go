@@ -1,0 +1,124 @@
+package noc
+
+// RoutingMode selects how routers compute next hops.
+type RoutingMode int
+
+const (
+	// RouteAuto uses XY dimension-order routing while the mesh is healthy
+	// and switches to fault-aware shortest-path tables once a router fails
+	// (a stand-in for the platform's route-discovery around dead nodes;
+	// see DESIGN.md §2).
+	RouteAuto RoutingMode = iota
+	// RouteXY always uses XY routing, even across faults (packets heading
+	// into a dead router are recovered/dropped) — the ablation case.
+	RouteXY
+	// RouteTables always uses the shortest-path tables.
+	RouteTables
+)
+
+// String names the routing mode.
+func (m RoutingMode) String() string {
+	switch m {
+	case RouteAuto:
+		return "auto"
+	case RouteXY:
+		return "xy"
+	case RouteTables:
+		return "tables"
+	}
+	return "unknown"
+}
+
+// xyNextHop is classic dimension-order routing: correct X first, then Y.
+// It is deadlock-free on a fault-free mesh.
+func xyNextHop(topo Topology, from, dst NodeID) Port {
+	fc, dc := topo.Coord(from), topo.Coord(dst)
+	switch {
+	case dc.X > fc.X:
+		return East
+	case dc.X < fc.X:
+		return West
+	case dc.Y > fc.Y:
+		return South
+	case dc.Y < fc.Y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// routeTables holds per-destination next-hop ports for every router,
+// computed by breadth-first search over the alive subgraph.
+type routeTables struct {
+	topo Topology
+	// next[from][dst] is the output port at from toward dst
+	// (PortInvalid when unreachable, Local when from == dst).
+	next [][]Port
+}
+
+// computeTables builds shortest-path next hops avoiding faulty routers.
+// Port preference follows XY habit (horizontal first) so that table routes
+// coincide with XY on the fault-free mesh, keeping the ablation comparison
+// clean.
+func computeTables(topo Topology, alive func(NodeID) bool) *routeTables {
+	n := topo.Nodes()
+	rt := &routeTables{topo: topo, next: make([][]Port, n)}
+	for i := range rt.next {
+		row := make([]Port, n)
+		for j := range row {
+			row[j] = PortInvalid
+		}
+		rt.next[i] = row
+	}
+
+	// Preference order for tie-breaking among equal-distance neighbours.
+	pref := []Port{East, West, South, North}
+
+	dist := make([]int, n)
+	queue := make([]NodeID, 0, n)
+	for dst := NodeID(0); int(dst) < n; dst++ {
+		if !alive(dst) {
+			continue
+		}
+		// BFS from the destination over alive nodes.
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue = queue[:0]
+		queue = append(queue, dst)
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
+			for _, p := range pref {
+				nb, ok := topo.Neighbor(cur, p)
+				if !ok || !alive(nb) || dist[nb] >= 0 {
+					continue
+				}
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+		for from := NodeID(0); int(from) < n; from++ {
+			if from == dst {
+				rt.next[from][dst] = Local
+				continue
+			}
+			if dist[from] < 0 || !alive(from) {
+				continue
+			}
+			for _, p := range pref {
+				nb, ok := topo.Neighbor(from, p)
+				if ok && alive(nb) && dist[nb] == dist[from]-1 {
+					rt.next[from][dst] = p
+					break
+				}
+			}
+		}
+	}
+	return rt
+}
+
+// NextHop returns the table's next hop, or PortInvalid when unreachable.
+func (rt *routeTables) NextHop(from, dst NodeID) Port {
+	return rt.next[from][dst]
+}

@@ -1,0 +1,161 @@
+// Package noc implements the Centurion network-on-chip fabric: a 2-D mesh of
+// five-port wormhole routers with per-link flit serialisation, a Router
+// Configuration Access Port (RCAP) for remote reconfiguration, a basic
+// deadlock-recovery mechanism, and the monitor/knob taps that the embedded
+// intelligence modules (package aim) observe and actuate.
+//
+// The fabric is a deterministic tick-level model: Network.Tick advances every
+// router by one cycle. It reproduces the observable behaviour the paper's
+// runtime-management models depend on — which task IDs flow through each
+// router, which packets are accepted locally, and how congestion and faults
+// reshape that traffic — without modelling FPGA electrical detail.
+package noc
+
+import "fmt"
+
+// NodeID identifies a node (router + processing element) in the mesh,
+// computed as y*W + x.
+type NodeID int
+
+// Invalid is the NodeID of "no node".
+const Invalid NodeID = -1
+
+// Coord is a mesh coordinate. X grows eastward, Y grows southward.
+type Coord struct{ X, Y int }
+
+// Manhattan returns the Manhattan distance to another coordinate.
+func (c Coord) Manhattan(o Coord) int {
+	dx, dy := c.X-o.X, c.Y-o.Y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// String renders the coordinate as "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Port is one of a router's five channels. The four cardinal ports connect
+// to mesh neighbours; Local connects to the node's processing element.
+// (The RCAP configuration channel is modelled as config-kind packets
+// delivered through the regular ports, as on the real router where RCAP
+// traffic shares the NoC.)
+type Port int
+
+// Router ports in round-robin service order.
+const (
+	North Port = iota
+	East
+	South
+	West
+	Local
+	NumPorts // number of ports; not a valid port value
+
+	// PortInvalid marks "no route".
+	PortInvalid Port = -1
+)
+
+// String names the port for traces.
+func (p Port) String() string {
+	switch p {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	case Local:
+		return "L"
+	case PortInvalid:
+		return "-"
+	}
+	return fmt.Sprintf("Port(%d)", int(p))
+}
+
+// Opposite returns the port a packet leaving via p arrives on at the
+// neighbouring router.
+func (p Port) Opposite() Port {
+	switch p {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return p
+}
+
+// Topology describes a W×H mesh.
+type Topology struct {
+	W, H int
+}
+
+// NewTopology returns a mesh topology. It panics on non-positive dimensions.
+func NewTopology(w, h int) Topology {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("noc: invalid topology %dx%d", w, h))
+	}
+	return Topology{W: w, H: h}
+}
+
+// Nodes returns the node count W*H.
+func (t Topology) Nodes() int { return t.W * t.H }
+
+// ID maps a coordinate to its NodeID. It panics when out of bounds.
+func (t Topology) ID(c Coord) NodeID {
+	if !t.InBounds(c) {
+		panic(fmt.Sprintf("noc: coordinate %v outside %dx%d mesh", c, t.W, t.H))
+	}
+	return NodeID(c.Y*t.W + c.X)
+}
+
+// Coord maps a NodeID back to its coordinate.
+func (t Topology) Coord(id NodeID) Coord {
+	if id < 0 || int(id) >= t.Nodes() {
+		panic(fmt.Sprintf("noc: node %d outside %dx%d mesh", id, t.W, t.H))
+	}
+	return Coord{X: int(id) % t.W, Y: int(id) / t.W}
+}
+
+// InBounds reports whether the coordinate lies inside the mesh.
+func (t Topology) InBounds(c Coord) bool {
+	return c.X >= 0 && c.X < t.W && c.Y >= 0 && c.Y < t.H
+}
+
+// Neighbor returns the node adjacent to id through the given cardinal port.
+// ok is false at mesh edges or for the Local port.
+func (t Topology) Neighbor(id NodeID, p Port) (NodeID, bool) {
+	c := t.Coord(id)
+	switch p {
+	case North:
+		c.Y--
+	case South:
+		c.Y++
+	case East:
+		c.X++
+	case West:
+		c.X--
+	default:
+		return Invalid, false
+	}
+	if !t.InBounds(c) {
+		return Invalid, false
+	}
+	return t.ID(c), true
+}
+
+// Distance returns the Manhattan distance between two nodes.
+func (t Topology) Distance(a, b NodeID) int {
+	return t.Coord(a).Manhattan(t.Coord(b))
+}
+
+// String renders the topology dimensions.
+func (t Topology) String() string { return fmt.Sprintf("%dx%d mesh", t.W, t.H) }

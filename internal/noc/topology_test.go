@@ -1,0 +1,136 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyIDCoordRoundTrip(t *testing.T) {
+	topo := NewTopology(16, 8)
+	if topo.Nodes() != 128 {
+		t.Fatalf("Nodes = %d, want 128", topo.Nodes())
+	}
+	for id := NodeID(0); int(id) < topo.Nodes(); id++ {
+		if got := topo.ID(topo.Coord(id)); got != id {
+			t.Fatalf("round trip failed: %d -> %v -> %d", id, topo.Coord(id), got)
+		}
+	}
+}
+
+func TestTopologyNeighbors(t *testing.T) {
+	topo := NewTopology(4, 3)
+	center := topo.ID(Coord{1, 1})
+	cases := []struct {
+		port Port
+		want Coord
+	}{
+		{North, Coord{1, 0}},
+		{South, Coord{1, 2}},
+		{East, Coord{2, 1}},
+		{West, Coord{0, 1}},
+	}
+	for _, c := range cases {
+		nb, ok := topo.Neighbor(center, c.port)
+		if !ok || nb != topo.ID(c.want) {
+			t.Errorf("Neighbor(center, %v) = %d,%v, want %v", c.port, nb, ok, c.want)
+		}
+	}
+	// Edges.
+	if _, ok := topo.Neighbor(topo.ID(Coord{0, 0}), North); ok {
+		t.Error("north neighbour of top-left row exists")
+	}
+	if _, ok := topo.Neighbor(topo.ID(Coord{0, 0}), West); ok {
+		t.Error("west neighbour of left column exists")
+	}
+	if _, ok := topo.Neighbor(topo.ID(Coord{3, 2}), South); ok {
+		t.Error("south neighbour of bottom row exists")
+	}
+	if _, ok := topo.Neighbor(topo.ID(Coord{3, 2}), East); ok {
+		t.Error("east neighbour of right column exists")
+	}
+	if _, ok := topo.Neighbor(center, Local); ok {
+		t.Error("Local port has a mesh neighbour")
+	}
+}
+
+func TestPortOpposite(t *testing.T) {
+	pairs := map[Port]Port{North: South, South: North, East: West, West: East}
+	for p, want := range pairs {
+		if got := p.Opposite(); got != want {
+			t.Errorf("%v.Opposite() = %v, want %v", p, got, want)
+		}
+	}
+	if Local.Opposite() != Local {
+		t.Error("Local.Opposite() changed the port")
+	}
+}
+
+func TestManhattanDistance(t *testing.T) {
+	topo := NewTopology(16, 8)
+	a, b := topo.ID(Coord{0, 0}), topo.ID(Coord{15, 7})
+	if got := topo.Distance(a, b); got != 22 {
+		t.Errorf("corner distance = %d, want 22", got)
+	}
+	if got := topo.Distance(a, a); got != 0 {
+		t.Errorf("self distance = %d", got)
+	}
+}
+
+// Property: Manhattan distance is symmetric and satisfies the triangle
+// inequality on the mesh.
+func TestManhattanMetricProperty(t *testing.T) {
+	topo := NewTopology(16, 8)
+	f := func(ra, rb, rc uint16) bool {
+		a := NodeID(int(ra) % topo.Nodes())
+		b := NodeID(int(rb) % topo.Nodes())
+		c := NodeID(int(rc) % topo.Nodes())
+		if topo.Distance(a, b) != topo.Distance(b, a) {
+			return false
+		}
+		return topo.Distance(a, c) <= topo.Distance(a, b)+topo.Distance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: neighbours are always at distance exactly 1.
+func TestNeighborDistanceProperty(t *testing.T) {
+	topo := NewTopology(16, 8)
+	f := func(raw uint16, praw uint8) bool {
+		id := NodeID(int(raw) % topo.Nodes())
+		p := Port(praw % 4)
+		nb, ok := topo.Neighbor(id, p)
+		if !ok {
+			return true
+		}
+		return topo.Distance(id, nb) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	mustPanic(t, "zero width", func() { NewTopology(0, 4) })
+	mustPanic(t, "bad coord", func() { NewTopology(2, 2).ID(Coord{5, 0}) })
+	mustPanic(t, "bad id", func() { NewTopology(2, 2).Coord(NodeID(99)) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestPortStrings(t *testing.T) {
+	for p, want := range map[Port]string{North: "N", East: "E", South: "S", West: "W", Local: "L", PortInvalid: "-"} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}

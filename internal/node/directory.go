@@ -1,0 +1,194 @@
+// Package node models the Centurion processing elements (the MicroBlaze
+// nodes of the real platform): task execution with per-task latencies,
+// bounded receive queues, source-task generation timers, fork/join instance
+// bookkeeping, and the task directory that maps task classes to the nodes
+// currently running them.
+package node
+
+import (
+	"centurion/internal/noc"
+	"centurion/internal/taskgraph"
+)
+
+// Directory tracks which task every node currently runs and answers
+// nearest-owner queries. It is the simulator's stand-in for the task-ID
+// addressing of the real platform, where packets are steered toward nodes
+// advertising a task (router settings updated through RCAP when a node's
+// AIM switches its task).
+type Directory struct {
+	topo   noc.Topology
+	taskOf []taskgraph.TaskID
+	alive  []bool
+	byTask map[taskgraph.TaskID][]noc.NodeID
+	// Version increments on every mutation; cached lookups can use it to
+	// detect staleness.
+	Version uint64
+}
+
+// NewDirectory builds a directory from an initial mapping.
+func NewDirectory(topo noc.Topology, m taskgraph.Mapping) *Directory {
+	if len(m) != topo.Nodes() {
+		panic("node: mapping size does not match topology")
+	}
+	d := &Directory{
+		topo:   topo,
+		taskOf: make([]taskgraph.TaskID, len(m)),
+		alive:  make([]bool, len(m)),
+		byTask: make(map[taskgraph.TaskID][]noc.NodeID),
+	}
+	for i, task := range m {
+		d.taskOf[i] = task
+		d.alive[i] = true
+		d.byTask[task] = append(d.byTask[task], noc.NodeID(i))
+	}
+	return d
+}
+
+// TaskOf returns the task the node currently runs.
+func (d *Directory) TaskOf(id noc.NodeID) taskgraph.TaskID { return d.taskOf[id] }
+
+// Alive reports whether the node is alive.
+func (d *Directory) Alive(id noc.NodeID) bool { return d.alive[id] }
+
+// Set changes the node's task and reindexes.
+func (d *Directory) Set(id noc.NodeID, task taskgraph.TaskID) {
+	old := d.taskOf[id]
+	if old == task {
+		return
+	}
+	d.taskOf[id] = task
+	d.byTask[old] = removeID(d.byTask[old], id)
+	d.byTask[task] = insertID(d.byTask[task], id)
+	d.Version++
+}
+
+// SetAlive marks a node alive or dead; dead nodes are excluded from
+// nearest-owner queries.
+func (d *Directory) SetAlive(id noc.NodeID, alive bool) {
+	if d.alive[id] == alive {
+		return
+	}
+	d.alive[id] = alive
+	d.Version++
+}
+
+// Count returns how many alive nodes run the task.
+func (d *Directory) Count(task taskgraph.TaskID) int {
+	n := 0
+	for _, id := range d.byTask[task] {
+		if d.alive[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// Counts returns alive node counts indexed by task ID (0..maxID).
+func (d *Directory) Counts(maxID taskgraph.TaskID) []int {
+	out := make([]int, int(maxID)+1)
+	for i, task := range d.taskOf {
+		if d.alive[i] && int(task) < len(out) {
+			out[task]++
+		}
+	}
+	return out
+}
+
+// Nearest returns the alive node running task that is closest (Manhattan)
+// to from, breaking ties toward the smaller node ID. ok is false when no
+// alive node runs the task.
+func (d *Directory) Nearest(task taskgraph.TaskID, from noc.NodeID) (noc.NodeID, bool) {
+	best := noc.Invalid
+	bestDist := 1 << 30
+	fc := d.topo.Coord(from)
+	for _, id := range d.byTask[task] {
+		if !d.alive[id] {
+			continue
+		}
+		dist := fc.Manhattan(d.topo.Coord(id))
+		if dist < bestDist || (dist == bestDist && id < best) {
+			best, bestDist = id, dist
+		}
+	}
+	return best, best != noc.Invalid
+}
+
+// NearestK returns up to k distinct alive owners of task ordered by
+// distance from from (ties toward smaller IDs). Used by fork nodes to
+// spread parallel branches over nearby workers.
+func (d *Directory) NearestK(task taskgraph.TaskID, from noc.NodeID, k int) []noc.NodeID {
+	type cand struct {
+		id   noc.NodeID
+		dist int
+	}
+	fc := d.topo.Coord(from)
+	var cands []cand
+	for _, id := range d.byTask[task] {
+		if d.alive[id] {
+			cands = append(cands, cand{id, fc.Manhattan(d.topo.Coord(id))})
+		}
+	}
+	// Selection sort of the first k: k is tiny (the fork fan-out).
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]noc.NodeID, 0, k)
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].dist < cands[best].dist ||
+				(cands[j].dist == cands[best].dist && cands[j].id < cands[best].id) {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+		out = append(out, cands[i].id)
+	}
+	return out
+}
+
+// Owners returns the alive owners of a task (ascending IDs). The slice is
+// freshly allocated.
+func (d *Directory) Owners(task taskgraph.TaskID) []noc.NodeID {
+	var out []noc.NodeID
+	for _, id := range d.byTask[task] {
+		if d.alive[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Mapping snapshots the current node→task assignment.
+func (d *Directory) Mapping() taskgraph.Mapping {
+	m := make(taskgraph.Mapping, len(d.taskOf))
+	copy(m, d.taskOf)
+	return m
+}
+
+func removeID(s []noc.NodeID, id noc.NodeID) []noc.NodeID {
+	for i, v := range s {
+		if v == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// insertID keeps the per-task owner lists sorted so that iteration order —
+// and therefore tie-breaking — is deterministic.
+func insertID(s []noc.NodeID, id noc.NodeID) []noc.NodeID {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = id
+	return s
+}

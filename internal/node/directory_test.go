@@ -1,0 +1,172 @@
+package node
+
+import (
+	"testing"
+	"testing/quick"
+
+	"centurion/internal/noc"
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+func dir4x4() *Directory {
+	topo := noc.NewTopology(4, 4)
+	m := make(taskgraph.Mapping, topo.Nodes())
+	for i := range m {
+		m[i] = taskgraph.TaskID(i%3 + 1)
+	}
+	return NewDirectory(topo, m)
+}
+
+func TestDirectoryBasics(t *testing.T) {
+	d := dir4x4()
+	if got := d.TaskOf(0); got != 1 {
+		t.Errorf("TaskOf(0) = %d", got)
+	}
+	if got := d.Count(1); got != 6 {
+		t.Errorf("Count(1) = %d, want 6", got)
+	}
+	counts := d.Counts(3)
+	if counts[1]+counts[2]+counts[3] != 16 {
+		t.Errorf("Counts = %v, want total 16", counts)
+	}
+}
+
+func TestDirectorySetReindexes(t *testing.T) {
+	d := dir4x4()
+	v := d.Version
+	d.Set(0, 2)
+	if d.TaskOf(0) != 2 {
+		t.Error("Set did not change task")
+	}
+	if d.Count(1) != 5 || d.Count(2) != 6 {
+		t.Errorf("counts after Set: t1=%d t2=%d", d.Count(1), d.Count(2))
+	}
+	if d.Version == v {
+		t.Error("Version did not change")
+	}
+	// No-op set does not bump version.
+	v = d.Version
+	d.Set(0, 2)
+	if d.Version != v {
+		t.Error("no-op Set bumped version")
+	}
+}
+
+func TestDirectoryNearest(t *testing.T) {
+	topo := noc.NewTopology(4, 1)
+	m := taskgraph.Mapping{1, 2, 2, 1}
+	d := NewDirectory(topo, m)
+	if got, ok := d.Nearest(2, 0); !ok || got != 1 {
+		t.Errorf("Nearest(2, 0) = %d,%v, want 1", got, ok)
+	}
+	if got, ok := d.Nearest(1, 2); !ok || got != 3 {
+		t.Errorf("Nearest(1, 2) = %d,%v, want 3", got, ok)
+	}
+	// Tie at equal distance: with owners at 0 and 2, both distance 1 from
+	// node 1, the tie breaks toward the smaller ID.
+	tie := NewDirectory(topo, taskgraph.Mapping{2, 1, 2, 1})
+	if got, _ := tie.Nearest(2, 1); got != 0 {
+		t.Errorf("tie-break Nearest = %d, want 0", got)
+	}
+	if _, ok := d.Nearest(9, 0); ok {
+		t.Error("Nearest for unowned task reported ok")
+	}
+}
+
+func TestDirectoryNearestSkipsDead(t *testing.T) {
+	topo := noc.NewTopology(4, 1)
+	d := NewDirectory(topo, taskgraph.Mapping{1, 2, 2, 1})
+	d.SetAlive(1, false)
+	if got, ok := d.Nearest(2, 0); !ok || got != 2 {
+		t.Errorf("Nearest skipping dead = %d,%v, want 2", got, ok)
+	}
+	d.SetAlive(2, false)
+	if _, ok := d.Nearest(2, 0); ok {
+		t.Error("Nearest found a dead owner")
+	}
+	if d.Count(2) != 0 {
+		t.Errorf("Count(2) = %d with all owners dead", d.Count(2))
+	}
+}
+
+func TestDirectoryNearestK(t *testing.T) {
+	topo := noc.NewTopology(8, 1)
+	m := taskgraph.Mapping{2, 2, 1, 2, 2, 2, 1, 2}
+	d := NewDirectory(topo, m)
+	got := d.NearestK(2, 2, 3)
+	if len(got) != 3 {
+		t.Fatalf("NearestK returned %v", got)
+	}
+	// From node 2, nearest task-2 owners are 1 and 3 (distance 1), then 0
+	// and 4 (distance 2, tie-break smaller ID first).
+	if got[0] != 1 || got[1] != 3 || got[2] != 0 {
+		t.Errorf("NearestK = %v, want [1 3 0]", got)
+	}
+	// Asking for more owners than exist returns all of them.
+	all := d.NearestK(1, 0, 10)
+	if len(all) != 2 {
+		t.Errorf("NearestK(1) = %v, want 2 owners", all)
+	}
+}
+
+func TestDirectoryOwnersSorted(t *testing.T) {
+	d := dir4x4()
+	d.Set(15, 1)
+	d.Set(0, 2)
+	owners := d.Owners(1)
+	for i := 1; i < len(owners); i++ {
+		if owners[i-1] >= owners[i] {
+			t.Fatalf("owners not sorted: %v", owners)
+		}
+	}
+}
+
+func TestDirectoryMappingSnapshot(t *testing.T) {
+	d := dir4x4()
+	m := d.Mapping()
+	m[0] = 9
+	if d.TaskOf(0) == 9 {
+		t.Error("Mapping snapshot shares storage")
+	}
+}
+
+// Property: Nearest always returns an owner at minimal distance among alive
+// owners.
+func TestNearestMinimalProperty(t *testing.T) {
+	topo := noc.NewTopology(8, 4)
+	f := func(seed uint64, fromRaw uint16) bool {
+		rng := sim.NewRNG(seed)
+		m := make(taskgraph.Mapping, topo.Nodes())
+		for i := range m {
+			m[i] = taskgraph.TaskID(rng.Intn(3) + 1)
+		}
+		d := NewDirectory(topo, m)
+		// Kill a few random nodes.
+		for i := 0; i < 5; i++ {
+			d.SetAlive(noc.NodeID(rng.Intn(topo.Nodes())), false)
+		}
+		from := noc.NodeID(int(fromRaw) % topo.Nodes())
+		for task := taskgraph.TaskID(1); task <= 3; task++ {
+			got, ok := d.Nearest(task, from)
+			best := 1 << 30
+			for id := noc.NodeID(0); int(id) < topo.Nodes(); id++ {
+				if d.Alive(id) && d.TaskOf(id) == task {
+					if dd := topo.Distance(from, id); dd < best {
+						best = dd
+					}
+				}
+			}
+			if (best == 1<<30) != !ok {
+				return false
+			}
+			if ok && topo.Distance(from, got) != best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,542 @@
+package node
+
+import (
+	"centurion/internal/noc"
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+// Env is the platform interface a processing element acts through: packet
+// injection into its router, the shared task directory, the application
+// graph, ID allocation, and the instance-completion report that feeds the
+// throughput metric.
+type Env interface {
+	// Inject offers a packet to the node's router; false means back-pressure
+	// (the PE retries next tick).
+	Inject(from noc.NodeID, p *noc.Packet, now sim.Tick) bool
+	// Directory is the shared task directory.
+	Directory() *Directory
+	// Graph is the application task graph.
+	Graph() *taskgraph.Graph
+	// NextPacketID allocates a fabric-unique packet ID.
+	NextPacketID() uint64
+	// NextInstanceID allocates an application instance ID.
+	NextInstanceID() uint64
+	// InstanceCompleted reports a completed fork–join instance (a throughput
+	// event). origin is the source node that generated it, so the platform
+	// can deliver the completion acknowledgement that closes the source's
+	// flow-control window.
+	InstanceCompleted(inst uint64, origin, at noc.NodeID, now sim.Tick)
+	// InstanceLost reports an instance that can no longer complete (branches
+	// dropped, join GC'd, join node switched away).
+	InstanceLost(inst uint64, origin, at noc.NodeID, now sim.Tick)
+	// PacketDropped accounts a packet the PE had to discard.
+	PacketDropped(p *noc.Packet, at noc.NodeID, now sim.Tick)
+}
+
+// Params configure a processing element.
+type Params struct {
+	// QueueCap bounds the receive queue (packets); a full queue back-
+	// pressures the router's local port.
+	QueueCap int
+	// DeadlineTicks stamps outgoing packets with Created+DeadlineTicks
+	// (0 disables deadlines).
+	DeadlineTicks sim.Tick
+	// JoinTimeout GC's incomplete join instances that have not seen a new
+	// branch for this long.
+	JoinTimeout sim.Tick
+	// PacketFlits is the serialised length of generated data packets.
+	PacketFlits int
+	// Window bounds the number of un-acknowledged instances a source may
+	// have outstanding (end-to-end flow control; 0 disables it). Real
+	// deployments implement this in the application: the join node returns
+	// a completion acknowledgement to the work item's origin.
+	Window int
+	// InstanceTimeout reclaims a window slot when no acknowledgement
+	// arrives in time (the instance was lost to drops, faults or task
+	// switches).
+	InstanceTimeout sim.Tick
+}
+
+// DefaultParams returns the experiment defaults: a 16-packet receive queue,
+// 8 ms deadlines, 200 ms join GC, 2-flit packets.
+func DefaultParams() Params {
+	return Params{
+		QueueCap:        16,
+		DeadlineTicks:   sim.Ms(8),
+		JoinTimeout:     sim.Ms(200),
+		PacketFlits:     2,
+		Window:          8,
+		InstanceTimeout: sim.Ms(150),
+	}
+}
+
+// Stats are cumulative per-PE counters.
+type Stats struct {
+	Generated   uint64 // work items emitted by a source task
+	Processed   uint64 // data packets fully processed
+	Completions uint64 // join completions at this node
+	Switches    uint64 // task switches applied
+	Misrouted   uint64 // packets that arrived for a task this node no longer runs
+	Dropped     uint64 // packets discarded (no owner to retarget to, etc.)
+	DebugSeen   uint64 // debug packets consumed
+	StallTicks  uint64 // ticks the PE wanted to inject but was back-pressured
+}
+
+// pickTargets selects n destination nodes for task among the owners nearest
+// to from, rotating the starting owner by salt (typically the instance ID).
+// The rotation spreads successive instances over the 2n+2 nearest owners so
+// that neighbouring producers do not all pile onto the same consumer — the
+// locality-preserving load spread described in DESIGN.md §5. The returned
+// slice is empty when no owner exists.
+func pickTargets(d *Directory, task taskgraph.TaskID, from noc.NodeID, n int, salt uint64) []noc.NodeID {
+	pool := d.NearestK(task, from, 2*n+2)
+	if len(pool) == 0 {
+		return nil
+	}
+	out := make([]noc.NodeID, n)
+	start := int(salt % uint64(len(pool)))
+	for i := 0; i < n; i++ {
+		out[i] = pool[(start+i)%len(pool)]
+	}
+	return out
+}
+
+// joinState tracks one in-flight join instance at a sink node.
+type joinState struct {
+	seen      int
+	origin    noc.NodeID
+	lastTouch sim.Tick
+}
+
+// PE is one processing element. It implements noc.Sink for its router's
+// internal port.
+type PE struct {
+	ID  noc.NodeID
+	env Env
+	par Params
+
+	task    taskgraph.TaskID
+	alive   bool
+	clockEn bool
+	freqDiv int
+
+	queue   []*noc.Packet
+	current *noc.Packet
+	busyEnd sim.Tick
+
+	nextGen sim.Tick
+	outbox  []*noc.Packet
+
+	joins       map[uint64]*joinState
+	outstanding map[uint64]sim.Tick // un-acked instances (flow control)
+	nextJoin    sim.Tick            // next join GC sweep
+	workCount   uint64              // monotonically increasing "useful work" events
+
+	// OnGenerate, when set, fires on every generated work item — the AIM's
+	// generation stimulus (a busy source is doing work).
+	OnGenerate func(now sim.Tick)
+	// OnSwitch fires after the node switches task.
+	OnSwitch func(from, to taskgraph.TaskID, now sim.Tick)
+
+	Stats Stats
+}
+
+// NewPE builds a processing element running the given initial task.
+// genPhase staggers the first generation tick so that source nodes do not
+// emit in lockstep (the run-to-run variation of the paper's "randomly
+// initialised" experiments).
+func NewPE(id noc.NodeID, env Env, par Params, task taskgraph.TaskID, genPhase sim.Tick) *PE {
+	pe := &PE{
+		ID:      id,
+		env:     env,
+		par:     par,
+		task:    task,
+		alive:   true,
+		clockEn: true,
+		freqDiv: 1,
+		joins:   make(map[uint64]*joinState),
+	}
+	pe.outstanding = make(map[uint64]sim.Tick)
+	pe.nextGen = genPhase
+	return pe
+}
+
+// Task returns the task the PE currently runs.
+func (pe *PE) Task() taskgraph.TaskID { return pe.task }
+
+// Alive reports whether the PE is functioning.
+func (pe *PE) Alive() bool { return pe.alive }
+
+// WorkCount returns the monotonically increasing count of useful-work events
+// (generations, processed packets); the nodes-active sampler diffs it.
+func (pe *PE) WorkCount() uint64 { return pe.workCount }
+
+// QueueLen returns the receive-queue depth.
+func (pe *PE) QueueLen() int { return len(pe.queue) }
+
+// AckInstance delivers a completion (or loss) acknowledgement for an
+// instance this node generated, freeing its flow-control window slot.
+// Unknown instance IDs are ignored, so duplicate acknowledgements are safe.
+func (pe *PE) AckInstance(inst uint64) { delete(pe.outstanding, inst) }
+
+// Outstanding returns the number of un-acknowledged instances.
+func (pe *PE) Outstanding() int { return len(pe.outstanding) }
+
+// Fail kills the PE: it stops processing and rejects traffic. Queued and
+// in-progress packets are lost.
+func (pe *PE) Fail(now sim.Tick) {
+	if !pe.alive {
+		return
+	}
+	pe.alive = false
+	for _, p := range pe.queue {
+		pe.env.PacketDropped(p, pe.ID, now)
+	}
+	if pe.current != nil {
+		pe.env.PacketDropped(pe.current, pe.ID, now)
+	}
+	for _, p := range pe.outbox {
+		pe.env.PacketDropped(p, pe.ID, now)
+	}
+	pe.queue = nil
+	pe.current = nil
+	pe.outbox = nil
+	pe.abandonJoins(now)
+	pe.env.Directory().SetAlive(pe.ID, false)
+}
+
+// Reset is the RCAP node-reset knob: state clears but the PE stays alive.
+func (pe *PE) Reset(now sim.Tick) {
+	for _, p := range pe.queue {
+		pe.env.PacketDropped(p, pe.ID, now)
+	}
+	pe.queue = pe.queue[:0]
+	pe.current = nil
+	pe.outbox = nil
+	pe.abandonJoins(now)
+}
+
+// SetClockEnable is the RCAP clock-gate knob.
+func (pe *PE) SetClockEnable(en bool) { pe.clockEn = en }
+
+// SetFrequencyDivider is the RCAP frequency-scaling knob: processing
+// latencies multiply by div (1 = full speed).
+func (pe *PE) SetFrequencyDivider(div int) {
+	if div < 1 {
+		div = 1
+	}
+	pe.freqDiv = div
+}
+
+// SwitchTask applies the AIM's task knob. Incomplete joins of the old task
+// are abandoned; queued packets for the old task will retarget on pop.
+func (pe *PE) SwitchTask(to taskgraph.TaskID, now sim.Tick) {
+	if !pe.alive || to == pe.task || to == taskgraph.None {
+		return
+	}
+	from := pe.task
+	pe.task = to
+	if pe.current != nil {
+		pe.Stats.Dropped++
+		pe.env.PacketDropped(pe.current, pe.ID, now)
+		pe.env.InstanceLost(pe.current.Instance, pe.current.Origin, pe.ID, now)
+		pe.current = nil
+	}
+	pe.busyEnd = 0
+	pe.abandonJoins(now)
+	pe.Stats.Switches++
+	pe.env.Directory().Set(pe.ID, to)
+	// A fresh source starts generating one period from now, not instantly.
+	if t := pe.env.Graph().Task(to); t != nil && t.GenPeriod > 0 {
+		pe.nextGen = now + sim.Tick(t.GenPeriod)
+	}
+	if pe.OnSwitch != nil {
+		pe.OnSwitch(from, to, now)
+	}
+}
+
+// Accept implements noc.Sink: the router's internal port delivers here.
+func (pe *PE) Accept(p *noc.Packet, now sim.Tick) bool {
+	if !pe.alive {
+		return false
+	}
+	if p.Kind == noc.Debug {
+		pe.Stats.DebugSeen++
+		return true
+	}
+	if len(pe.queue) >= pe.par.QueueCap {
+		return false
+	}
+	pe.queue = append(pe.queue, p)
+	return true
+}
+
+// Tick advances the PE by one cycle.
+func (pe *PE) Tick(now sim.Tick) {
+	if !pe.alive || !pe.clockEn {
+		return
+	}
+	pe.drainOutbox(now)
+	pe.generate(now)
+	pe.process(now)
+	if pe.par.JoinTimeout > 0 && now >= pe.nextJoin {
+		pe.gcJoins(now)
+		pe.nextJoin = now + pe.par.JoinTimeout/4
+	}
+}
+
+// drainOutbox injects pending packets; send back-pressure stalls the PE.
+func (pe *PE) drainOutbox(now sim.Tick) {
+	for len(pe.outbox) > 0 {
+		p := pe.outbox[0]
+		if !pe.env.Inject(pe.ID, p, now) {
+			pe.Stats.StallTicks++
+			return
+		}
+		pe.outbox[0] = nil
+		pe.outbox = pe.outbox[1:]
+	}
+}
+
+// generate emits new work items when the PE runs a source task.
+func (pe *PE) generate(now sim.Tick) {
+	t := pe.env.Graph().Task(pe.task)
+	if t == nil || t.GenPeriod == 0 || now < pe.nextGen || len(pe.outbox) > 0 {
+		return
+	}
+	if pe.par.Window > 0 {
+		// Reclaim slots of instances whose acknowledgement never arrived.
+		for inst, born := range pe.outstanding {
+			if pe.par.InstanceTimeout > 0 && now-born > pe.par.InstanceTimeout {
+				delete(pe.outstanding, inst)
+			}
+		}
+		if len(pe.outstanding) >= pe.par.Window {
+			// Flow control: downstream has not kept up; do not flood the
+			// fabric. Generation resumes as soon as a slot frees.
+			return
+		}
+	}
+	g := pe.env.Graph()
+	dir := pe.env.Directory()
+
+	inst := pe.env.NextInstanceID()
+	// Bind the join destination at fork time so all branches converge
+	// (DESIGN.md §5). Only single-sink graphs with a real join need it.
+	joinDst := noc.Invalid
+	if sinks := g.Sinks(); len(sinks) == 1 && g.JoinWidth(sinks[0]) > 1 {
+		// Joins concentrate on the nearest sink (no load spread): surplus
+		// sinks must go genuinely idle so the intelligence can recruit them
+		// for starved tasks (DESIGN.md §5).
+		if jd, ok := dir.Nearest(sinks[0], pe.ID); ok {
+			joinDst = jd
+		} else {
+			// No sink owner exists: the work item could never complete.
+			pe.nextGen = now + sim.Tick(t.GenPeriod)
+			pe.env.InstanceLost(inst, pe.ID, pe.ID, now)
+			return
+		}
+	}
+
+	branch := 0
+	emitted := false
+	for _, e := range g.Successors(pe.task) {
+		owners := pickTargets(dir, e.To, pe.ID, e.Width, inst)
+		if len(owners) == 0 {
+			// Nobody runs the consumer task: this edge's packets are lost.
+			continue
+		}
+		for i := 0; i < e.Width; i++ {
+			dst := owners[i%len(owners)]
+			pkt := &noc.Packet{
+				ID:       pe.env.NextPacketID(),
+				Kind:     noc.Data,
+				Src:      pe.ID,
+				Dst:      dst,
+				Task:     e.To,
+				Instance: inst,
+				Branch:   branch,
+				Origin:   pe.ID,
+				JoinDst:  joinDst,
+				Flits:    pe.par.PacketFlits,
+				Created:  now,
+			}
+			if pe.par.DeadlineTicks > 0 {
+				pkt.Deadline = now + pe.par.DeadlineTicks
+			}
+			pe.outbox = append(pe.outbox, pkt)
+			branch++
+			emitted = true
+		}
+	}
+	pe.nextGen = now + sim.Tick(t.GenPeriod)
+	if !emitted {
+		pe.env.InstanceLost(inst, pe.ID, pe.ID, now)
+		return
+	}
+	if pe.par.Window > 0 {
+		pe.outstanding[inst] = now
+	}
+	pe.Stats.Generated++
+	pe.workCount++
+	if pe.OnGenerate != nil {
+		pe.OnGenerate(now)
+	}
+	pe.drainOutbox(now)
+}
+
+// process advances the execution of received packets.
+func (pe *PE) process(now sim.Tick) {
+	// Finish the in-flight packet.
+	if pe.current != nil {
+		if now < pe.busyEnd {
+			return
+		}
+		pe.finish(pe.current, now)
+		pe.current = nil
+	}
+	// Start the next one. Send back-pressure gates new work so the outbox
+	// stays bounded.
+	if len(pe.outbox) > 0 || len(pe.queue) == 0 {
+		return
+	}
+	p := pe.queue[0]
+	pe.queue[0] = nil
+	pe.queue = pe.queue[1:]
+
+	if p.Task != pe.task {
+		pe.retarget(p, now)
+		return
+	}
+	t := pe.env.Graph().Task(pe.task)
+	proc := sim.Tick(t.ProcTicks * pe.freqDiv)
+	if proc <= 0 {
+		pe.finish(p, now)
+		return
+	}
+	pe.current = p
+	pe.busyEnd = now + proc
+}
+
+// finish completes the processing of packet p at the current task.
+func (pe *PE) finish(p *noc.Packet, now sim.Tick) {
+	pe.Stats.Processed++
+	pe.workCount++
+	g := pe.env.Graph()
+	if g.IsSink(pe.task) {
+		pe.finishJoin(p, now)
+		return
+	}
+	// Intermediate task: forward one packet per successor edge unit.
+	dir := pe.env.Directory()
+	for _, e := range g.Successors(pe.task) {
+		for i := 0; i < e.Width; i++ {
+			dst := noc.Invalid
+			if g.IsSink(e.To) && p.JoinDst != noc.Invalid {
+				// Honour the fork-time join binding when still valid.
+				if dir.Alive(p.JoinDst) && dir.TaskOf(p.JoinDst) == e.To {
+					dst = p.JoinDst
+				} else if nd, ok := dir.Nearest(e.To, p.JoinDst); ok {
+					// Deterministic re-bind anchored at the original join
+					// node so sibling branches re-converge.
+					dst = nd
+				}
+			} else if nd := pickTargets(dir, e.To, pe.ID, 1, p.Instance); len(nd) == 1 {
+				dst = nd[0]
+			}
+			if dst == noc.Invalid {
+				// No owner for the consumer task: the would-be output packet
+				// is never created and the instance cannot complete.
+				pe.Stats.Dropped++
+				pe.env.InstanceLost(p.Instance, p.Origin, pe.ID, now)
+				continue
+			}
+			out := &noc.Packet{
+				ID:       pe.env.NextPacketID(),
+				Kind:     noc.Data,
+				Src:      pe.ID,
+				Dst:      dst,
+				Task:     e.To,
+				Instance: p.Instance,
+				Branch:   p.Branch,
+				Origin:   p.Origin,
+				JoinDst:  dst,
+				Flits:    pe.par.PacketFlits,
+				Created:  now,
+			}
+			if pe.par.DeadlineTicks > 0 {
+				out.Deadline = now + pe.par.DeadlineTicks
+			}
+			pe.outbox = append(pe.outbox, out)
+		}
+	}
+	pe.drainOutbox(now)
+}
+
+// finishJoin records a processed branch at a sink task and reports instance
+// completion once all branches arrived.
+func (pe *PE) finishJoin(p *noc.Packet, now sim.Tick) {
+	width := pe.env.Graph().JoinWidth(pe.task)
+	if width <= 1 {
+		pe.Stats.Completions++
+		pe.env.InstanceCompleted(p.Instance, p.Origin, pe.ID, now)
+		return
+	}
+	js := pe.joins[p.Instance]
+	if js == nil {
+		js = &joinState{origin: p.Origin}
+		pe.joins[p.Instance] = js
+	}
+	js.seen++
+	js.lastTouch = now
+	if js.seen >= width {
+		delete(pe.joins, p.Instance)
+		pe.Stats.Completions++
+		pe.env.InstanceCompleted(p.Instance, p.Origin, pe.ID, now)
+	}
+}
+
+// retarget re-addresses a packet that arrived for a task this node no
+// longer runs, then re-injects it.
+func (pe *PE) retarget(p *noc.Packet, now sim.Tick) {
+	pe.Stats.Misrouted++
+	dir := pe.env.Directory()
+	anchor := pe.ID
+	if p.JoinDst != noc.Invalid && pe.env.Graph().IsSink(p.Task) {
+		anchor = p.JoinDst
+	}
+	dst, ok := dir.Nearest(p.Task, anchor)
+	if !ok || dst == pe.ID {
+		pe.Stats.Dropped++
+		pe.env.PacketDropped(p, pe.ID, now)
+		pe.env.InstanceLost(p.Instance, p.Origin, pe.ID, now)
+		return
+	}
+	p.Dst = dst
+	if pe.env.Graph().IsSink(p.Task) {
+		p.JoinDst = dst
+	}
+	p.Retargets++
+	pe.outbox = append(pe.outbox, p)
+	pe.drainOutbox(now)
+}
+
+// gcJoins abandons join instances that stopped receiving branches (lost to
+// drops, faults or task switches elsewhere).
+func (pe *PE) gcJoins(now sim.Tick) {
+	for inst, js := range pe.joins {
+		if now-js.lastTouch > pe.par.JoinTimeout {
+			delete(pe.joins, inst)
+			pe.env.InstanceLost(inst, js.origin, pe.ID, now)
+		}
+	}
+}
+
+// abandonJoins drops all in-flight joins (task switch, reset or failure).
+func (pe *PE) abandonJoins(now sim.Tick) {
+	for inst, js := range pe.joins {
+		pe.env.InstanceLost(inst, js.origin, pe.ID, now)
+		delete(pe.joins, inst)
+	}
+}

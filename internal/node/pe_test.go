@@ -1,0 +1,403 @@
+package node
+
+import (
+	"testing"
+
+	"centurion/internal/noc"
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+// fakeEnv is a self-contained Env for PE unit tests: injection goes to an
+// in-memory slice (optionally bounce-delivered to other PEs directly,
+// bypassing the NoC).
+type fakeEnv struct {
+	topo      noc.Topology
+	dir       *Directory
+	graph     *taskgraph.Graph
+	nextPkt   uint64
+	nextInst  uint64
+	injected  []*noc.Packet
+	injectOK  bool
+	completed []uint64
+	origins   []noc.NodeID
+	lost      []uint64
+	dropped   []*noc.Packet
+}
+
+func newFakeEnv(g *taskgraph.Graph, m taskgraph.Mapping, w, h int) *fakeEnv {
+	topo := noc.NewTopology(w, h)
+	return &fakeEnv{
+		topo:     topo,
+		dir:      NewDirectory(topo, m),
+		graph:    g,
+		injectOK: true,
+	}
+}
+
+func (e *fakeEnv) Inject(from noc.NodeID, p *noc.Packet, now sim.Tick) bool {
+	if !e.injectOK {
+		return false
+	}
+	e.injected = append(e.injected, p)
+	return true
+}
+func (e *fakeEnv) Directory() *Directory   { return e.dir }
+func (e *fakeEnv) Graph() *taskgraph.Graph { return e.graph }
+func (e *fakeEnv) NextPacketID() uint64    { e.nextPkt++; return e.nextPkt }
+func (e *fakeEnv) NextInstanceID() uint64  { e.nextInst++; return e.nextInst }
+func (e *fakeEnv) InstanceCompleted(inst uint64, origin, at noc.NodeID, now sim.Tick) {
+	e.completed = append(e.completed, inst)
+	e.origins = append(e.origins, origin)
+}
+func (e *fakeEnv) InstanceLost(inst uint64, origin, at noc.NodeID, now sim.Tick) {
+	e.lost = append(e.lost, inst)
+}
+func (e *fakeEnv) PacketDropped(p *noc.Packet, at noc.NodeID, now sim.Tick) {
+	e.dropped = append(e.dropped, p)
+}
+
+// forkJoinEnv: a 1x5 strip mapped [1 2 2 2 3].
+func forkJoinEnv() (*fakeEnv, taskgraph.Mapping) {
+	g := taskgraph.ForkJoin(taskgraph.ForkJoinParams{GenPeriod: 40, WorkerProc: 30, SinkProc: 10, Fanout: 3})
+	m := taskgraph.Mapping{1, 2, 2, 2, 3}
+	return newFakeEnv(g, m, 5, 1), m
+}
+
+func TestSourceGeneratesForkBranches(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(0, env, DefaultParams(), taskgraph.ForkSource, 0)
+	pe.Tick(0)
+	if len(env.injected) != 3 {
+		t.Fatalf("source emitted %d packets, want 3 branches", len(env.injected))
+	}
+	dsts := map[noc.NodeID]bool{}
+	for i, p := range env.injected {
+		if p.Task != taskgraph.ForkWorker {
+			t.Errorf("branch %d task = %d, want worker", i, p.Task)
+		}
+		if p.Instance != 1 {
+			t.Errorf("branch %d instance = %d, want 1", i, p.Instance)
+		}
+		if p.JoinDst != 4 {
+			t.Errorf("branch %d JoinDst = %d, want 4 (the only sink)", i, p.JoinDst)
+		}
+		if p.Deadline == 0 {
+			t.Errorf("branch %d missing deadline", i)
+		}
+		dsts[p.Dst] = true
+	}
+	if len(dsts) != 3 {
+		t.Errorf("branches spread over %d workers, want 3 distinct", len(dsts))
+	}
+	if pe.Stats.Generated != 1 {
+		t.Errorf("Generated = %d", pe.Stats.Generated)
+	}
+	// Period gating: no second emission before 40 ticks.
+	for now := sim.Tick(1); now < 40; now++ {
+		pe.Tick(now)
+	}
+	if len(env.injected) != 3 {
+		t.Fatalf("source emitted early: %d packets before period", len(env.injected))
+	}
+	pe.Tick(40)
+	if len(env.injected) != 6 {
+		t.Errorf("source did not emit at period: %d packets", len(env.injected))
+	}
+}
+
+func TestGenerationPhaseOffset(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(0, env, DefaultParams(), taskgraph.ForkSource, 7)
+	for now := sim.Tick(0); now < 7; now++ {
+		pe.Tick(now)
+	}
+	if len(env.injected) != 0 {
+		t.Fatal("generated before phase offset")
+	}
+	pe.Tick(7)
+	if len(env.injected) != 3 {
+		t.Fatal("did not generate at phase offset")
+	}
+}
+
+func TestGenerationStallsUnderBackpressure(t *testing.T) {
+	env, _ := forkJoinEnv()
+	env.injectOK = false
+	pe := NewPE(0, env, DefaultParams(), taskgraph.ForkSource, 0)
+	for now := sim.Tick(0); now < 100; now++ {
+		pe.Tick(now)
+	}
+	if pe.Stats.Generated != 1 {
+		t.Errorf("Generated = %d; back-pressure must stall further generation", pe.Stats.Generated)
+	}
+	if pe.Stats.StallTicks == 0 {
+		t.Error("no stall ticks recorded")
+	}
+	env.injectOK = true
+	pe.Tick(100)
+	if len(env.injected) == 0 {
+		t.Error("outbox not drained after back-pressure cleared")
+	}
+}
+
+func TestWorkerProcessingLatencyAndForward(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(1, env, DefaultParams(), taskgraph.ForkWorker, 0)
+	pkt := &noc.Packet{ID: 1, Kind: noc.Data, Task: taskgraph.ForkWorker, Dst: 1, Instance: 5, JoinDst: 4, Flits: 4}
+	if !pe.Accept(pkt, 0) {
+		t.Fatal("Accept failed")
+	}
+	pe.Tick(0) // start processing (30 ticks)
+	for now := sim.Tick(1); now < 30; now++ {
+		pe.Tick(now)
+		if len(env.injected) != 0 {
+			t.Fatalf("worker forwarded at tick %d, before its 30-tick latency", now)
+		}
+	}
+	pe.Tick(30)
+	if len(env.injected) != 1 {
+		t.Fatalf("worker forwarded %d packets, want 1", len(env.injected))
+	}
+	out := env.injected[0]
+	if out.Task != taskgraph.ForkSink || out.Dst != 4 || out.Instance != 5 {
+		t.Errorf("forwarded packet = %+v", out)
+	}
+	if pe.Stats.Processed != 1 {
+		t.Errorf("Processed = %d", pe.Stats.Processed)
+	}
+}
+
+func TestSinkJoinCompletesAfterAllBranches(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(4, env, DefaultParams(), taskgraph.ForkSink, 0)
+	now := sim.Tick(0)
+	for b := 0; b < 3; b++ {
+		pe.Accept(&noc.Packet{ID: uint64(b), Kind: noc.Data, Task: taskgraph.ForkSink, Dst: 4, Instance: 9, Branch: b, Flits: 4}, now)
+	}
+	for ; now < 200 && len(env.completed) == 0; now++ {
+		pe.Tick(now)
+	}
+	if len(env.completed) != 1 || env.completed[0] != 9 {
+		t.Fatalf("completed = %v, want [9]", env.completed)
+	}
+	if pe.Stats.Completions != 1 {
+		t.Errorf("Completions = %d", pe.Stats.Completions)
+	}
+	// Three branches at 10 ticks each: completion must be at/after 30 ticks.
+	if now < 30 {
+		t.Errorf("join completed at %d ticks, faster than 3x10 processing", now)
+	}
+}
+
+func TestSinkJoinIncompleteNeverCompletes(t *testing.T) {
+	env, _ := forkJoinEnv()
+	par := DefaultParams()
+	par.JoinTimeout = 50
+	pe := NewPE(4, env, par, taskgraph.ForkSink, 0)
+	pe.Accept(&noc.Packet{ID: 1, Kind: noc.Data, Task: taskgraph.ForkSink, Dst: 4, Instance: 9, Flits: 4}, 0)
+	pe.Accept(&noc.Packet{ID: 2, Kind: noc.Data, Task: taskgraph.ForkSink, Dst: 4, Instance: 9, Flits: 4}, 0)
+	for now := sim.Tick(0); now < 300; now++ {
+		pe.Tick(now)
+	}
+	if len(env.completed) != 0 {
+		t.Fatalf("incomplete join completed: %v", env.completed)
+	}
+	if len(env.lost) != 1 || env.lost[0] != 9 {
+		t.Fatalf("join not GC'd: lost=%v", env.lost)
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	env, _ := forkJoinEnv()
+	par := DefaultParams()
+	par.QueueCap = 2
+	pe := NewPE(1, env, par, taskgraph.ForkWorker, 0)
+	ok1 := pe.Accept(&noc.Packet{ID: 1, Kind: noc.Data, Task: 2, Flits: 4}, 0)
+	ok2 := pe.Accept(&noc.Packet{ID: 2, Kind: noc.Data, Task: 2, Flits: 4}, 0)
+	ok3 := pe.Accept(&noc.Packet{ID: 3, Kind: noc.Data, Task: 2, Flits: 4}, 0)
+	if !ok1 || !ok2 || ok3 {
+		t.Errorf("Accept = %v,%v,%v, want true,true,false", ok1, ok2, ok3)
+	}
+}
+
+func TestMisdeliveredPacketRetargets(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(1, env, DefaultParams(), taskgraph.ForkWorker, 0)
+	// A packet for task 3 lands on a worker (stale address after a switch).
+	pkt := &noc.Packet{ID: 1, Kind: noc.Data, Task: taskgraph.ForkSink, Dst: 1, Instance: 2, JoinDst: 4, Flits: 4}
+	pe.Accept(pkt, 0)
+	pe.Tick(0)
+	if pe.Stats.Misrouted != 1 {
+		t.Fatalf("Misrouted = %d", pe.Stats.Misrouted)
+	}
+	if len(env.injected) != 1 {
+		t.Fatalf("retargeted packet not re-injected")
+	}
+	if got := env.injected[0].Dst; got != 4 {
+		t.Errorf("retarget Dst = %d, want 4", got)
+	}
+	if env.injected[0].Retargets != 1 {
+		t.Errorf("Retargets = %d", env.injected[0].Retargets)
+	}
+}
+
+func TestMisdeliveredWithNoOwnerDropped(t *testing.T) {
+	g := taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams())
+	m := taskgraph.Mapping{1, 2, 2, 2, 2} // no task-3 owner
+	env := newFakeEnv(g, m, 5, 1)
+	pe := NewPE(1, env, DefaultParams(), taskgraph.ForkWorker, 0)
+	pkt := &noc.Packet{ID: 1, Kind: noc.Data, Task: taskgraph.ForkSink, Dst: 1, Instance: 2, JoinDst: 4, Flits: 4}
+	pe.Accept(pkt, 0)
+	pe.Tick(0)
+	if len(env.dropped) != 1 || len(env.lost) != 1 {
+		t.Errorf("dropped=%d lost=%d, want 1,1", len(env.dropped), len(env.lost))
+	}
+}
+
+func TestSwitchTask(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(1, env, DefaultParams(), taskgraph.ForkWorker, 0)
+	var switched [][2]taskgraph.TaskID
+	pe.OnSwitch = func(from, to taskgraph.TaskID, now sim.Tick) {
+		switched = append(switched, [2]taskgraph.TaskID{from, to})
+	}
+	pe.SwitchTask(taskgraph.ForkSink, 10)
+	if pe.Task() != taskgraph.ForkSink {
+		t.Fatal("task not switched")
+	}
+	if env.dir.TaskOf(1) != taskgraph.ForkSink {
+		t.Error("directory not updated on switch")
+	}
+	if len(switched) != 1 || switched[0] != [2]taskgraph.TaskID{2, 3} {
+		t.Errorf("OnSwitch = %v", switched)
+	}
+	if pe.Stats.Switches != 1 {
+		t.Errorf("Switches = %d", pe.Stats.Switches)
+	}
+	// Switching to the same task or None is a no-op.
+	pe.SwitchTask(taskgraph.ForkSink, 11)
+	pe.SwitchTask(taskgraph.None, 12)
+	if pe.Stats.Switches != 1 {
+		t.Errorf("no-op switches counted: %d", pe.Stats.Switches)
+	}
+}
+
+func TestSwitchToSourceDelaysGeneration(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(1, env, DefaultParams(), taskgraph.ForkWorker, 0)
+	pe.SwitchTask(taskgraph.ForkSource, 100)
+	pe.Tick(100)
+	if len(env.injected) != 0 {
+		t.Fatal("fresh source generated immediately; must wait one period")
+	}
+	for now := sim.Tick(101); now <= 140; now++ {
+		pe.Tick(now)
+	}
+	if len(env.injected) != 3 {
+		t.Errorf("fresh source emitted %d packets by t=140, want 3", len(env.injected))
+	}
+}
+
+func TestFailDropsStateAndDirectory(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(1, env, DefaultParams(), taskgraph.ForkWorker, 0)
+	pe.Accept(&noc.Packet{ID: 1, Kind: noc.Data, Task: 2, Flits: 4}, 0)
+	pe.Fail(5)
+	if pe.Alive() {
+		t.Fatal("PE alive after Fail")
+	}
+	if len(env.dropped) != 1 {
+		t.Errorf("queued packet not drop-accounted: %d", len(env.dropped))
+	}
+	if env.dir.Alive(1) {
+		t.Error("directory still lists failed node as alive")
+	}
+	if pe.Accept(&noc.Packet{ID: 2, Kind: noc.Data, Task: 2, Flits: 4}, 6) {
+		t.Error("failed PE accepted a packet")
+	}
+	pe.Tick(7) // must be a no-op, not a panic
+}
+
+func TestClockGating(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(0, env, DefaultParams(), taskgraph.ForkSource, 0)
+	pe.SetClockEnable(false)
+	for now := sim.Tick(0); now < 100; now++ {
+		pe.Tick(now)
+	}
+	if len(env.injected) != 0 {
+		t.Fatal("clock-gated PE generated packets")
+	}
+	pe.SetClockEnable(true)
+	pe.Tick(100)
+	if len(env.injected) != 3 {
+		t.Error("re-enabled PE did not resume")
+	}
+}
+
+func TestFrequencyDividerSlowsProcessing(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(1, env, DefaultParams(), taskgraph.ForkWorker, 0)
+	pe.SetFrequencyDivider(2) // 30 -> 60 ticks
+	pe.Accept(&noc.Packet{ID: 1, Kind: noc.Data, Task: 2, Instance: 1, JoinDst: 4, Flits: 4}, 0)
+	for now := sim.Tick(0); now <= 59; now++ {
+		pe.Tick(now)
+	}
+	if len(env.injected) != 0 {
+		t.Fatal("half-speed worker finished early")
+	}
+	pe.Tick(60)
+	if len(env.injected) != 1 {
+		t.Error("half-speed worker did not finish at 2x latency")
+	}
+	pe.SetFrequencyDivider(0) // clamps to 1
+}
+
+func TestDebugPacketsConsumed(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(1, env, DefaultParams(), taskgraph.ForkWorker, 0)
+	if !pe.Accept(&noc.Packet{ID: 1, Kind: noc.Debug, Flits: 1}, 0) {
+		t.Fatal("debug packet rejected")
+	}
+	if pe.Stats.DebugSeen != 1 || pe.QueueLen() != 0 {
+		t.Errorf("DebugSeen=%d QueueLen=%d", pe.Stats.DebugSeen, pe.QueueLen())
+	}
+}
+
+func TestResetClearsWork(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(1, env, DefaultParams(), taskgraph.ForkWorker, 0)
+	pe.Accept(&noc.Packet{ID: 1, Kind: noc.Data, Task: 2, Flits: 4}, 0)
+	pe.Reset(1)
+	if pe.QueueLen() != 0 {
+		t.Error("Reset left queued packets")
+	}
+	if !pe.Alive() {
+		t.Error("Reset killed the PE")
+	}
+}
+
+func TestGenerateWithoutSinkOwnersLosesInstance(t *testing.T) {
+	g := taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams())
+	m := taskgraph.Mapping{1, 2, 2, 2, 2} // no sink owner anywhere
+	env := newFakeEnv(g, m, 5, 1)
+	pe := NewPE(0, env, DefaultParams(), taskgraph.ForkSource, 0)
+	pe.Tick(0)
+	if len(env.injected) != 0 {
+		t.Error("generated branches with no join destination")
+	}
+	if len(env.lost) != 1 {
+		t.Errorf("lost = %v, want one lost instance", env.lost)
+	}
+}
+
+func TestWorkCountAdvances(t *testing.T) {
+	env, _ := forkJoinEnv()
+	pe := NewPE(0, env, DefaultParams(), taskgraph.ForkSource, 0)
+	before := pe.WorkCount()
+	pe.Tick(0)
+	if pe.WorkCount() != before+1 {
+		t.Errorf("WorkCount after generation = %d, want %d", pe.WorkCount(), before+1)
+	}
+}

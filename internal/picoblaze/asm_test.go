@@ -1,0 +1,171 @@
+package picoblaze
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleLabelsAndConstants(t *testing.T) {
+	prog, err := Assemble(`
+		CONSTANT LIMIT, 0A
+		LOAD s0, LIMIT
+	top:
+		SUB s0, 01
+		JUMP NZ, top
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 3 {
+		t.Fatalf("program length %d, want 3", len(prog))
+	}
+	if prog[0].K != 0x0A || !prog[0].Imm {
+		t.Errorf("constant not resolved: %+v", prog[0])
+	}
+	if prog[2].Addr != 1 || prog[2].Cond != IfNZ {
+		t.Errorf("jump not resolved: %+v", prog[2])
+	}
+}
+
+func TestAssembleNumberBases(t *testing.T) {
+	prog, err := Assemble(`
+		LOAD s0, 1F
+		LOAD s1, 0x2a
+		LOAD s2, #10
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].K != 0x1F || prog[1].K != 0x2A || prog[2].K != 10 {
+		t.Errorf("constants = %02X %02X %02X", prog[0].K, prog[1].K, prog[2].K)
+	}
+}
+
+func TestAssembleIndirectIO(t *testing.T) {
+	prog, err := Assemble(`
+		INPUT s0, (s1)
+		OUTPUT s2, 20
+		STORE s3, (s4)
+		FETCH s5, 3F
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Imm || prog[0].Y != 1 {
+		t.Errorf("indirect INPUT = %+v", prog[0])
+	}
+	if !prog[1].Imm || prog[1].K != 0x20 {
+		t.Errorf("direct OUTPUT = %+v", prog[1])
+	}
+}
+
+func TestAssembleTwoWordMnemonics(t *testing.T) {
+	prog, err := Assemble(`
+		ENABLE INTERRUPT
+		DISABLE INTERRUPT
+		RETURNI ENABLE
+		RETURNI DISABLE
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []Op{OpEnableInt, OpDisableInt, OpReturnI, OpReturnI}
+	for i, w := range wants {
+		if prog[i].Op != w {
+			t.Errorf("instr %d = %v, want %v", i, prog[i].Op, w)
+		}
+	}
+	if !prog[2].Enable || prog[3].Enable {
+		t.Error("RETURNI enable flags wrong")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src, wantErr string }{
+		{"unknown op", "FROB s0, 01", "unknown mnemonic"},
+		{"bad register", "LOAD sZ, 01", "not a register"},
+		{"bad constant", "LOAD s0, XYZ", "bad constant"},
+		{"unknown label", "JUMP nowhere", "unknown label"},
+		{"dup label", "a:\nLOAD s0, 01\na:\nLOAD s0, 02", "duplicate label"},
+		{"empty", "; nothing here", "no instructions"},
+		{"bad cond", "JUMP Q, 000", "bad condition"},
+		{"missing operand", "ADD s0", "two operands"},
+		{"returni arg", "RETURNI MAYBE", "ENABLE or DISABLE"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestAssembleCaseInsensitive(t *testing.T) {
+	prog, err := Assemble(`
+	Start:
+		load S0, ff
+		jump start
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].K != 0xFF || prog[1].Addr != 0 {
+		t.Errorf("case-insensitive parse failed: %+v", prog)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		CONSTANT TH, 30
+	start:
+		INPUT s1, 01
+		FETCH s2, (s1)
+		ADD s2, s1
+		COMPARE s2, TH
+		JUMP C, start
+		CALL fire
+		RETURN
+	fire:
+		OUTPUT s2, 20
+		SR0 s2
+		RETURNI ENABLE
+	`
+	prog := MustAssemble(src)
+	text := Disassemble(prog)
+	// Re-assembling the disassembly (stripping addresses) must yield the
+	// same instruction stream.
+	var lines []string
+	for _, l := range strings.Split(text, "\n") {
+		if i := strings.Index(l, ": "); i >= 0 {
+			lines = append(lines, l[i+2:])
+		}
+	}
+	prog2, err := Assemble(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if len(prog2) != len(prog) {
+		t.Fatalf("round trip length %d vs %d", len(prog2), len(prog))
+	}
+	for i := range prog {
+		if prog[i] != prog2[i] {
+			t.Errorf("instr %d: %+v vs %+v", i, prog[i], prog2[i])
+		}
+	}
+}
+
+func TestNIProgramAssembles(t *testing.T) {
+	prog := MustAssemble(NIProgram)
+	if len(prog) == 0 || len(prog) > 64 {
+		t.Errorf("NI program has %d words; expected a small pathway", len(prog))
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustAssemble("BOGUS")
+}

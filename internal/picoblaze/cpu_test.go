@@ -1,0 +1,336 @@
+package picoblaze
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// runProg assembles and runs src for up to n steps against bus.
+func runProg(t *testing.T, src string, n int, bus Bus) *CPU {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	cpu, err := New(prog, bus)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cpu.Run(n)
+	return cpu
+}
+
+func TestLoadAndArithmetic(t *testing.T) {
+	cpu := runProg(t, `
+		LOAD s0, 10
+		LOAD s1, s0
+		ADD  s1, 05
+		SUB  s0, 01
+	`, 4, nil)
+	if cpu.Regs[0] != 0x0F {
+		t.Errorf("s0 = %02X, want 0F", cpu.Regs[0])
+	}
+	if cpu.Regs[1] != 0x15 {
+		t.Errorf("s1 = %02X, want 15", cpu.Regs[1])
+	}
+}
+
+func TestAddCarryChain(t *testing.T) {
+	// 16-bit add: (s1:s0) = 0x01FF + 0x0001 = 0x0200.
+	cpu := runProg(t, `
+		LOAD s0, FF
+		LOAD s1, 01
+		ADD  s0, 01
+		ADDCY s1, 00
+	`, 4, nil)
+	if cpu.Regs[0] != 0x00 || cpu.Regs[1] != 0x02 {
+		t.Errorf("result = %02X%02X, want 0200", cpu.Regs[1], cpu.Regs[0])
+	}
+}
+
+func TestSubBorrowChain(t *testing.T) {
+	// 16-bit sub: 0x0200 - 0x0001 = 0x01FF.
+	cpu := runProg(t, `
+		LOAD s0, 00
+		LOAD s1, 02
+		SUB  s0, 01
+		SUBCY s1, 00
+	`, 4, nil)
+	if cpu.Regs[0] != 0xFF || cpu.Regs[1] != 0x01 {
+		t.Errorf("result = %02X%02X, want 01FF", cpu.Regs[1], cpu.Regs[0])
+	}
+}
+
+// Property: ADD/ADDCY model 8-bit addition with carry exactly.
+func TestAddProperty(t *testing.T) {
+	f := func(a, b uint8, carryIn bool) bool {
+		cpu, _ := New([]Instr{{Op: OpAddCy, X: 0, K: b, Imm: true}}, nil)
+		cpu.Regs[0] = a
+		cpu.Carry = carryIn
+		cpu.Step()
+		want := uint16(a) + uint16(b)
+		if carryIn {
+			want++
+		}
+		return cpu.Regs[0] == uint8(want) &&
+			cpu.Carry == (want > 0xFF) &&
+			cpu.Zero == (uint8(want) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SUB borrow semantics match unsigned comparison.
+func TestSubProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		cpu, _ := New([]Instr{{Op: OpSub, X: 0, K: b, Imm: true}}, nil)
+		cpu.Regs[0] = a
+		cpu.Step()
+		return cpu.Regs[0] == a-b && cpu.Carry == (b > a) && cpu.Zero == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogicOpsAndFlags(t *testing.T) {
+	cpu := runProg(t, `
+		LOAD s0, F0
+		AND  s0, 0F
+	`, 2, nil)
+	if cpu.Regs[0] != 0 || !cpu.Zero || cpu.Carry {
+		t.Errorf("AND result s0=%02X Z=%v C=%v", cpu.Regs[0], cpu.Zero, cpu.Carry)
+	}
+	cpu = runProg(t, `
+		LOAD s0, F0
+		OR   s0, 0F
+		XOR  s0, FF
+	`, 3, nil)
+	if cpu.Regs[0] != 0 || !cpu.Zero {
+		t.Errorf("OR/XOR chain s0=%02X Z=%v", cpu.Regs[0], cpu.Zero)
+	}
+}
+
+func TestCompareSetsFlagsWithoutWriting(t *testing.T) {
+	cpu := runProg(t, `
+		LOAD s0, 10
+		COMPARE s0, 20
+	`, 2, nil)
+	if cpu.Regs[0] != 0x10 {
+		t.Error("COMPARE modified the register")
+	}
+	if !cpu.Carry || cpu.Zero {
+		t.Errorf("COMPARE 10 vs 20: C=%v Z=%v, want C=true Z=false", cpu.Carry, cpu.Zero)
+	}
+}
+
+func TestTestParity(t *testing.T) {
+	cpu := runProg(t, `
+		LOAD s0, 07
+		TEST s0, FF
+	`, 2, nil)
+	// 0x07 has odd parity (3 bits).
+	if !cpu.Carry || cpu.Zero {
+		t.Errorf("TEST 07: C=%v Z=%v, want C=true (odd parity)", cpu.Carry, cpu.Zero)
+	}
+}
+
+func TestShiftsAndRotates(t *testing.T) {
+	cases := []struct {
+		src   string
+		want  uint8
+		carry bool
+	}{
+		{"LOAD s0, 81\nSL0 s0", 0x02, true},
+		{"LOAD s0, 81\nSL1 s0", 0x03, true},
+		{"LOAD s0, 81\nRL s0", 0x03, true},
+		{"LOAD s0, 81\nSR0 s0", 0x40, true},
+		{"LOAD s0, 81\nSR1 s0", 0xC0, true},
+		{"LOAD s0, 81\nSRX s0", 0xC0, true},
+		{"LOAD s0, 81\nRR s0", 0xC0, true},
+	}
+	for _, c := range cases {
+		cpu := runProg(t, c.src, 2, nil)
+		if cpu.Regs[0] != c.want || cpu.Carry != c.carry {
+			t.Errorf("%q -> s0=%02X C=%v, want %02X C=%v", c.src, cpu.Regs[0], cpu.Carry, c.want, c.carry)
+		}
+	}
+}
+
+// Property: RL then RR restores the register.
+func TestRotateRoundTripProperty(t *testing.T) {
+	f := func(v uint8) bool {
+		cpu, _ := New([]Instr{{Op: OpRL, X: 0}, {Op: OpRR, X: 0}}, nil)
+		cpu.Regs[0] = v
+		cpu.Step()
+		cpu.Step()
+		return cpu.Regs[0] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScratchpadStoreFetch(t *testing.T) {
+	cpu := runProg(t, `
+		LOAD s0, AB
+		STORE s0, 3F
+		LOAD s1, 3F
+		FETCH s2, (s1)
+	`, 4, nil)
+	if cpu.Regs[2] != 0xAB {
+		t.Errorf("indirect FETCH = %02X, want AB", cpu.Regs[2])
+	}
+	if cpu.Scratch[0x3F] != 0xAB {
+		t.Errorf("scratch[3F] = %02X", cpu.Scratch[0x3F])
+	}
+}
+
+func TestJumpLoopAndConditions(t *testing.T) {
+	// Count down from 5 to 0.
+	cpu := runProg(t, `
+		LOAD s0, 05
+	loop:
+		SUB s0, 01
+		JUMP NZ, loop
+		LOAD s1, AA
+	`, 100, nil)
+	if cpu.Regs[0] != 0 || cpu.Regs[1] != 0xAA {
+		t.Errorf("loop ended with s0=%02X s1=%02X", cpu.Regs[0], cpu.Regs[1])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	cpu := runProg(t, `
+		CALL sub
+		LOAD s1, 22
+		JUMP end
+	sub:
+		LOAD s0, 11
+		RETURN
+	end:
+		LOAD s2, 33
+	`, 10, nil)
+	if cpu.Regs[0] != 0x11 || cpu.Regs[1] != 0x22 || cpu.Regs[2] != 0x33 {
+		t.Errorf("regs = %02X %02X %02X", cpu.Regs[0], cpu.Regs[1], cpu.Regs[2])
+	}
+}
+
+func TestReturnWithoutCallHalts(t *testing.T) {
+	cpu := runProg(t, `RETURN`, 5, nil)
+	if !cpu.Halted() {
+		t.Error("stack underflow did not halt")
+	}
+}
+
+func TestCallOverflowHalts(t *testing.T) {
+	cpu := runProg(t, `
+	rec:
+		CALL rec
+	`, 1000, nil)
+	if !cpu.Halted() {
+		t.Error("stack overflow did not halt")
+	}
+}
+
+func TestRunOffEndHalts(t *testing.T) {
+	cpu := runProg(t, `LOAD s0, 01`, 10, nil)
+	if !cpu.Halted() {
+		t.Error("running off the program end did not halt")
+	}
+	if cpu.Step() {
+		t.Error("halted CPU stepped")
+	}
+}
+
+// recordBus captures I/O traffic.
+type recordBus struct {
+	inputs  map[uint8]uint8
+	outputs []struct{ Port, Val uint8 }
+}
+
+func (b *recordBus) In(p uint8) uint8 { return b.inputs[p] }
+func (b *recordBus) Out(p, v uint8) {
+	b.outputs = append(b.outputs, struct{ Port, Val uint8 }{p, v})
+}
+
+func TestInputOutputPorts(t *testing.T) {
+	bus := &recordBus{inputs: map[uint8]uint8{0x05: 0x42}}
+	cpu := runProg(t, `
+		INPUT s0, 05
+		ADD   s0, 01
+		OUTPUT s0, 09
+		LOAD  s1, 09
+		OUTPUT s0, (s1)
+	`, 5, bus)
+	if cpu.Regs[0] != 0x43 {
+		t.Errorf("s0 = %02X", cpu.Regs[0])
+	}
+	if len(bus.outputs) != 2 || bus.outputs[0].Port != 9 || bus.outputs[0].Val != 0x43 {
+		t.Errorf("outputs = %+v", bus.outputs)
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	prog := MustAssemble(`
+	main:
+		ENABLE INTERRUPT
+	spin:
+		JUMP spin
+		LOAD s0, 99   ; unreachable
+	isr:
+		LOAD s7, 55
+		RETURNI ENABLE
+	`)
+	// The interrupt vector is the last program address; our isr label is not
+	// there, so build the canonical layout by hand: vector jumps to isr.
+	progWithVector := append(prog, Instr{Op: OpJump, Addr: 3}) // isr at addr 3
+	cpu, err := New(progWithVector, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.Run(3)
+	if !cpu.Interrupt() {
+		t.Fatal("interrupt not taken while enabled")
+	}
+	cpu.Run(3)
+	if cpu.Regs[7] != 0x55 {
+		t.Errorf("ISR did not run: s7=%02X", cpu.Regs[7])
+	}
+	// After RETURNI ENABLE the CPU is back in the spin loop, interruptible.
+	if !cpu.Interrupt() {
+		t.Error("interrupt disabled after RETURNI ENABLE")
+	}
+	cpu2, _ := New(MustAssemble("spin: JUMP spin"), nil)
+	cpu2.Run(2)
+	if cpu2.Interrupt() {
+		t.Error("interrupt taken while disabled")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	cpu := runProg(t, `
+		LOAD s0, 42
+		STORE s0, 01
+	loop:
+		JUMP loop
+	`, 10, nil)
+	cpu.Reset()
+	if cpu.Regs[0] != 0 || cpu.Scratch[1] != 0 || cpu.PC != 0 || cpu.Steps != 0 {
+		t.Error("Reset left state behind")
+	}
+	if !cpu.Step() {
+		t.Error("reset CPU cannot step")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty program accepted")
+	}
+	big := make([]Instr, ProgramSize+1)
+	if _, err := New(big, nil); err == nil {
+		t.Error("oversized program accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+// Event is a scheduled callback in an EventQueue. Events with smaller ticks
+// fire first; events scheduled for the same tick fire in insertion order,
+// which keeps the simulator deterministic.
+type Event struct {
+	At  Tick
+	Fn  func(Tick)
+	seq uint64
+}
+
+// EventQueue is a binary-heap priority queue of events ordered by (At, seq).
+//
+// The zero value is an empty queue ready to use. It is the timing substrate
+// for processing-element timers (generation periods, join timeouts) and the
+// experiment controller's scheduled actions (fault injection at 500 ms).
+type EventQueue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.heap) }
+
+// Schedule enqueues fn to run at tick at and returns the event handle.
+func (q *EventQueue) Schedule(at Tick, fn func(Tick)) *Event {
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	q.seq++
+	q.heap = append(q.heap, e)
+	q.up(len(q.heap) - 1)
+	return e
+}
+
+// PeekTick returns the tick of the earliest pending event.
+// The second result is false when the queue is empty.
+func (q *EventQueue) PeekTick() (Tick, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].At, true
+}
+
+// RunDue pops and runs every event scheduled at or before now, in order.
+// It returns the number of events that fired.
+func (q *EventQueue) RunDue(now Tick) int {
+	n := 0
+	for len(q.heap) > 0 && q.heap[0].At <= now {
+		e := q.pop()
+		e.Fn(e.At)
+		n++
+	}
+	return n
+}
+
+// Clear drops all pending events.
+func (q *EventQueue) Clear() { q.heap = q.heap[:0] }
+
+func (q *EventQueue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}
+
+func (q *EventQueue) pop() *Event {
+	e := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return e
+}

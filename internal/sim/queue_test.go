@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	var fired []Tick
+	for _, at := range []Tick{30, 10, 20, 10, 5} {
+		at := at
+		q.Schedule(at, func(now Tick) { fired = append(fired, now) })
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	n := q.RunDue(100)
+	if n != 5 {
+		t.Fatalf("RunDue fired %d, want 5", n)
+	}
+	want := []Tick{5, 10, 10, 20, 30}
+	for i, at := range want {
+		if fired[i] != at {
+			t.Errorf("fired[%d] = %d, want %d (order %v)", i, fired[i], at, fired)
+		}
+	}
+}
+
+func TestEventQueueFIFOWithinTick(t *testing.T) {
+	var q EventQueue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(7, func(Tick) { order = append(order, i) })
+	}
+	q.RunDue(7)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestEventQueueRunDueStopsAtNow(t *testing.T) {
+	var q EventQueue
+	fired := 0
+	q.Schedule(5, func(Tick) { fired++ })
+	q.Schedule(6, func(Tick) { fired++ })
+	q.Schedule(7, func(Tick) { fired++ })
+	if n := q.RunDue(6); n != 2 {
+		t.Fatalf("RunDue(6) fired %d, want 2", n)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if at, ok := q.PeekTick(); !ok || at != 7 {
+		t.Fatalf("PeekTick = %d,%v, want 7,true", at, ok)
+	}
+}
+
+func TestEventQueuePeekEmpty(t *testing.T) {
+	var q EventQueue
+	if _, ok := q.PeekTick(); ok {
+		t.Fatal("PeekTick on empty queue reported an event")
+	}
+}
+
+func TestEventQueueClear(t *testing.T) {
+	var q EventQueue
+	q.Schedule(1, func(Tick) {})
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", q.Len())
+	}
+	if n := q.RunDue(10); n != 0 {
+		t.Fatalf("RunDue after Clear fired %d", n)
+	}
+}
+
+func TestEventQueueScheduleDuringRun(t *testing.T) {
+	var q EventQueue
+	var fired []Tick
+	q.Schedule(1, func(now Tick) {
+		fired = append(fired, now)
+		q.Schedule(2, func(now Tick) { fired = append(fired, now) })
+	})
+	q.RunDue(5)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("nested scheduling produced %v, want [1 2]", fired)
+	}
+}
+
+// Property: events always fire in non-decreasing tick order, matching a sort
+// of the scheduled ticks that are due.
+func TestEventQueueOrderProperty(t *testing.T) {
+	f := func(ticks []uint16) bool {
+		var q EventQueue
+		var fired []Tick
+		for _, raw := range ticks {
+			at := Tick(raw % 1000)
+			q.Schedule(at, func(now Tick) { fired = append(fired, now) })
+		}
+		q.RunDue(1000)
+		if len(fired) != len(ticks) {
+			return false
+		}
+		want := make([]Tick, 0, len(ticks))
+		for _, raw := range ticks {
+			want = append(want, Tick(raw%1000))
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverge at %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical outputs from different seeds", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	counts := make([]int, 5)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Roughly uniform: each bucket should hold ~2000 of 10000.
+	for i, c := range counts {
+		if c < 1500 || c > 2500 {
+			t.Errorf("bucket %d has %d hits, expected ~2000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	for n := 0; n < 20; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// Property: Perm always yields a permutation regardless of seed and size.
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		p := NewRNG(seed).Perm(size)
+		seen := make(map[int]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intn stays within bounds for arbitrary seeds and sizes.
+func TestIntnProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		size := int(n%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(size)
+			if v < 0 || v >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPickEmpty(t *testing.T) {
+	if got := NewRNG(1).Pick(0); got != -1 {
+		t.Errorf("Pick(0) = %d, want -1", got)
+	}
+	if got := NewRNG(1).Pick(1); got != 0 {
+		t.Errorf("Pick(1) = %d, want 0", got)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(99)
+	child := parent.Fork()
+	// The child must not replay the parent's continuing stream.
+	p := make([]uint64, 32)
+	c := make([]uint64, 32)
+	for i := range p {
+		p[i] = parent.Uint64()
+		c[i] = child.Uint64()
+	}
+	same := 0
+	for i := range p {
+		if p[i] == c[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("fork correlates with parent in %d/32 draws", same)
+	}
+}

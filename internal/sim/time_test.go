@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMsRoundTrip(t *testing.T) {
+	cases := []struct {
+		ms   float64
+		want Tick
+	}{
+		{0, 0},
+		{1, 10},
+		{4, 40},
+		{20, 200},
+		{500, 5000},
+		{1000, 10000},
+		{0.05, 1}, // rounds to nearest tick
+		{0.04, 0},
+	}
+	for _, c := range cases {
+		if got := Ms(c.ms); got != c.want {
+			t.Errorf("Ms(%v) = %d, want %d", c.ms, got, c.want)
+		}
+	}
+}
+
+func TestMsNegative(t *testing.T) {
+	if got := Ms(-1); got != -10 {
+		t.Errorf("Ms(-1) = %d, want -10", got)
+	}
+}
+
+func TestTickMilliseconds(t *testing.T) {
+	if got := Tick(25).Milliseconds(); got != 2.5 {
+		t.Errorf("Tick(25).Milliseconds() = %v, want 2.5", got)
+	}
+}
+
+func TestTickString(t *testing.T) {
+	s := Tick(15).String()
+	if !strings.Contains(s, "15") || !strings.Contains(s, "1.5ms") {
+		t.Errorf("Tick(15).String() = %q, want ticks and ms", s)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %d, want 0", c.Now())
+	}
+	if got := c.Advance(5); got != 5 {
+		t.Errorf("Advance(5) = %d, want 5", got)
+	}
+	if got := c.Step(); got != 6 {
+		t.Errorf("Step() = %d, want 6", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("after Reset clock at %d, want 0", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}

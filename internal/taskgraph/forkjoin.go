@@ -1,0 +1,99 @@
+package taskgraph
+
+// Well-known task IDs of the paper's fork–join graph (Figure 3).
+const (
+	ForkSource TaskID = 1 // task 1: the generator that anchors the topology
+	ForkWorker TaskID = 2 // task 2: the three parallel workers
+	ForkSink   TaskID = 3 // task 3: the join whose completions are throughput
+)
+
+// ForkJoinParams are the tunable latencies of the fork–join workload. All
+// values are in ticks (see sim.TicksPerMs).
+type ForkJoinParams struct {
+	// GenPeriod is the interval between work items emitted by each task-1
+	// node. The paper uses 4 ms.
+	GenPeriod int
+	// WorkerProc is the task-2 processing latency per packet.
+	WorkerProc int
+	// SinkProc is the task-3 processing latency per branch packet.
+	SinkProc int
+	// Fanout is the number of parallel task-2 branches per work item (3 in
+	// the paper's 1:3:1 graph).
+	Fanout int
+}
+
+// DefaultForkJoinParams mirror the paper's experiment configuration at the
+// default time resolution (10 ticks/ms): 4 ms generation, and processing
+// latencies chosen so the 1:3:1 heuristic ratio is near — but not at — the
+// throughput optimum (see DESIGN.md §6).
+func DefaultForkJoinParams() ForkJoinParams {
+	return ForkJoinParams{
+		// One fork–join instance (3 branch packets) every 12 ms means each
+		// source emits 1 packet every 4 ms on average — the paper's load.
+		GenPeriod:  120,
+		WorkerProc: 48, // the mildly binding resource (DESIGN.md §6)
+		SinkProc:   6,
+		Fanout:     3,
+	}
+}
+
+// ForkJoin builds the paper's Figure 3 graph: task 1 → 3× task 2 → task 3,
+// with heuristic node ratio 1:3:1. The returned graph is already validated.
+func ForkJoin(p ForkJoinParams) *Graph {
+	if p.Fanout <= 0 {
+		p.Fanout = 3
+	}
+	g := New("fork-join").
+		AddTask(Task{ID: ForkSource, Name: "task1/source", Ratio: 1, GenPeriod: p.GenPeriod}).
+		AddTask(Task{ID: ForkWorker, Name: "task2/worker", Ratio: p.Fanout, ProcTicks: p.WorkerProc}).
+		AddTask(Task{ID: ForkSink, Name: "task3/sink", Ratio: 1, ProcTicks: p.SinkProc}).
+		AddEdge(ForkSource, ForkWorker, p.Fanout).
+		AddEdge(ForkWorker, ForkSink, 1)
+	if err := g.Validate(); err != nil {
+		panic("taskgraph: fork-join graph invalid: " + err.Error())
+	}
+	return g
+}
+
+// Pipeline builds a linear K-stage pipeline graph (used by the examples and
+// the generalisation tests): stage 1 generates, each stage forwards one
+// packet to the next, the last stage sinks.
+func Pipeline(stages int, genPeriod, procTicks int) *Graph {
+	if stages < 2 {
+		panic("taskgraph: pipeline needs at least 2 stages")
+	}
+	g := New("pipeline")
+	for i := 1; i <= stages; i++ {
+		t := Task{ID: TaskID(i), Name: "stage", Ratio: 1, ProcTicks: procTicks}
+		if i == 1 {
+			t.GenPeriod = genPeriod
+			t.ProcTicks = 0
+		}
+		g.AddTask(t)
+	}
+	for i := 1; i < stages; i++ {
+		g.AddEdge(TaskID(i), TaskID(i+1), 1)
+	}
+	if err := g.Validate(); err != nil {
+		panic("taskgraph: pipeline graph invalid: " + err.Error())
+	}
+	return g
+}
+
+// Diamond builds a two-path diamond graph: source → {left, right} → sink,
+// exercised by the examples as a second realistic workload shape.
+func Diamond(genPeriod, procTicks int) *Graph {
+	g := New("diamond").
+		AddTask(Task{ID: 1, Name: "source", Ratio: 1, GenPeriod: genPeriod}).
+		AddTask(Task{ID: 2, Name: "left", Ratio: 2, ProcTicks: procTicks}).
+		AddTask(Task{ID: 3, Name: "right", Ratio: 2, ProcTicks: procTicks}).
+		AddTask(Task{ID: 4, Name: "sink", Ratio: 1, ProcTicks: procTicks / 2}).
+		AddEdge(1, 2, 1).
+		AddEdge(1, 3, 1).
+		AddEdge(2, 4, 1).
+		AddEdge(3, 4, 1)
+	if err := g.Validate(); err != nil {
+		panic("taskgraph: diamond graph invalid: " + err.Error())
+	}
+	return g
+}

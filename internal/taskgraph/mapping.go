@@ -1,0 +1,129 @@
+package taskgraph
+
+import (
+	"fmt"
+
+	"centurion/internal/sim"
+)
+
+// Mapping assigns a task class to every node of a W×H grid, indexed by
+// node ID (y*W + x). Task None marks an idle node.
+type Mapping []TaskID
+
+// Count returns how many nodes run each task (index 0 counts idle nodes).
+func (m Mapping) Count(maxID TaskID) []int {
+	counts := make([]int, int(maxID)+1)
+	for _, t := range m {
+		if int(t) < len(counts) {
+			counts[t]++
+		}
+	}
+	return counts
+}
+
+// Clone returns an independent copy of the mapping.
+func (m Mapping) Clone() Mapping {
+	out := make(Mapping, len(m))
+	copy(out, m)
+	return out
+}
+
+// Mapper produces an initial task mapping for a W×H grid.
+type Mapper interface {
+	// Map returns a mapping of length w*h for graph g.
+	Map(g *Graph, w, h int, rng *sim.RNG) Mapping
+	// Name identifies the mapper in traces and tables.
+	Name() string
+}
+
+// RandomMapper assigns every node a uniformly random task class — the
+// "initially random task-mapping" the paper's adaptive models start from.
+type RandomMapper struct{}
+
+// Name implements Mapper.
+func (RandomMapper) Name() string { return "random" }
+
+// Map implements Mapper.
+func (RandomMapper) Map(g *Graph, w, h int, rng *sim.RNG) Mapping {
+	ids := g.TaskIDs()
+	m := make(Mapping, w*h)
+	for i := range m {
+		m[i] = ids[rng.Intn(len(ids))]
+	}
+	return m
+}
+
+// HeuristicMapper is the paper's "no intelligence" reference: a fixed task
+// placement with node counts proportional to the graph's task ratios and a
+// tiled layout that minimises the Manhattan distance between producers and
+// their consumers (each repeating tile holds one full ratio template, so a
+// source is always adjacent to its workers and sink along the snake order).
+type HeuristicMapper struct{}
+
+// Name implements Mapper.
+func (HeuristicMapper) Name() string { return "heuristic-manhattan" }
+
+// Map implements Mapper.
+func (HeuristicMapper) Map(g *Graph, w, h int, rng *sim.RNG) Mapping {
+	template := ratioTemplate(g)
+	m := make(Mapping, w*h)
+	// Snake (boustrophedon) order keeps consecutive template entries at
+	// Manhattan distance 1, so each tile forms a contiguous cluster.
+	idx := 0
+	for y := 0; y < h; y++ {
+		if y%2 == 0 {
+			for x := 0; x < w; x++ {
+				m[y*w+x] = template[idx%len(template)]
+				idx++
+			}
+		} else {
+			for x := w - 1; x >= 0; x-- {
+				m[y*w+x] = template[idx%len(template)]
+				idx++
+			}
+		}
+	}
+	return m
+}
+
+// ratioTemplate expands a graph's ratios into a placement template in
+// topological order, e.g. the 1:3:1 fork–join graph yields [1 2 2 2 3].
+// Keeping the template in dataflow order means each producer is placed
+// immediately before its consumers along the snake.
+func ratioTemplate(g *Graph) []TaskID {
+	var template []TaskID
+	for _, id := range g.TopoOrder() {
+		t := g.Task(id)
+		for i := 0; i < t.Ratio; i++ {
+			template = append(template, id)
+		}
+	}
+	if len(template) == 0 {
+		panic(fmt.Sprintf("taskgraph: graph %q has an empty ratio template", g.Name))
+	}
+	return template
+}
+
+// ProportionalMapper places ratio-proportional task counts at uniformly
+// random positions: the counts of the heuristic baseline without its
+// locality. Used by the ablation benches to separate the value of placement
+// locality from the value of the task ratio itself.
+type ProportionalMapper struct{}
+
+// Name implements Mapper.
+func (ProportionalMapper) Name() string { return "proportional-random" }
+
+// Map implements Mapper.
+func (ProportionalMapper) Map(g *Graph, w, h int, rng *sim.RNG) Mapping {
+	template := ratioTemplate(g)
+	m := make(Mapping, w*h)
+	for i := range m {
+		m[i] = template[i%len(template)]
+	}
+	perm := rng.Perm(len(m))
+	out := make(Mapping, len(m))
+	for i, p := range perm {
+		out[p] = m[i]
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package taskgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"centurion/internal/sim"
+)
+
+func TestHeuristicMapperRatios(t *testing.T) {
+	g := ForkJoin(DefaultForkJoinParams())
+	m := HeuristicMapper{}.Map(g, 16, 8, sim.NewRNG(1))
+	if len(m) != 128 {
+		t.Fatalf("mapping length %d, want 128", len(m))
+	}
+	counts := m.Count(g.MaxTaskID())
+	// 128 nodes over a 5-slot template: counts must be within one template
+	// repetition of the exact ratio (25.6, 76.8, 25.6).
+	if counts[0] != 0 {
+		t.Errorf("heuristic left %d idle nodes", counts[0])
+	}
+	if counts[1] < 25 || counts[1] > 27 {
+		t.Errorf("task1 count = %d, want ~26", counts[1])
+	}
+	if counts[2] < 75 || counts[2] > 78 {
+		t.Errorf("task2 count = %d, want ~77", counts[2])
+	}
+	if counts[3] < 24 || counts[3] > 27 {
+		t.Errorf("task3 count = %d, want ~26", counts[3])
+	}
+}
+
+// The heuristic layout's whole point is producer→consumer locality: from any
+// task-1 node, a task-2 node must be adjacent along the snake (distance ≤ 2).
+func TestHeuristicMapperLocality(t *testing.T) {
+	g := ForkJoin(DefaultForkJoinParams())
+	w, h := 16, 8
+	m := HeuristicMapper{}.Map(g, w, h, sim.NewRNG(1))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if m[y*w+x] != ForkSource {
+				continue
+			}
+			best := 1 << 30
+			for yy := 0; yy < h; yy++ {
+				for xx := 0; xx < w; xx++ {
+					if m[yy*w+xx] == ForkWorker {
+						d := abs(xx-x) + abs(yy-y)
+						if d < best {
+							best = d
+						}
+					}
+				}
+			}
+			if best > 2 {
+				t.Errorf("task1 node (%d,%d) has nearest worker at distance %d", x, y, best)
+			}
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestHeuristicMapperDeterministic(t *testing.T) {
+	g := ForkJoin(DefaultForkJoinParams())
+	a := HeuristicMapper{}.Map(g, 16, 8, sim.NewRNG(1))
+	b := HeuristicMapper{}.Map(g, 16, 8, sim.NewRNG(999))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("heuristic mapping depends on RNG; it must be fixed")
+		}
+	}
+}
+
+func TestRandomMapperCoverage(t *testing.T) {
+	g := ForkJoin(DefaultForkJoinParams())
+	m := RandomMapper{}.Map(g, 16, 8, sim.NewRNG(7))
+	counts := m.Count(g.MaxTaskID())
+	for id := 1; id <= 3; id++ {
+		// With 128 nodes over 3 tasks, each expects ~42.7; allow wide noise.
+		if counts[id] < 20 || counts[id] > 70 {
+			t.Errorf("task %d count = %d, improbable for uniform mapping", id, counts[id])
+		}
+	}
+	if counts[0] != 0 {
+		t.Errorf("random mapper produced %d idle nodes", counts[0])
+	}
+}
+
+func TestRandomMapperSeedVariation(t *testing.T) {
+	g := ForkJoin(DefaultForkJoinParams())
+	a := RandomMapper{}.Map(g, 16, 8, sim.NewRNG(1))
+	b := RandomMapper{}.Map(g, 16, 8, sim.NewRNG(2))
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical random mappings")
+	}
+}
+
+func TestProportionalMapperCounts(t *testing.T) {
+	g := ForkJoin(DefaultForkJoinParams())
+	a := ProportionalMapper{}.Map(g, 16, 8, sim.NewRNG(5))
+	b := HeuristicMapper{}.Map(g, 16, 8, sim.NewRNG(5))
+	ca, cb := a.Count(g.MaxTaskID()), b.Count(g.MaxTaskID())
+	for id := range ca {
+		if ca[id] != cb[id] {
+			t.Errorf("task %d: proportional count %d != heuristic count %d", id, ca[id], cb[id])
+		}
+	}
+}
+
+// Property: every mapper fills every node with a valid task of the graph.
+func TestMappersAlwaysValidProperty(t *testing.T) {
+	g := ForkJoin(DefaultForkJoinParams())
+	valid := map[TaskID]bool{ForkSource: true, ForkWorker: true, ForkSink: true}
+	mappers := []Mapper{RandomMapper{}, HeuristicMapper{}, ProportionalMapper{}}
+	f := func(seed uint64, wRaw, hRaw uint8) bool {
+		w := int(wRaw%15) + 2
+		h := int(hRaw%15) + 2
+		for _, mp := range mappers {
+			m := mp.Map(g, w, h, sim.NewRNG(seed))
+			if len(m) != w*h {
+				return false
+			}
+			for _, task := range m {
+				if !valid[task] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingClone(t *testing.T) {
+	m := Mapping{1, 2, 3}
+	c := m.Clone()
+	c[0] = 9
+	if m[0] != 1 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestMapperNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, mp := range []Mapper{RandomMapper{}, HeuristicMapper{}, ProportionalMapper{}} {
+		n := mp.Name()
+		if n == "" || names[n] {
+			t.Errorf("mapper name %q empty or duplicated", n)
+		}
+		names[n] = true
+	}
+}

@@ -1,0 +1,156 @@
+// Package thermal models per-node die temperature for the Centurion mesh —
+// the "local temperature sensing" monitor of the paper's AIM interface — as
+// a discrete RC network: activity deposits heat, heat leaks to ambient, and
+// it diffuses to the four mesh neighbours.
+//
+// Together with the node-frequency knob (noc.OpNodeFrequency) it closes the
+// paper's envisioned loop: "with the relevant knobs and monitors, such as
+// ... clock frequency and temperature, to close the loop for emergent
+// autonomous adaptation".
+package thermal
+
+import (
+	"fmt"
+
+	"centurion/internal/noc"
+	"centurion/internal/sim"
+)
+
+// Params configure the thermal model. Temperatures are in °C; all rate
+// constants are per model step.
+type Params struct {
+	// Ambient is the heatsink/ambient temperature nodes relax toward.
+	Ambient float64
+	// MaxSafe is the throttling threshold used by the DVFS governor.
+	MaxSafe float64
+	// Hysteresis is how far below MaxSafe a node must cool before the
+	// governor restores full frequency.
+	Hysteresis float64
+	// HeatPerWork is the temperature contribution of one unit of node work
+	// (a processed or generated packet).
+	HeatPerWork float64
+	// LeakHeat is static (idle) heating per step — leakage power.
+	LeakHeat float64
+	// Cooling is the fraction of the excess over ambient removed per step.
+	Cooling float64
+	// Diffusion is the per-neighbour lateral conduction coefficient.
+	Diffusion float64
+	// StepTicks is the model update interval.
+	StepTicks sim.Tick
+}
+
+// DefaultParams give a stable, visibly dynamic model at the default time
+// resolution: a fully busy node settles ~30°C above ambient.
+func DefaultParams() Params {
+	return Params{
+		Ambient:     45,
+		MaxSafe:     70,
+		Hysteresis:  5,
+		HeatPerWork: 3.0,
+		LeakHeat:    0.02,
+		Cooling:     0.05,
+		Diffusion:   0.02,
+		StepTicks:   sim.Ms(1),
+	}
+}
+
+// Model is the mesh's thermal state.
+type Model struct {
+	topo noc.Topology
+	par  Params
+	temp []float64
+	next []float64
+	last []uint64
+}
+
+// New builds a model with every node at ambient temperature.
+func New(topo noc.Topology, par Params) *Model {
+	if par.StepTicks <= 0 {
+		par.StepTicks = DefaultParams().StepTicks
+	}
+	m := &Model{
+		topo: topo,
+		par:  par,
+		temp: make([]float64, topo.Nodes()),
+		next: make([]float64, topo.Nodes()),
+		last: make([]uint64, topo.Nodes()),
+	}
+	for i := range m.temp {
+		m.temp[i] = par.Ambient
+	}
+	return m
+}
+
+// Params returns the model parameters.
+func (m *Model) Params() Params { return m.par }
+
+// Temperature returns a node's current temperature.
+func (m *Model) Temperature(id noc.NodeID) float64 { return m.temp[id] }
+
+// Temperatures returns the full temperature field (do not mutate).
+func (m *Model) Temperatures() []float64 { return m.temp }
+
+// Hottest returns the hottest node and its temperature.
+func (m *Model) Hottest() (noc.NodeID, float64) {
+	best, bestT := noc.NodeID(0), m.temp[0]
+	for i, t := range m.temp {
+		if t > bestT {
+			best, bestT = noc.NodeID(i), t
+		}
+	}
+	return best, bestT
+}
+
+// Mean returns the mesh's mean temperature.
+func (m *Model) Mean() float64 {
+	sum := 0.0
+	for _, t := range m.temp {
+		sum += t
+	}
+	return sum / float64(len(m.temp))
+}
+
+// Step advances the model one interval. workCounts are the nodes' cumulative
+// work counters (the model diffs them against the previous step).
+func (m *Model) Step(workCounts []uint64) {
+	if len(workCounts) != len(m.temp) {
+		panic(fmt.Sprintf("thermal: %d work counters for %d nodes", len(workCounts), len(m.temp)))
+	}
+	p := m.par
+	for i := range m.temp {
+		work := float64(workCounts[i] - m.last[i])
+		m.last[i] = workCounts[i]
+
+		t := m.temp[i]
+		// Lateral conduction with the mesh neighbours.
+		lateral := 0.0
+		for port := noc.North; port <= noc.West; port++ {
+			if nb, ok := m.topo.Neighbor(noc.NodeID(i), port); ok {
+				lateral += p.Diffusion * (m.temp[nb] - t)
+			}
+		}
+		m.next[i] = t +
+			p.HeatPerWork*work +
+			p.LeakHeat -
+			p.Cooling*(t-p.Ambient) +
+			lateral
+	}
+	m.temp, m.next = m.next, m.temp
+}
+
+// OverLimit returns the nodes currently above the MaxSafe threshold.
+func (m *Model) OverLimit() []noc.NodeID {
+	var out []noc.NodeID
+	for i, t := range m.temp {
+		if t > m.par.MaxSafe {
+			out = append(out, noc.NodeID(i))
+		}
+	}
+	return out
+}
+
+// CoolEnough reports whether a node has cooled below the governor's
+// restore threshold.
+func (m *Model) CoolEnough(id noc.NodeID) bool {
+	return m.temp[id] < m.par.MaxSafe-m.par.Hysteresis
+}

@@ -1,0 +1,145 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"centurion/internal/noc"
+)
+
+func model() *Model {
+	return New(noc.NewTopology(4, 4), DefaultParams())
+}
+
+func TestStartsAtAmbient(t *testing.T) {
+	m := model()
+	for id := noc.NodeID(0); int(id) < 16; id++ {
+		if m.Temperature(id) != DefaultParams().Ambient {
+			t.Fatalf("node %d starts at %v", id, m.Temperature(id))
+		}
+	}
+	if m.Mean() != DefaultParams().Ambient {
+		t.Errorf("Mean = %v", m.Mean())
+	}
+}
+
+func TestWorkHeatsNode(t *testing.T) {
+	m := model()
+	work := make([]uint64, 16)
+	for step := 0; step < 10; step++ {
+		work[5] += 3
+		m.Step(work)
+	}
+	if m.Temperature(5) <= DefaultParams().Ambient {
+		t.Fatal("busy node did not heat up")
+	}
+	hot, temp := m.Hottest()
+	if hot != 5 {
+		t.Errorf("hottest = %d (%.1f°C), want node 5", hot, temp)
+	}
+	// Neighbours warm via diffusion, distant corners barely.
+	if m.Temperature(1) <= m.Temperature(15) {
+		t.Error("diffusion did not favour the hot node's neighbour")
+	}
+}
+
+func TestIdleNodeCoolsToEquilibrium(t *testing.T) {
+	m := model()
+	work := make([]uint64, 16)
+	work[0] = 100
+	m.Step(work) // one big burst
+	peak := m.Temperature(0)
+	for step := 0; step < 500; step++ {
+		m.Step(work) // no further work
+	}
+	p := DefaultParams()
+	// Idle equilibrium = ambient + leak/cooling.
+	eq := p.Ambient + p.LeakHeat/p.Cooling
+	if got := m.Temperature(0); math.Abs(got-eq) > 1 {
+		t.Errorf("idle equilibrium %.2f, want ~%.2f (peak was %.2f)", got, eq, peak)
+	}
+}
+
+func TestSaturatedNodeBounded(t *testing.T) {
+	m := model()
+	work := make([]uint64, 16)
+	for step := 0; step < 2000; step++ {
+		work[5] += 1 // continuous full activity
+		m.Step(work)
+	}
+	if got := m.Temperature(5); got > 200 {
+		t.Errorf("temperature diverged: %.1f°C", got)
+	}
+	if got := m.Temperature(5); got < DefaultParams().MaxSafe {
+		t.Errorf("continuously busy node stayed below MaxSafe (%.1f°C); the governor would never engage", got)
+	}
+}
+
+func TestOverLimitAndCoolEnough(t *testing.T) {
+	m := model()
+	work := make([]uint64, 16)
+	for step := 0; step < 100; step++ {
+		work[7] += 2
+		m.Step(work)
+	}
+	over := m.OverLimit()
+	found := false
+	for _, id := range over {
+		if id == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("node 7 (%.1f°C) not over limit %v", m.Temperature(7), over)
+	}
+	if m.CoolEnough(7) {
+		t.Error("hot node reported cool")
+	}
+	for step := 0; step < 500; step++ {
+		m.Step(work) // idle
+	}
+	if !m.CoolEnough(7) {
+		t.Errorf("node 7 still hot after long idle: %.1f°C", m.Temperature(7))
+	}
+}
+
+// Property: with bounded per-step work, temperatures stay within physical
+// bounds (≥ ambient-ε, ≤ a finite cap) and the mean is monotone under
+// uniform load.
+func TestBoundedTemperatureProperty(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		m := model()
+		rng := seed
+		work := make([]uint64, 16)
+		for s := 0; s < int(steps%100)+1; s++ {
+			for i := range work {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				work[i] += rng % 3
+			}
+			m.Step(work)
+		}
+		p := DefaultParams()
+		for id := noc.NodeID(0); int(id) < 16; id++ {
+			temp := m.Temperature(id)
+			if temp < p.Ambient-1 || temp > 500 || math.IsNaN(temp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched work slice")
+		}
+	}()
+	model().Step(make([]uint64, 3))
+}

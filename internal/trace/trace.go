@@ -1,0 +1,126 @@
+// Package trace records platform events for offline analysis — the
+// simulator's counterpart of the experiment runtime data the Centurion
+// controller streams to the host PC over its LVDS link.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"centurion/internal/noc"
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+// Kind classifies a traced event.
+type Kind int
+
+// Event kinds.
+const (
+	// KindSwitch: a node switched task (Task = new task, Info = old task).
+	KindSwitch Kind = iota
+	// KindFault: a node failed.
+	KindFault
+	// KindComplete: an application instance completed (Info = instance ID).
+	KindComplete
+	// KindLost: an instance was reported lost (Info = instance ID).
+	KindLost
+	// KindDrop: the fabric dropped a packet (Info = packet ID).
+	KindDrop
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSwitch:
+		return "switch"
+	case KindFault:
+		return "fault"
+	case KindComplete:
+		return "complete"
+	case KindLost:
+		return "lost"
+	case KindDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	At   sim.Tick
+	Kind Kind
+	Node noc.NodeID
+	Task taskgraph.TaskID
+	Info uint64
+}
+
+// Log is a bounded in-memory event recorder. The zero value is unbounded;
+// NewLog(max) drops (and counts) events beyond max, so tracing can stay on
+// for long sweeps without unbounded memory.
+type Log struct {
+	events  []Event
+	max     int
+	dropped uint64
+}
+
+// NewLog returns a log bounded to max events (0 = unbounded).
+func NewLog(max int) *Log { return &Log{max: max} }
+
+// Add records an event.
+func (l *Log) Add(e Event) {
+	if l.max > 0 && len(l.events) >= l.max {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Dropped returns how many events exceeded the bound.
+func (l *Log) Dropped() uint64 { return l.dropped }
+
+// Events returns the recorded events (not a copy; treat as read-only).
+func (l *Log) Events() []Event { return l.events }
+
+// Filter returns the events of one kind.
+func (l *Log) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies events per kind.
+func (l *Log) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range l.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Reset clears the log.
+func (l *Log) Reset() {
+	l.events = l.events[:0]
+	l.dropped = 0
+}
+
+// WriteCSV emits "time_ms,kind,node,task,info" rows.
+func (l *Log) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_ms,kind,node,task,info"); err != nil {
+		return err
+	}
+	for _, e := range l.events {
+		if _, err := fmt.Fprintf(w, "%.1f,%s,%d,%d,%d\n",
+			e.At.Milliseconds(), e.Kind, e.Node, e.Task, e.Info); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"centurion/internal/sim"
+)
+
+func TestLogBasics(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{At: 10, Kind: KindSwitch, Node: 3, Task: 2, Info: 1})
+	l.Add(Event{At: 20, Kind: KindFault, Node: 5})
+	l.Add(Event{At: 30, Kind: KindComplete, Node: 7, Info: 42})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.Filter(KindFault); len(got) != 1 || got[0].Node != 5 {
+		t.Errorf("Filter(fault) = %v", got)
+	}
+	counts := l.CountByKind()
+	if counts[KindSwitch] != 1 || counts[KindComplete] != 1 {
+		t.Errorf("CountByKind = %v", counts)
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestLogBound(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{At: sim.Tick(i), Kind: KindDrop})
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want bound 2", l.Len())
+	}
+	if l.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", l.Dropped())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{At: sim.Ms(1.5), Kind: KindSwitch, Node: 3, Task: 2, Info: 1})
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.HasPrefix(got, "time_ms,kind,node,task,info\n") {
+		t.Errorf("header missing: %q", got)
+	}
+	if !strings.Contains(got, "1.5,switch,3,2,1") {
+		t.Errorf("row missing: %q", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindSwitch, KindFault, KindComplete, KindLost, KindDrop} {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("Kind %d has name %q", k, s)
+		}
+	}
+}
