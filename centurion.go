@@ -1,6 +1,7 @@
 package centurion
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -10,6 +11,7 @@ import (
 	"centurion/internal/faults"
 	"centurion/internal/noc"
 	"centurion/internal/picoblaze"
+	"centurion/internal/server"
 	"centurion/internal/sim"
 	"centurion/internal/taskgraph"
 	"centurion/internal/thermal"
@@ -316,4 +318,51 @@ func WriteFig4CSV(w io.Writer, faultCount int, seed uint64) error {
 		return fmt.Errorf("centurion: writing figure 4 CSV: %w", err)
 	}
 	return nil
+}
+
+// --- Simulation-as-a-service entry points ---
+
+// ServiceSpec is the service's JSON run specification: any model × graph ×
+// mesh size × fault plan × thermal configuration, plus a batch size for
+// mean ± CI aggregation. See internal/server.RunSpec for field semantics.
+type ServiceSpec = server.RunSpec
+
+// ServiceResult is a finished service run: per-run summaries, batch
+// aggregates and (for single runs) the Figure-4-style time series.
+type ServiceResult = server.RunResult
+
+// ServeOptions sizes the simulation service (workers, queue, cache).
+type ServeOptions = server.Options
+
+// Service is the assembled simulation service: the job engine plus its
+// REST API, usable as an http.Handler.
+type Service = server.Server
+
+// RunSpec canonicalizes, validates and executes one service spec
+// synchronously, without standing up a server. Identical specs produce
+// identical results.
+func RunSpec(spec ServiceSpec) (*ServiceResult, error) {
+	if err := spec.Canonicalize(); err != nil {
+		return nil, fmt.Errorf("centurion: invalid run spec: %w", err)
+	}
+	res, err := server.Execute(context.Background(), spec, nil)
+	if err != nil {
+		return nil, fmt.Errorf("centurion: executing run spec: %w", err)
+	}
+	return res, nil
+}
+
+// NewServiceHandler assembles the simulation service as an http.Handler
+// (POST /v1/runs, GET /v1/runs/{id}, SSE events, POST /v1/sweep, /healthz)
+// for embedding in an existing server. Close the returned service to stop
+// its worker pool.
+func NewServiceHandler(opts ServeOptions) *Service {
+	return server.New(opts)
+}
+
+// Serve runs the simulation service on addr until the listener fails
+// (blocking). Zero options select the defaults: GOMAXPROCS workers, a
+// 256-entry admission queue and a 128-entry LRU result cache.
+func Serve(addr string, opts ServeOptions) error {
+	return server.New(opts).ListenAndServe(addr)
 }

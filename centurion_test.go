@@ -168,3 +168,24 @@ func TestWriteFig4CSVAPI(t *testing.T) {
 		t.Error("CSV missing header")
 	}
 }
+
+func TestRunSpecServiceEntry(t *testing.T) {
+	spec := ServiceSpec{Model: "ffw", Seed: 3, DurationMs: 40, Width: 8, Height: 4}
+	res, err := RunSpec(spec)
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	if len(res.Runs) != 1 || res.Series == nil {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	res2, err := RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs[0] != res2.Runs[0] {
+		t.Error("RunSpec is not deterministic for identical specs")
+	}
+	if _, err := RunSpec(ServiceSpec{Model: "zerg"}); err == nil {
+		t.Error("RunSpec accepted an invalid spec")
+	}
+}

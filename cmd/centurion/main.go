@@ -9,6 +9,7 @@
 //	centurion fig4   [-faults 5] [-seed S] [-csv out.csv]
 //	centurion run    [-model none|ni|ffw|ni-pb] [-seed S] [-ms 1000]
 //	                 [-faults N] [-fault-at MS] [-map]
+//	centurion serve  [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	centurion asm    [-o out.txt] file.psm
 package main
 
@@ -40,6 +41,8 @@ func main() {
 		err = cmdFig4(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "asm":
 		err = cmdAsm(os.Args[2:])
 	case "-h", "--help", "help":
@@ -63,6 +66,7 @@ subcommands:
   table2   recovery time + relative performance after faults (paper Table II)
   fig4     time series for one fault scenario                (paper Figure 4)
   run      one interactive run with a chosen model
+  serve    run the simulation service (REST API + job engine)
   asm      assemble a PicoBlaze AIM program
 `)
 }
@@ -136,26 +140,21 @@ func cmdRun(args []string) error {
 		return err
 	}
 
-	opts := []centurion.Option{centurion.WithSeed(*seed)}
-	switch *model {
-	case "none":
-		opts = append(opts, centurion.WithModel(centurion.ModelNone))
-	case "ni":
-		opts = append(opts, centurion.WithModel(centurion.ModelNI))
-	case "ni-pb":
-		opts = append(opts, centurion.WithModel(centurion.ModelNI), centurion.WithEmbeddedAIM())
-	case "ffw":
-		opts = append(opts, centurion.WithModel(centurion.ModelFFW))
-	default:
-		return fmt.Errorf("unknown model %q", *model)
+	modelOpts, err := modelOptions(*model)
+	if err != nil {
+		return err
 	}
+	if *faultN > 0 && (*faultAt <= 0 || *faultAt >= *ms) {
+		return fmt.Errorf("-fault-at %g must lie strictly inside (0, %g) to inject %d faults", *faultAt, *ms, *faultN)
+	}
+	opts := append([]centurion.Option{centurion.WithSeed(*seed)}, modelOpts...)
 	sys := centurion.NewSystem(opts...)
 	if *showMap {
 		fmt.Println("initial task map:")
 		fmt.Print(sys.MapASCII())
 	}
 
-	if *faultN > 0 && *faultAt > 0 && *faultAt < *ms {
+	if *faultN > 0 {
 		sys.RunMs(*faultAt)
 		pre := sys.Counters()
 		sys.InjectRandomFaults(*faultN, *seed^0xfa17)
@@ -209,6 +208,21 @@ func cmdAsm(args []string) error {
 		return nil
 	}
 	return os.WriteFile(*out, []byte(listing), 0o644)
+}
+
+// modelOptions maps a -model flag value to system options.
+func modelOptions(model string) ([]centurion.Option, error) {
+	switch model {
+	case "none":
+		return []centurion.Option{centurion.WithModel(centurion.ModelNone)}, nil
+	case "ni":
+		return []centurion.Option{centurion.WithModel(centurion.ModelNI)}, nil
+	case "ni-pb":
+		return []centurion.Option{centurion.WithModel(centurion.ModelNI), centurion.WithEmbeddedAIM()}, nil
+	case "ffw":
+		return []centurion.Option{centurion.WithModel(centurion.ModelFFW)}, nil
+	}
+	return nil, fmt.Errorf("unknown model %q", model)
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"0,2,4,8,16,32", []int{0, 2, 4, 8, 16, 32}, false},
+		{" 1 , 2 ", []int{1, 2}, false},
+		{"5", []int{5}, false},
+		{"", nil, false},
+		{",,", nil, false},
+		{"-3", nil, true},
+		{"1,-3", nil, true},
+		{"abc", nil, true},
+		{"1,two", nil, true},
+		{"1.5", nil, true},
+	}
+	for _, tc := range cases {
+		got, err := parseInts(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseInts(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestModelOptions(t *testing.T) {
+	for _, name := range []string{"none", "ni", "ffw", "ni-pb"} {
+		opts, err := modelOptions(name)
+		if err != nil {
+			t.Errorf("modelOptions(%q): %v", name, err)
+		}
+		if len(opts) == 0 {
+			t.Errorf("modelOptions(%q) returned no options", name)
+		}
+	}
+	if _, err := modelOptions("swarm"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	w.Close()
+	out := new(strings.Builder)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return out.String(), runErr
+}
+
+func TestRunSubcommandSmoke(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-model", "ffw", "-seed", "1", "-ms", "50"})
+	})
+	if err != nil {
+		t.Fatalf("run subcommand: %v", err)
+	}
+	if !strings.Contains(out, "model=ffw seed=1") {
+		t.Errorf("run output missing summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "task populations:") {
+		t.Errorf("run output missing task populations:\n%s", out)
+	}
+}
+
+func TestRunSubcommandWithFaults(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-model", "none", "-seed", "2", "-ms", "60", "-faults", "2", "-fault-at", "30"})
+	})
+	if err != nil {
+		t.Fatalf("run with faults: %v", err)
+	}
+	if !strings.Contains(out, "pre-fault") || !strings.Contains(out, "post-fault") {
+		t.Errorf("fault run output missing rates:\n%s", out)
+	}
+}
+
+func TestRunRejectsOutOfRangeFaultTime(t *testing.T) {
+	for _, args := range [][]string{
+		{"-ms", "100", "-faults", "2", "-fault-at", "0"},
+		{"-ms", "100", "-faults", "2", "-fault-at", "100"},
+		{"-ms", "100", "-faults", "2", "-fault-at", "150"},
+		{"-ms", "100", "-faults", "2", "-fault-at", "-5"},
+	} {
+		if _, err := captureStdout(t, func() error { return cmdRun(args) }); err == nil {
+			t.Errorf("cmdRun(%v) accepted an out-of-range fault time", args)
+		}
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	if _, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-model", "swarm"})
+	}); err == nil {
+		t.Error("unknown model accepted by run subcommand")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"centurion"
+	"centurion/internal/server"
+)
+
+// cmdServe runs the simulation service: a bounded worker pool executing
+// JSON run specs behind a REST API with an LRU result cache.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+	queue := fs.Int("queue", server.DefaultQueueBound, "admission queue bound (excess submissions get 503)")
+	cache := fs.Int("cache", server.DefaultCacheSize, "LRU result-cache capacity (canonical specs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "centurion service listening on %s (%d workers, queue %d, cache %d)\n",
+		*addr, *workers, *queue, *cache)
+	fmt.Fprintf(os.Stderr, "  POST /v1/runs[?wait=1]    submit a run spec\n")
+	fmt.Fprintf(os.Stderr, "  GET  /v1/runs/{id}        job status + result\n")
+	fmt.Fprintf(os.Stderr, "  GET  /v1/runs/{id}/events SSE time-series stream\n")
+	fmt.Fprintf(os.Stderr, "  POST /v1/sweep            model x fault-count grid, mean±CI\n")
+	fmt.Fprintf(os.Stderr, "  GET  /healthz             liveness + engine stats\n")
+	return centurion.Serve(*addr, centurion.ServeOptions{
+		Workers:    *workers,
+		QueueBound: *queue,
+		CacheSize:  *cache,
+	})
+}

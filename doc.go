@@ -24,6 +24,16 @@
 //	t1 := centurion.RunTable1(100, 1)
 //	fmt.Print(t1.Render())
 //
+// # Simulation as a service
+//
+// Any experiment the simulator supports can also be submitted as a JSON
+// run spec — directly via RunSpec, or over the REST API started with
+// Serve (POST /v1/runs, SSE streaming, batch sweeps with mean ± CI
+// aggregation, an LRU result cache keyed on the canonical spec):
+//
+//	res, err := centurion.RunSpec(centurion.ServiceSpec{Model: "ffw", Seed: 7})
+//	// or: centurion serve -addr :8080 -workers 4
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results versus the paper.
 package centurion

@@ -1,0 +1,3 @@
+module centurion
+
+go 1.24

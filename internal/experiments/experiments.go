@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -15,6 +16,7 @@ import (
 	"centurion/internal/metrics"
 	"centurion/internal/sim"
 	"centurion/internal/taskgraph"
+	"centurion/internal/thermal"
 )
 
 // Model selects the runtime-management scheme of a run.
@@ -74,6 +76,13 @@ type Spec struct {
 	Mapper taskgraph.Mapper
 	// Platform-level overrides (zero values = defaults).
 	Width, Height int
+	// Graph overrides the application task graph (nil = the paper's
+	// fork–join workload).
+	Graph *taskgraph.Graph
+	// Thermal, when non-nil, enables the per-node temperature model.
+	Thermal *thermal.Params
+	// ThermalDVFS enables the frequency-scaling governor (needs Thermal).
+	ThermalDVFS bool
 }
 
 // DefaultSpec returns the paper's experiment shape for a model and seed.
@@ -146,8 +155,23 @@ func (s Spec) mapper() taskgraph.Mapper {
 	return taskgraph.RandomMapper{}
 }
 
+// Progress observes a run window by window: w is the window index and
+// throughput, nodesActive and switches are that window's samples. It is the
+// hook the serving layer uses to stream Figure-4-style series live.
+type Progress func(w int, throughput, nodesActive, switches float64)
+
 // Run executes one experiment run.
 func Run(spec Spec) Result {
+	res, _ := RunContext(context.Background(), spec, nil)
+	return res
+}
+
+// RunContext executes one experiment run, checking ctx between metric
+// windows and reporting each finished window to progress (when non-nil).
+// On cancellation it returns the partially filled result together with the
+// context's error. This is the single spec-execution path shared by the
+// table/figure harness and the internal/server job engine.
+func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, error) {
 	if spec.DurationMs <= 0 {
 		spec.DurationMs = 1000
 	}
@@ -156,11 +180,16 @@ func Run(spec Spec) Result {
 	}
 	cfg := centurion.DefaultConfig(spec.engineFactory(), spec.mapper(), spec.Seed)
 	cfg.NeighborSignals = spec.NeighborSignals
+	cfg.Thermal = spec.Thermal
+	cfg.ThermalDVFS = spec.ThermalDVFS
 	if spec.Width > 0 {
 		cfg.Width = spec.Width
 	}
 	if spec.Height > 0 {
 		cfg.Height = spec.Height
+	}
+	if spec.Graph != nil {
+		cfg.Graph = spec.Graph
 	}
 	p := centurion.New(cfg)
 	ctl := centurion.NewController(p)
@@ -190,6 +219,10 @@ func Run(spec Spec) Result {
 	lastWork := make([]uint64, len(pes))
 	var lastCompleted, lastSwitches uint64
 	for w := 0; w < windows; w++ {
+		if err := ctx.Err(); err != nil {
+			res.Counters = p.Counters()
+			return res, err
+		}
 		p.RunFor(windowTicks, nil)
 		c := p.Counters()
 		res.Throughput.Values[w] = float64(c.InstancesCompleted - lastCompleted)
@@ -203,6 +236,9 @@ func Run(spec Spec) Result {
 			}
 		}
 		res.NodesActive.Values[w] = float64(active)
+		if progress != nil {
+			progress(w, res.Throughput.Values[w], res.NodesActive.Values[w], res.Switches.Values[w])
+		}
 	}
 	res.Counters = p.Counters()
 
@@ -219,7 +255,7 @@ func Run(spec Spec) Result {
 	} else {
 		res.PostFaultRate = res.SteadyRate
 	}
-	return res
+	return res, nil
 }
 
 // RunMany executes n runs of the spec with seeds seedBase..seedBase+n-1 in

@@ -86,6 +86,32 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// Stddev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, v := range xs {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// MeanCI returns the mean of xs and the half-width of its 95% confidence
+// interval under the normal approximation (1.96·s/√n). The half-width is 0
+// for fewer than two samples.
+func MeanCI(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) >= 2 {
+		halfWidth = 1.96 * Stddev(xs) / math.Sqrt(float64(len(xs)))
+	}
+	return mean, halfWidth
+}
+
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
 // interpolation between order statistics (the R-7 method used by most
 // statistics packages). It panics on empty input.

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// benchPost submits one spec with ?wait=1 and fails the benchmark on any
+// non-200 outcome.
+func benchPost(b *testing.B, url, spec string) {
+	resp, err := http.Post(url+"/v1/runs?wait=1", "application/json", strings.NewReader(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || st.State != JobDone {
+		b.Fatalf("status %d, state %s (%s)", resp.StatusCode, st.State, st.Error)
+	}
+}
+
+// benchServe drives concurrent POST /v1/runs?wait=1 traffic against a
+// GOMAXPROCS-worker service, cycling through `distinct` different specs, and
+// reports requests/s and the cache hit rate.
+func benchServe(b *testing.B, distinct int) {
+	s := New(Options{Workers: runtime.GOMAXPROCS(0), QueueBound: 4096, CacheSize: 256})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	specs := make([]string, distinct)
+	for i := range specs {
+		specs[i] = fmt.Sprintf(`{"model": "ffw", "seed": %d, "duration_ms": 20, "width": 8, "height": 4}`, i+1)
+	}
+	// Warm the cache so steady-state traffic measures the serving path of a
+	// long-running service rather than first-contact simulation.
+	for _, spec := range specs {
+		benchPost(b, ts.URL, spec)
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			benchPost(b, ts.URL, specs[i%len(specs)])
+			i++
+		}
+	})
+	b.StopTimer()
+
+	stats := s.Engine().Stats()
+	total := stats.Cache.Hits + stats.Cache.Misses
+	if total > 0 {
+		b.ReportMetric(float64(stats.Cache.Hits)/float64(total)*100, "cache_hit_%")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(stats.Workers), "workers")
+}
+
+// BenchmarkServeCached is the hot-cache regime: every request after warm-up
+// is answered from the LRU without re-simulating.
+func BenchmarkServeCached(b *testing.B) { benchServe(b, 8) }
+
+// BenchmarkServeColdMiss is the all-miss regime: every request simulates.
+// Each iteration uses a fresh seed, so the cache never hits.
+func BenchmarkServeColdMiss(b *testing.B) {
+	s := New(Options{Workers: runtime.GOMAXPROCS(0), QueueBound: 4096, CacheSize: 256})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	var seed atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := seed.Add(1)
+			benchPost(b, ts.URL, fmt.Sprintf(`{"model": "ffw", "seed": %d, "duration_ms": 20, "width": 8, "height": 4}`, n))
+		}
+	})
+	b.StopTimer()
+
+	stats := s.Engine().Stats()
+	b.ReportMetric(float64(stats.Cache.Misses), "misses")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU of completed run results keyed on the
+// canonical spec key, so identical requests are answered without
+// re-simulating.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	byKey    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key    string
+	result *RunResult
+}
+
+// NewCache builds an LRU holding up to capacity results (capacity <= 0
+// disables caching: every lookup misses).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key string) (*RunResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// Put stores a result, evicting the least recently used entry when full.
+// Results are immutable once stored; callers must not mutate them.
+func (c *Cache) Put(key string, r *RunResult) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).result = r
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, result: r})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Size   int    `json:"size"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// Stats snapshots the current size and hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Size: c.order.Len(), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; a run spec is a few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// JobStatus is the wire representation of a job returned by the runs
+// endpoints.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	Key      string     `json:"key"`
+	State    JobState   `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	CacheHit bool       `json:"cache_hit"`
+	Created  time.Time  `json:"created"`
+	Result   *RunResult `json:"result,omitempty"`
+}
+
+// SweepRequest asks for a grid of batches: every model × fault count, each
+// aggregated over Runs independently seeded runs.
+type SweepRequest struct {
+	Spec        RunSpec  `json:"spec"`
+	Models      []string `json:"models"`
+	FaultCounts []int    `json:"fault_counts"`
+	Runs        int      `json:"runs"`
+}
+
+// SweepRow is one cell of the sweep: the aggregate for one model at one
+// fault count.
+type SweepRow struct {
+	Model     string    `json:"model"`
+	Faults    int       `json:"faults"`
+	CacheHit  bool      `json:"cache_hit"`
+	Aggregate Aggregate `json:"aggregate"`
+}
+
+// SweepResponse is the sweep endpoint's payload.
+type SweepResponse struct {
+	Rows []SweepRow `json:"rows"`
+}
+
+// routes installs the REST API on mux.
+func (s *Server) routes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+}
+
+// writeJSON emits v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits a JSON error envelope.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// status builds the wire form of a job snapshot.
+func (s *Server) status(j *Job) JobStatus {
+	snap, result := s.engine.Snapshot(j)
+	return JobStatus{
+		ID:       snap.ID,
+		Key:      snap.Key,
+		State:    snap.State,
+		Error:    snap.Error,
+		CacheHit: snap.CacheHit,
+		Created:  snap.Created,
+		Result:   result,
+	}
+}
+
+// handleHealth reports liveness plus engine and cache statistics.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"engine":         s.engine.Stats(),
+	})
+}
+
+// handleSubmit admits one run spec. With ?wait=1 the response blocks until
+// the job finishes; otherwise a 202 with the job ID is returned immediately
+// (200 when a cache hit completes it on admission).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.engine.Submit(spec)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		if err := s.engine.Wait(r.Context(), j); err != nil {
+			writeError(w, http.StatusRequestTimeout, err)
+			return
+		}
+	}
+	st := s.status(j)
+	code := http.StatusAccepted
+	switch st.State {
+	case JobDone:
+		code = http.StatusOK
+	case JobFailed:
+		// Jobs only fail on engine shutdown or cancellation.
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, st)
+}
+
+// handleGet reports one job's status and, when finished, its result.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.engine.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// handleEvents streams the job's windowed series as Server-Sent Events:
+// already-recorded samples replay first, new ones follow live, and a final
+// "done" event carries the job's terminal status.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.engine.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := s.engine.Subscribe(j)
+	defer cancel()
+
+	send := func(event string, v any) {
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	for _, smp := range replay {
+		send("sample", smp)
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case smp, open := <-live:
+			if !open {
+				send("done", s.status(j))
+				return
+			}
+			send("sample", smp)
+		}
+	}
+}
+
+// handleSweep fans a grid of batch jobs (model × fault count) through the
+// engine, waits for all of them, and returns one aggregate row per cell —
+// mean ± 95% CI over the batch's runs. Cells already in the cache are free.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep request: %w", err))
+		return
+	}
+	if len(req.Models) == 0 {
+		req.Models = []string{"none", "ni", "ffw"}
+	}
+	if len(req.FaultCounts) == 0 {
+		req.FaultCounts = []int{0}
+	}
+	if req.Runs > 0 {
+		req.Spec.Runs = req.Runs
+	}
+
+	// Canonicalize the whole grid before submitting anything, so an invalid
+	// cell cannot leave earlier cells simulating for a rejected request.
+	// (The guarantee covers validation only: a mid-grid queue-full still
+	// leaves earlier admitted cells running.)
+	type cell struct {
+		row  SweepRow
+		spec RunSpec
+		job  *Job
+	}
+	var cells []cell
+	for _, model := range req.Models {
+		for _, faults := range req.FaultCounts {
+			spec := req.Spec
+			spec.Model = model
+			spec.NumFaults = faults
+			if faults > 0 && spec.FaultAtMs == 0 {
+				// The paper injects halfway through the run (500 ms of
+				// 1000), rounded down onto the sampling-window grid.
+				d := spec.DurationMs
+				if d == 0 {
+					d = 1000
+				}
+				win := spec.WindowMs
+				if win == 0 {
+					win = 1
+				}
+				spec.FaultAtMs = d/2 - (d/2)%win
+			}
+			if err := spec.Canonicalize(); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("cell %s/%d: %w", model, faults, err))
+				return
+			}
+			cells = append(cells, cell{row: SweepRow{Model: model, Faults: faults}, spec: spec})
+		}
+	}
+	for i := range cells {
+		j, err := s.engine.Submit(cells[i].spec)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, fmt.Errorf("cell %s/%d: %w", cells[i].row.Model, cells[i].row.Faults, err))
+			return
+		}
+		cells[i].job = j
+	}
+
+	resp := SweepResponse{}
+	for _, c := range cells {
+		if err := s.engine.Wait(r.Context(), c.job); err != nil {
+			writeError(w, http.StatusRequestTimeout, err)
+			return
+		}
+		snap, result := s.engine.Snapshot(c.job)
+		if snap.State == JobFailed || result == nil {
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("cell %s/%d failed: %s", c.row.Model, c.row.Faults, snap.Error))
+			return
+		}
+		c.row.CacheHit = snap.CacheHit
+		c.row.Aggregate = result.Aggregate
+		resp.Rows = append(resp.Rows, c.row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Service sizing defaults (applied for zero Options fields).
+const (
+	DefaultQueueBound = 256
+	DefaultCacheSize  = 128
+)
+
+// Options sizes the service. Zero values select the defaults.
+type Options struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueBound is the admission queue capacity; submissions beyond it
+	// are rejected with 503 (default DefaultQueueBound).
+	QueueBound int
+	// CacheSize is the LRU result-cache capacity in entries (default
+	// DefaultCacheSize).
+	CacheSize int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueBound <= 0 {
+		o.QueueBound = DefaultQueueBound
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = DefaultCacheSize
+	}
+	return o
+}
+
+// Server is the simulation service: the job engine plus its REST API.
+type Server struct {
+	engine  *Engine
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New assembles a service and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		engine:  NewEngine(opts.Workers, opts.QueueBound, opts.CacheSize),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.routes(s.mux)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Engine exposes the job engine (direct submissions without HTTP).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Close stops the worker pool, cancelling any running jobs.
+func (s *Server) Close() { s.engine.Close() }
+
+// ListenAndServe runs the service on addr until the listener fails. The
+// header timeout guards against slow-header connection exhaustion; no
+// write timeout is set because the SSE endpoint streams indefinitely.
+func (s *Server) ListenAndServe(addr string) error {
+	defer s.Close()
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

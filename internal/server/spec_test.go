@@ -1,0 +1,174 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"centurion/internal/aim"
+	"centurion/internal/experiments"
+	"centurion/internal/sim"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	s, err := ParseSpec([]byte(`{}`))
+	if err != nil {
+		t.Fatalf("ParseSpec({}): %v", err)
+	}
+	want := RunSpec{
+		Model: "none", Seed: 1, Runs: 1, DurationMs: 1000, WindowMs: 1,
+		Width: 16, Height: 8, Graph: "forkjoin",
+	}
+	if s != want {
+		t.Errorf("canonical defaults = %+v, want %+v", s, want)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"modle": "ffw"}`)); err == nil {
+		t.Error("misspelled field accepted")
+	}
+}
+
+func TestCanonicalizeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"bad model", `{"model": "zerg"}`},
+		{"bad graph", `{"graph": "torus"}`},
+		{"runs too large", `{"runs": 100000}`},
+		{"negative runs", `{"runs": -1}`},
+		{"duration too long", `{"duration_ms": 1000000}`},
+		{"batch budget exceeded", `{"runs": 1000, "duration_ms": 60000}`},
+		{"window beyond duration", `{"duration_ms": 10, "window_ms": 20}`},
+		{"window not dividing duration", `{"duration_ms": 1000, "window_ms": 300}`},
+		{"mesh too small", `{"width": 1}`},
+		{"mesh too large", `{"height": 500}`},
+		{"too many faults", `{"num_faults": 128, "fault_at_ms": 500}`},
+		{"fault time missing", `{"num_faults": 4}`},
+		{"fault time at end", `{"num_faults": 4, "fault_at_ms": 1000}`},
+		{"fault time off window grid", `{"num_faults": 4, "fault_at_ms": 130, "window_ms": 250}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSpec([]byte(tc.json)); err == nil {
+			t.Errorf("%s: %s accepted", tc.name, tc.json)
+		}
+	}
+}
+
+func TestCanonicalKeyStability(t *testing.T) {
+	a, err := ParseSpec([]byte(`{"model": "ffw", "seed": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same experiment, different field order and explicit defaults.
+	b, err := ParseSpec([]byte(`{"seed": 7, "duration_ms": 1000, "model": "ffw", "width": 16}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Error("equivalent specs produced different canonical keys")
+	}
+
+	c := a
+	c.Seed = 8
+	if a.CanonicalKey() == c.CanonicalKey() {
+		t.Error("different seeds share a canonical key")
+	}
+
+	// A fault time without faults is normalized away.
+	d, err := ParseSpec([]byte(`{"model": "ffw", "seed": 7, "fault_at_ms": 500}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CanonicalKey() != d.CanonicalKey() {
+		t.Error("vacuous fault_at_ms changed the canonical key")
+	}
+
+	// Overrides the model never reads are normalized away too.
+	plain, _ := ParseSpec([]byte(`{"model": "none", "seed": 7}`))
+	withFFW, err := ParseSpec([]byte(`{"model": "none", "seed": 7, "ffw": {"timeout_ms": 5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CanonicalKey() != withFFW.CanonicalKey() {
+		t.Error("model-irrelevant ffw override changed the canonical key")
+	}
+
+	// Degenerate and empty overrides normalize away entirely.
+	zeroTimeout, err := ParseSpec([]byte(`{"model": "ffw", "seed": 7, "ffw": {"timeout_ms": 0}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyBlock, _ := ParseSpec([]byte(`{"model": "ffw", "seed": 7, "ffw": {}}`))
+	if a.CanonicalKey() != zeroTimeout.CanonicalKey() || a.CanonicalKey() != emptyBlock.CanonicalKey() {
+		t.Error("vacuous ffw overrides changed the canonical key")
+	}
+}
+
+func TestPartialOverridesMergeWithDefaults(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"model": "ni", "ni": {"threshold": 60}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.toExperiment(0)
+	def := aim.DefaultNIParams()
+	if e.NI == nil || e.NI.Threshold != 60 {
+		t.Fatalf("threshold override lost: %+v", e.NI)
+	}
+	if e.NI.InternalWeight != def.InternalWeight || e.NI.PinSources != def.PinSources {
+		t.Errorf("omitted NI fields did not keep paper defaults: %+v (want weight %d, pin %v)",
+			e.NI, def.InternalWeight, def.PinSources)
+	}
+
+	f, err := ParseSpec([]byte(`{"model": "ffw", "ffw": {"pin_sources": false}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef := f.toExperiment(0)
+	if ef.FFW == nil || ef.FFW.PinSources {
+		t.Fatalf("explicit pin_sources=false lost: %+v", ef.FFW)
+	}
+	if ef.FFW.Timeout != aim.DefaultFFWParams().Timeout || !ef.FFW.ArmOnLapse {
+		t.Errorf("omitted FFW fields did not keep paper defaults: %+v", ef.FFW)
+	}
+}
+
+func TestToExperiment(t *testing.T) {
+	s, err := ParseSpec([]byte(`{
+		"model": "ffw", "seed": 10, "graph": "pipeline",
+		"duration_ms": 200, "num_faults": 3, "fault_at_ms": 100,
+		"thermal_dvfs": true,
+		"ffw": {"timeout_ms": 15, "arm_on_lapse": true, "pin_sources": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.toExperiment(2)
+	if e.Model != experiments.ModelFFW {
+		t.Errorf("model = %v, want ffw", e.Model)
+	}
+	if e.Seed != 12 {
+		t.Errorf("batch run 2 seed = %d, want base+2 = 12", e.Seed)
+	}
+	if e.Graph == nil {
+		t.Error("pipeline graph not built")
+	}
+	if e.FFW == nil || e.FFW.Timeout != sim.Ms(15) {
+		t.Errorf("FFW override not converted: %+v", e.FFW)
+	}
+	if e.Thermal == nil || !e.ThermalDVFS {
+		t.Error("thermal_dvfs did not enable the thermal model")
+	}
+	if e.NumFaults != 3 || e.FaultAtMs != 100 {
+		t.Errorf("fault plan lost: %d faults at %d ms", e.NumFaults, e.FaultAtMs)
+	}
+}
+
+func TestCanonicalKeyIsHex(t *testing.T) {
+	s, _ := ParseSpec([]byte(`{}`))
+	key := s.CanonicalKey()
+	if len(key) != 64 || strings.Trim(key, "0123456789abcdef") != "" {
+		t.Errorf("canonical key %q is not a hex SHA-256", key)
+	}
+}
