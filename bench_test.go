@@ -152,8 +152,6 @@ func BenchmarkAblationRoutingUnderFaults(b *testing.B) {
 			p := platform.New(cfg)
 			p.RunFor(sim.Ms(300), nil)
 			pre := p.Counters().InstancesCompleted
-			ctl := platform.NewController(p)
-			_ = ctl
 			p.InjectFaults(faultSample(p, 42))
 			p.RunFor(sim.Ms(300), nil)
 			post := p.Counters().InstancesCompleted - pre

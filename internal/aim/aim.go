@@ -78,3 +78,21 @@ const (
 // Factory builds one engine per node. Engines must not be shared between
 // nodes — each AIM is embedded at its own router.
 type Factory func(g *taskgraph.Graph) Engine
+
+// DecideWaker is the optional scheduling contract an engine implements to
+// opt into the platform's activity-tracked stepping: between monitor stimuli
+// the platform polls Decide only at the ticks the engine asks for.
+//
+// NextDecide is queried immediately after every Decide call. It returns the
+// earliest future tick at which Decide could act or mutate engine state
+// without any new stimulus arriving first (FFW's armed timeout expiring, an
+// adaptive NI threshold decaying); has is false when, absent stimuli, every
+// future Decide call would be a pure no-op returning no switch. A fresh
+// stimulus always re-polls the engine on its own tick, so NextDecide only
+// needs to cover the engine's self-driven timers.
+//
+// Engines that do not implement DecideWaker are conservatively polled every
+// tick, exactly like the dense reference scan.
+type DecideWaker interface {
+	NextDecide(now sim.Tick) (at sim.Tick, has bool)
+}

@@ -130,6 +130,26 @@ func (e *FFW) Decide(now sim.Tick) (taskgraph.TaskID, bool) {
 	return task, true
 }
 
+// NextDecide implements DecideWaker. In the paper's lapse-armed model the
+// engine is dormant until the armed timeout expires; in the pure-idleness
+// ablation Decide re-arms lastWork every Timeout window, so the next
+// self-driven mutation is always one timeout after the last.
+func (e *FFW) NextDecide(now sim.Tick) (sim.Tick, bool) {
+	if e.peek == nil {
+		return 0, false
+	}
+	if e.par.PinSources && e.graph.IsSource(e.current) {
+		return 0, false
+	}
+	if e.par.ArmOnLapse {
+		if !e.armed {
+			return 0, false
+		}
+		return e.armTime + e.par.Timeout, true
+	}
+	return e.lastWork + e.par.Timeout, true
+}
+
 // NoteTask implements Engine.
 func (e *FFW) NoteTask(task taskgraph.TaskID) { e.current = task }
 

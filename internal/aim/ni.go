@@ -180,6 +180,17 @@ func (e *NI) decayThreshold(now sim.Tick) {
 	}
 }
 
+// NextDecide implements DecideWaker: without new stimuli the only self-driven
+// behaviour is the adaptive-threshold decay, which can newly satisfy a
+// counter's firing level. The base (non-adaptive) model is purely
+// stimulus-driven.
+func (e *NI) NextDecide(now sim.Tick) (sim.Tick, bool) {
+	if e.par.AdaptStep <= 0 || e.level <= e.par.Threshold {
+		return 0, false
+	}
+	return e.lastDecay + e.par.AdaptDecay, true
+}
+
 // NoteTask implements Engine.
 func (e *NI) NoteTask(task taskgraph.TaskID) { e.current = task }
 

@@ -34,6 +34,10 @@ func (None) OnNeighborSignal(taskgraph.TaskID, sim.Tick) {}
 // Decide implements Engine: the baseline never switches.
 func (None) Decide(sim.Tick) (taskgraph.TaskID, bool) { return taskgraph.None, false }
 
+// NextDecide implements DecideWaker: the baseline has no timers and never
+// needs another poll.
+func (None) NextDecide(sim.Tick) (sim.Tick, bool) { return 0, false }
+
 // NoteTask implements Engine.
 func (None) NoteTask(taskgraph.TaskID) {}
 

@@ -1,0 +1,168 @@
+package centurion
+
+// The determinism contract of the activity-tracked stepping core: for the
+// same configuration and seed, parking idle PEs, sweeping only active
+// routers and polling only stimulated engines must be bit-identical to the
+// dense full scan — same counters, same fabric stats, same per-node state,
+// same per-window throughput series, tick for tick. This suite runs both
+// cores side by side across models × seeds, fault-free and faulted, and is
+// the permanent regression guard for ISSUE 2.
+
+import (
+	"fmt"
+	"testing"
+
+	"centurion/internal/aim"
+	"centurion/internal/faults"
+	"centurion/internal/noc"
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+	"centurion/internal/thermal"
+)
+
+// steppingSnapshot captures everything the equivalence check compares.
+type steppingSnapshot struct {
+	counters Counters
+	net      noc.NetworkStats
+	now      sim.Tick
+	series   []uint64           // completed instances per 1 ms window
+	tasks    []taskgraph.TaskID // final task of every node
+	work     [][3]uint64        // per-node Generated, Processed, Switches
+}
+
+// runStepping executes one run and snapshots its observable state. The fault
+// plan (nil = fault-free) is injected through the controller at 50 ms.
+func runStepping(cfg Config, dense bool, faultNodes []noc.NodeID) steppingSnapshot {
+	cfg.DenseStepping = dense
+	p := New(cfg)
+	if len(faultNodes) > 0 {
+		NewController(p).ScheduleFaults(sim.Ms(50), faultNodes)
+	}
+	const windows = 200 // 200 ms at 1 ms per window
+	snap := steppingSnapshot{series: make([]uint64, windows)}
+	var last uint64
+	for w := 0; w < windows; w++ {
+		p.RunFor(sim.Ms(1), nil)
+		c := p.Counters()
+		snap.series[w] = c.InstancesCompleted - last
+		last = c.InstancesCompleted
+	}
+	snap.counters = p.Counters()
+	snap.net = p.Net.Stats()
+	snap.now = p.Now()
+	for _, pe := range p.PEs() {
+		snap.tasks = append(snap.tasks, pe.Task())
+		snap.work = append(snap.work, [3]uint64{pe.Stats.Generated, pe.Stats.Processed, pe.Stats.Switches})
+	}
+	return snap
+}
+
+func compareSnapshots(t *testing.T, dense, active steppingSnapshot) {
+	t.Helper()
+	if dense.counters != active.counters {
+		t.Errorf("counters diverged:\n dense:  %+v\n active: %+v", dense.counters, active.counters)
+	}
+	if dense.net != active.net {
+		t.Errorf("network stats diverged:\n dense:  %+v\n active: %+v", dense.net, active.net)
+	}
+	if dense.now != active.now {
+		t.Errorf("clocks diverged: dense %v, active %v", dense.now, active.now)
+	}
+	for w := range dense.series {
+		if dense.series[w] != active.series[w] {
+			t.Errorf("throughput series diverged at window %d: dense %d, active %d",
+				w, dense.series[w], active.series[w])
+			break
+		}
+	}
+	for id := range dense.tasks {
+		if dense.tasks[id] != active.tasks[id] {
+			t.Errorf("node %d final task diverged: dense %d, active %d",
+				id, dense.tasks[id], active.tasks[id])
+			break
+		}
+	}
+	for id := range dense.work {
+		if dense.work[id] != active.work[id] {
+			t.Errorf("node %d stats diverged: dense %v, active %v",
+				id, dense.work[id], active.work[id])
+			break
+		}
+	}
+}
+
+func TestSteppingEquivalence(t *testing.T) {
+	models := []struct {
+		name    string
+		factory aim.Factory
+		mapper  taskgraph.Mapper
+	}{
+		{"none", aim.NewNone, taskgraph.HeuristicMapper{}},
+		{"ni", aim.NewNIFactory(aim.DefaultNIParams()), taskgraph.RandomMapper{}},
+		{"ffw", aim.NewFFWFactory(aim.DefaultFFWParams()), taskgraph.RandomMapper{}},
+	}
+	for _, m := range models {
+		for seed := uint64(1); seed <= 3; seed++ {
+			for _, faulted := range []bool{false, true} {
+				name := fmt.Sprintf("%s/seed=%d/faulted=%v", m.name, seed, faulted)
+				t.Run(name, func(t *testing.T) {
+					cfg := DefaultConfig(m.factory, m.mapper, seed)
+					var plan []noc.NodeID
+					if faulted {
+						plan = faults.RandomNodes(noc.NewTopology(cfg.Width, cfg.Height),
+							12, sim.NewRNG(seed^0xfa17))
+					}
+					dense := runStepping(cfg, true, plan)
+					active := runStepping(cfg, false, plan)
+					compareSnapshots(t, dense, active)
+				})
+			}
+		}
+	}
+}
+
+// TestSteppingEquivalenceExtensions covers the optional machinery the base
+// matrix misses: neighbour signalling, adaptive NI thresholds, the FFW
+// idleness ablation, the thermal DVFS governor, and a non-default graph.
+func TestSteppingEquivalenceExtensions(t *testing.T) {
+	adaptive := aim.DefaultNIParams()
+	adaptive.AdaptStep = 8
+	idleFFW := aim.DefaultFFWParams()
+	idleFFW.ArmOnLapse = false
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"neighbor-signals", func() Config {
+			c := DefaultConfig(aim.NewNIFactory(aim.DefaultNIParams()), taskgraph.RandomMapper{}, 7)
+			c.NeighborSignals = true
+			return c
+		}()},
+		{"adaptive-ni", DefaultConfig(aim.NewNIFactory(adaptive), taskgraph.RandomMapper{}, 8)},
+		{"ffw-idle-ablation", DefaultConfig(aim.NewFFWFactory(idleFFW), taskgraph.RandomMapper{}, 9)},
+		{"thermal-dvfs", func() Config {
+			c := DefaultConfig(aim.NewFFWFactory(aim.DefaultFFWParams()), taskgraph.RandomMapper{}, 10)
+			hot := thermal.DefaultParams()
+			hot.HeatPerWork = 16
+			hot.MaxSafe = 80
+			c.Thermal = &hot
+			c.ThermalDVFS = true
+			return c
+		}()},
+		{"pipeline-graph", func() Config {
+			c := DefaultConfig(aim.NewFFWFactory(aim.DefaultFFWParams()), taskgraph.RandomMapper{}, 11)
+			c.Graph = taskgraph.Pipeline(4, 120, 24)
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := faults.RandomNodes(noc.NewTopology(tc.cfg.Width, tc.cfg.Height),
+				8, sim.NewRNG(0xc0ffee))
+			dense := runStepping(tc.cfg, true, plan)
+			active := runStepping(tc.cfg, false, plan)
+			compareSnapshots(t, dense, active)
+		})
+	}
+}

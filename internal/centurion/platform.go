@@ -57,6 +57,14 @@ type Config struct {
 	// hysteresis threshold (the paper's frequency knob, 10–300 MHz on the
 	// real platform).
 	ThermalDVFS bool
+	// DenseStepping selects the reference stepping core: every PE, router
+	// and AIM is touched on every tick, as the original implementation did.
+	// The default (false) is the activity-tracked core — idle PEs park in
+	// the event queue, only routers holding traffic are serviced, and only
+	// stimulated engines are polled — which is bit-identical by contract
+	// (enforced by TestSteppingEquivalence) but orders of magnitude cheaper
+	// at steady state.
+	DenseStepping bool
 }
 
 // DefaultConfig returns the paper's experiment configuration with the given
@@ -84,6 +92,13 @@ type Counters struct {
 	PacketsRescued     uint64
 }
 
+// peParkHorizon is the shortest park worth an event-queue round trip, in
+// ticks. A PE whose next self-driven wake is at most this close stays in the
+// active sweep and idles there — e.g. the default sink task (6-tick
+// processing) never touches the heap, while workers (48) and sources (120)
+// park.
+const peParkHorizon = 8
+
 // Platform is one assembled many-core system.
 type Platform struct {
 	Cfg   Config
@@ -97,6 +112,17 @@ type Platform struct {
 	clock   sim.Clock
 	rng     *sim.RNG
 	events  sim.EventQueue
+
+	// Activity tracking for the event-driven stepping core. peSet and
+	// engSet hold the PEs that must be ticked and the engines that must be
+	// polled this tick; parked components are woken by stimuli or by the
+	// wake tables' events in the shared event queue.
+	peSet      *sim.ActiveSet
+	engSet     *sim.ActiveSet
+	peWake     *wakeTable
+	engWake    *wakeTable
+	engWaker   []aim.DecideWaker
+	engPollAll bool // an engine lacks NextDecide: poll all, never fast-forward
 
 	nextPkt  uint64
 	nextInst uint64
@@ -156,9 +182,15 @@ func New(cfg Config) *Platform {
 		}
 	}
 
-	p.pes = make([]*node.PE, p.Topo.Nodes())
-	p.engines = make([]aim.Engine, p.Topo.Nodes())
-	for id := 0; id < p.Topo.Nodes(); id++ {
+	nodes := p.Topo.Nodes()
+	p.pes = make([]*node.PE, nodes)
+	p.engines = make([]aim.Engine, nodes)
+	p.peSet = sim.NewActiveSet(nodes)
+	p.engSet = sim.NewActiveSet(nodes)
+	p.peWake = newWakeTable(nodes, &p.events, p.peSet)
+	p.engWake = newWakeTable(nodes, &p.events, p.engSet)
+	p.engWaker = make([]aim.DecideWaker, nodes)
+	for id := 0; id < nodes; id++ {
 		nid := noc.NodeID(id)
 		phase := sim.Tick(p.rng.Intn(int(maxPhase)))
 		pe := node.NewPE(nid, platformEnv{p}, cfg.PE, mapping[id], phase)
@@ -167,6 +199,20 @@ func New(cfg Config) *Platform {
 		engine := cfg.Engines(cfg.Graph)
 		engine.NoteTask(mapping[id])
 		p.engines[id] = engine
+		if w, ok := engine.(aim.DecideWaker); ok {
+			p.engWaker[id] = w
+		} else {
+			// Unknown engine (embedded PicoBlaze, user-supplied): fall back
+			// to polling every engine every tick, exactly like the dense
+			// scan, so custom Decide semantics are never skipped.
+			p.engPollAll = true
+		}
+
+		// Everything starts active; components park themselves after their
+		// first tick.
+		pe.OnStir = func() { p.peSet.Add(id) }
+		p.peSet.Add(id)
+		p.engSet.Add(id)
 
 		p.wireNode(nid, pe, engine)
 	}
@@ -237,10 +283,29 @@ func (p *Platform) wireNode(id noc.NodeID, pe *node.PE, engine aim.Engine) {
 		}
 		return pe.Accept(pkt, now)
 	}
-	r.Monitors.RoutedTask = engine.OnRouted
-	r.Monitors.InternalDelivery = engine.OnInternal
-	r.Monitors.DeadlineLapse = engine.OnDeadlineLapse
-	pe.OnGenerate = engine.OnGenerated
+	// Monitor taps mark the engine dirty so the stepping core polls Decide
+	// on stimulated ticks only. The no-intelligence baseline ignores every
+	// stimulus, so its taps stay nil and the router hot path skips the calls
+	// entirely.
+	if _, isNone := engine.(aim.None); !isNone {
+		eid := int(id)
+		r.Monitors.RoutedTask = func(task taskgraph.TaskID, now sim.Tick) {
+			engine.OnRouted(task, now)
+			p.engSet.Add(eid)
+		}
+		r.Monitors.InternalDelivery = func(task taskgraph.TaskID, now sim.Tick) {
+			engine.OnInternal(task, now)
+			p.engSet.Add(eid)
+		}
+		r.Monitors.DeadlineLapse = func(task taskgraph.TaskID, now sim.Tick) {
+			engine.OnDeadlineLapse(task, now)
+			p.engSet.Add(eid)
+		}
+		pe.OnGenerate = func(now sim.Tick) {
+			engine.OnGenerated(now)
+			p.engSet.Add(eid)
+		}
+	}
 	if ffw, ok := engine.(*aim.FFW); ok {
 		// FFW adoption is limited to packets this node could sink locally:
 		// join-bound traffic belongs to its fork-time join node.
@@ -259,6 +324,7 @@ func (p *Platform) wireNode(id noc.NodeID, pe *node.PE, engine aim.Engine) {
 			for port := noc.North; port <= noc.West; port++ {
 				if nb, ok := p.Topo.Neighbor(id, port); ok {
 					p.engines[nb].OnNeighborSignal(to, now)
+					p.engSet.Add(int(nb))
 				}
 			}
 		}
@@ -278,6 +344,9 @@ func (c *nodeConfig) ApplyConfig(op noc.ConfigOp, arg, arg2 int, now sim.Tick) {
 	switch op {
 	case noc.OpAIMParam:
 		c.p.engines[c.id].SetParam(arg, arg2)
+		// A parameter write can change the engine's timing (FFW timeout, NI
+		// thresholds): re-poll it so a fresh wake is scheduled.
+		c.p.engSet.Add(int(c.id))
 	case noc.OpNodeReset:
 		pe.Reset(now)
 	case noc.OpNodeClockEnable:
@@ -415,38 +484,164 @@ func (p *Platform) InjectFaults(nodes []noc.NodeID) {
 
 // Step advances the platform one tick: scheduled events, processing
 // elements, fabric, then intelligence decisions.
+//
+// The default core is activity-tracked: only enrolled PEs are ticked, only
+// routers holding traffic are serviced, and only stimulated (or timer-due)
+// engines are polled. Sweeps run in ascending node-ID order — the order the
+// dense scan uses — so for the same seed the two cores produce bit-identical
+// counters and series (TestSteppingEquivalence).
 func (p *Platform) Step() {
 	now := p.clock.Now()
 	p.events.RunDue(now)
 	p.stepThermal(now)
-	for _, pe := range p.pes {
-		pe.Tick(now)
-	}
-	p.Net.Tick(now)
-	for id, engine := range p.engines {
-		task, ok := engine.Decide(now)
-		if !ok {
-			continue
+	if p.Cfg.DenseStepping {
+		p.stepDense(now)
+	} else {
+		p.peSet.Sweep(func(id int) bool {
+			pe := p.pes[id]
+			pe.Tick(now)
+			wake, has, parkable := pe.NextWake(now)
+			if !parkable {
+				return true
+			}
+			if has {
+				// Near wakes stay enrolled: a few no-op ticks are cheaper
+				// than two event-heap operations (and equally deterministic —
+				// the dense scan ticks idle PEs every cycle anyway).
+				if wake-now <= peParkHorizon {
+					return true
+				}
+				p.peWake.schedule(id, wake)
+			}
+			return false
+		})
+		p.Net.Tick(now)
+		if p.engPollAll {
+			for id := range p.engines {
+				p.pollEngine(id, now)
+			}
+		} else {
+			p.engSet.Sweep(func(id int) bool { return p.pollEngine(id, now) })
 		}
-		pe := p.pes[id]
-		if !pe.Alive() {
-			continue
-		}
-		pe.SwitchTask(task, now)
-		engine.NoteTask(pe.Task())
 	}
 	p.clock.Step()
 }
 
+// stepDense is the reference full scan: every component, every tick.
+func (p *Platform) stepDense(now sim.Tick) {
+	for _, pe := range p.pes {
+		pe.Tick(now)
+	}
+	p.Net.TickDense(now)
+	for id := range p.engines {
+		p.pollEngine(id, now)
+	}
+}
+
+// pollEngine runs one AIM decision pass and applies a fired switch. It
+// returns whether a switch was applied (a fired engine stays enrolled one
+// more tick so its post-switch state is re-polled). After the pass the
+// engine's self-reported next decision tick is scheduled as a wake event.
+func (p *Platform) pollEngine(id int, now sim.Tick) bool {
+	engine := p.engines[id]
+	task, ok := engine.Decide(now)
+	fired := false
+	if ok {
+		pe := p.pes[id]
+		if pe.Alive() {
+			pe.SwitchTask(task, now)
+			engine.NoteTask(pe.Task())
+			fired = true
+		}
+	}
+	if !p.Cfg.DenseStepping && !p.engPollAll {
+		if w := p.engWaker[id]; w != nil {
+			if at, has := w.NextDecide(now); has {
+				p.engWake.schedule(id, at)
+			}
+		}
+	}
+	return fired
+}
+
+// wakeTable parks the members of one component class (PEs or engines): a
+// scheduled wake re-enrolls the member in its active set, with wake events
+// deduplicated against the earliest pending tick per member. The per-member
+// event closures are bound once so parking never allocates.
+type wakeTable struct {
+	events *sim.EventQueue
+	at     []sim.Tick // earliest pending wake per member, -1 when none
+	fn     []func(sim.Tick)
+}
+
+func newWakeTable(n int, events *sim.EventQueue, set *sim.ActiveSet) *wakeTable {
+	w := &wakeTable{events: events, at: make([]sim.Tick, n), fn: make([]func(sim.Tick), n)}
+	for id := 0; id < n; id++ {
+		w.at[id] = -1
+		w.fn[id] = func(fired sim.Tick) {
+			if w.at[id] == fired {
+				w.at[id] = -1
+			}
+			set.Add(id)
+		}
+	}
+	return w
+}
+
+// schedule arranges a wake at the given tick, deduplicating against an
+// earlier-or-equal pending wake. Superseded later wakes still fire but are
+// spurious by the stepping core's contract (an extra tick on a parked
+// component is a no-op).
+func (w *wakeTable) schedule(id int, at sim.Tick) {
+	if p := w.at[id]; p >= 0 && p <= at {
+		return
+	}
+	w.at[id] = at
+	w.events.Schedule(at, w.fn[id])
+}
+
 // RunFor advances the platform by d ticks, invoking onTick (when non-nil)
-// after each step with the tick that just executed.
+// after each step with the tick that just executed. When the platform is
+// fully idle — no active PEs, routers or engines — the clock fast-forwards
+// to the next scheduled wake (bounded by thermal steps and the run end)
+// instead of executing no-op ticks; per-tick observers disable the skip.
 func (p *Platform) RunFor(d sim.Tick, onTick func(now sim.Tick)) {
-	for i := sim.Tick(0); i < d; i++ {
+	end := p.clock.Now() + d
+	for p.clock.Now() < end {
+		if onTick == nil {
+			p.fastForward(end)
+			if p.clock.Now() >= end {
+				return
+			}
+		}
 		start := p.clock.Now()
 		p.Step()
 		if onTick != nil {
 			onTick(start)
 		}
+	}
+}
+
+// fastForward advances the clock to the next tick with any work pending,
+// capped at end. It is a no-op unless the active stepping core is in use and
+// every component is parked.
+func (p *Platform) fastForward(end sim.Tick) {
+	if p.Cfg.DenseStepping || p.engPollAll {
+		return
+	}
+	if !p.peSet.Empty() || !p.engSet.Empty() || p.Net.ActiveRouters() > 0 {
+		return
+	}
+	now := p.clock.Now()
+	next := end
+	if at, ok := p.events.PeekTick(); ok && at < next {
+		next = at
+	}
+	if p.heat != nil && p.nextHeat < next {
+		next = p.nextHeat
+	}
+	if next > now {
+		p.clock.Advance(next - now)
 	}
 }
 

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"centurion/internal/metrics"
 )
 
 // Short runs keep the suite fast; shapes are asserted loosely here and
@@ -30,11 +32,48 @@ func TestRunBaseline(t *testing.T) {
 }
 
 func TestRunDeterministicPerSeed(t *testing.T) {
-	spec := DefaultSpec(ModelFFW, 7)
-	spec.DurationMs = 200
-	a, b := Run(spec), Run(spec)
-	if a.Counters != b.Counters {
-		t.Errorf("same spec diverged: %+v vs %+v", a.Counters, b.Counters)
+	// Same spec + seed twice must reproduce not just the counters but the
+	// full throughput/activity/switch series, for every model, fault-free
+	// and faulted — the spec-level face of the stepping determinism
+	// contract (see internal/centurion's TestSteppingEquivalence for the
+	// dense-versus-active half).
+	sameSeries := func(a, b *metrics.Series) bool {
+		if len(a.Values) != len(b.Values) {
+			return false
+		}
+		for i := range a.Values {
+			if a.Values[i] != b.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, model := range Models {
+		for _, faults := range []int{0, 16} {
+			spec := DefaultSpec(model, 7)
+			spec.DurationMs = 200
+			if faults > 0 {
+				spec.FaultAtMs = 100
+				spec.NumFaults = faults
+			}
+			a, b := Run(spec), Run(spec)
+			if a.Counters != b.Counters {
+				t.Errorf("%v faults=%d: counters diverged: %+v vs %+v",
+					model, faults, a.Counters, b.Counters)
+			}
+			for _, s := range []struct {
+				name string
+				x, y *metrics.Series
+			}{
+				{"throughput", a.Throughput, b.Throughput},
+				{"nodes-active", a.NodesActive, b.NodesActive},
+				{"switches", a.Switches, b.Switches},
+			} {
+				if !sameSeries(s.x, s.y) {
+					t.Errorf("%v faults=%d: %s series diverged", model, faults, s.name)
+				}
+			}
+		}
 	}
 }
 

@@ -76,6 +76,11 @@ type Network struct {
 	cfg     Params
 	routers []*Router
 
+	// active tracks routers with queued packets. A router enrolls on any
+	// buffer push and retires once drained, so Tick sweeps only the part of
+	// the mesh actually carrying traffic instead of all W×H routers.
+	active *sim.ActiveSet
+
 	tables     *routeTables
 	haveFaults bool
 	faultyCnt  int
@@ -95,7 +100,7 @@ func NewNetwork(topo Topology, cfg Params) *Network {
 	if cfg.BufferFlits <= 0 {
 		cfg.BufferFlits = DefaultConfig().BufferFlits
 	}
-	n := &Network{Topo: topo, cfg: cfg}
+	n := &Network{Topo: topo, cfg: cfg, active: sim.NewActiveSet(topo.Nodes())}
 	n.routers = make([]*Router, topo.Nodes())
 	for id := range n.routers {
 		n.routers[id] = newRouter(NodeID(id), topo, n, cfg.BufferFlits, cfg.DeadlockLimit, cfg.RequeueLimit)
@@ -125,12 +130,32 @@ func (n *Network) Routers() []*Router { return n.routers }
 // Stats returns the fabric-wide counters.
 func (n *Network) Stats() NetworkStats { return n.stats }
 
-// Tick advances every router by one cycle.
+// Tick advances the fabric by one cycle, servicing only routers with queued
+// packets. The sweep runs in ascending node-ID order — the same order as the
+// dense full scan — so results are bit-identical to TickDense: a router with
+// no queued packets is a no-op tick either way (its round-robin pointer only
+// advances while traffic is buffered).
 func (n *Network) Tick(now sim.Tick) {
+	n.active.Sweep(func(id int) bool {
+		r := n.routers[id]
+		r.Tick(now)
+		return r.queued > 0 && !r.faulty
+	})
+}
+
+// TickDense advances every router by one cycle, active or not — the
+// pre-active-set reference scan kept for the stepping-equivalence tests.
+func (n *Network) TickDense(now sim.Tick) {
 	for _, r := range n.routers {
 		r.Tick(now)
 	}
 }
+
+// ActiveRouters returns the number of routers currently holding traffic.
+func (n *Network) ActiveRouters() int { return n.active.Len() }
+
+// activate enrolls a router in the active sweep (called on buffer push).
+func (n *Network) activate(id NodeID) { n.active.Add(int(id)) }
 
 // Inject enqueues a packet at the source node's Local input channel.
 // It returns false (without consuming the packet) under back-pressure.
@@ -176,6 +201,7 @@ func (n *Network) Fail(id NodeID, now sim.Tick) {
 		return
 	}
 	lost := r.fail()
+	n.active.Remove(int(id))
 	n.faultyCnt++
 	for _, p := range lost {
 		n.handleDrop(id, p, DropRouterFailed)

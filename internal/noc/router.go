@@ -72,6 +72,13 @@ type Router struct {
 	blockedSince  [NumPorts]sim.Tick
 	portDisabled  [NumPorts]bool
 	rr            int
+	// queued is the packet count across all input buffers, maintained on
+	// every push/pop so the idle check and the network's active-router set
+	// are O(1) instead of a per-tick occupancy scan. occ mirrors it per
+	// port (bit p set = port p non-empty) so Tick services only occupied
+	// ports.
+	queued int
+	occ    uint8
 
 	faulty        bool
 	deadlockLimit sim.Tick
@@ -113,12 +120,36 @@ func (r *Router) SetConfigSink(s ConfigSink) { r.configSink = s }
 func (r *Router) Faulty() bool { return r.faulty }
 
 // QueuedPackets returns the number of packets across all input buffers.
-func (r *Router) QueuedPackets() int {
-	n := 0
-	for p := Port(0); p < NumPorts; p++ {
-		n += r.in[p].Len()
+func (r *Router) QueuedPackets() int { return r.queued }
+
+// pushIn enqueues a packet on an input buffer, maintaining the queued
+// counter and enrolling the router in the network's active set. All buffer
+// pushes go through here.
+func (r *Router) pushIn(port Port, p *Packet, readyAt sim.Tick) bool {
+	if !r.in[port].Push(p, readyAt) {
+		return false
 	}
-	return n
+	r.queued++
+	r.occ |= 1 << port
+	r.net.activate(r.ID)
+	return true
+}
+
+// popIn dequeues the head packet of an input buffer, maintaining the queued
+// counter. All buffer pops go through here. Removing a head always clears
+// the port's blocked-since timestamp: whatever happens to the packet next
+// (forward, deliver, recover, drop), the successor head starts a fresh
+// deadlock countdown.
+func (r *Router) popIn(port Port) *Packet {
+	p := r.in[port].Pop()
+	if p != nil {
+		r.queued--
+		r.blockedSince[port] = 0
+		if r.in[port].Len() == 0 {
+			r.occ &^= 1 << port
+		}
+	}
+	return p
 }
 
 // QueuedHeadTask returns the destination task of the oldest ready head
@@ -161,20 +192,15 @@ func (r *Router) Inject(p *Packet, now sim.Tick) bool {
 	if r.faulty || r.portDisabled[Local] {
 		return false
 	}
-	return r.in[Local].Push(p, now)
+	return r.pushIn(Local, p, now)
 }
 
 // Tick advances the router by one cycle.
 func (r *Router) Tick(now sim.Tick) {
-	if r.faulty {
-		return
-	}
 	// Fast path: idle routers do nothing, which keeps 100-run sweeps cheap.
-	queued := 0
-	for p := Port(0); p < NumPorts; p++ {
-		queued += r.in[p].Len()
-	}
-	if queued == 0 {
+	// (The active-set sweep normally skips them before this check; direct
+	// callers get the same answer from the O(1) counter.)
+	if r.faulty || r.queued == 0 {
 		return
 	}
 
@@ -185,7 +211,9 @@ func (r *Router) Tick(now sim.Tick) {
 	}
 	for i := 0; i < int(NumPorts); i++ {
 		port := Port((start + i) % int(NumPorts))
-		r.servicePort(port, now)
+		if r.occ&(1<<port) != 0 {
+			r.servicePort(port, now)
+		}
 	}
 }
 
@@ -210,8 +238,7 @@ func (r *Router) servicePort(port Port, now sim.Tick) {
 	// Task-addressed absorption: an en-route owner of the packet's task may
 	// sink it locally instead of forwarding.
 	if pkt.Kind == Data && r.Absorb != nil && r.Absorb(pkt, now) {
-		b.Pop()
-		r.blockedSince[port] = 0
+		r.popIn(port)
 		r.Stats.Delivered++
 		if r.Monitors.InternalDelivery != nil {
 			r.Monitors.InternalDelivery(pkt.Task, now)
@@ -224,12 +251,11 @@ func (r *Router) servicePort(port Port, now sim.Tick) {
 	if out == PortInvalid || out == Local {
 		// Unreachable destination (e.g. partitioned by faults): hand the
 		// packet to the recovery path so the platform can retarget it.
-		b.Pop()
+		r.popIn(port)
 		r.recover(pkt, now)
 		return
 	}
 	if r.tryForward(port, out, pkt, now) {
-		r.blockedSince[port] = 0
 		return
 	}
 	// Head is blocked: track for deadlock recovery.
@@ -251,9 +277,7 @@ func (r *Router) servicePort(port Port, now sim.Tick) {
 // packets" behaviour of the paper's router, which is explicitly not
 // guaranteed to resolve every deadlock.
 func (r *Router) recoverBlocked(port Port, pkt *Packet, now sim.Tick) {
-	b := r.in[port]
-	b.Pop()
-	r.blockedSince[port] = 0
+	r.popIn(port)
 	r.Stats.Recovered++
 	if r.Monitors.Recovery != nil {
 		r.Monitors.Recovery(pkt, now)
@@ -261,7 +285,7 @@ func (r *Router) recoverBlocked(port Port, pkt *Packet, now sim.Tick) {
 	pkt.requeues++
 	if pkt.requeues <= r.requeueLimit {
 		// Rotate to the tail: capacity freed by the pop guarantees the push.
-		b.Push(pkt, now)
+		r.pushIn(port, pkt, now)
 		return
 	}
 	pkt.requeues = 0
@@ -269,23 +293,20 @@ func (r *Router) recoverBlocked(port Port, pkt *Packet, now sim.Tick) {
 }
 
 func (r *Router) deliverLocal(port Port, pkt *Packet, now sim.Tick) {
-	b := r.in[port]
 	switch pkt.Kind {
 	case Config:
-		b.Pop()
+		r.popIn(port)
 		r.applyConfig(pkt, now)
-		r.blockedSince[port] = 0
 		r.net.noteConfig()
 	case Debug, Data:
 		if r.sink == nil {
-			b.Pop()
+			r.popIn(port)
 			r.Stats.Dropped++
 			r.net.handleDrop(r.ID, pkt, DropNoSink)
 			return
 		}
 		if r.sink.Accept(pkt, now) {
-			b.Pop()
-			r.blockedSince[port] = 0
+			r.popIn(port)
 			r.Stats.Delivered++
 			if pkt.Kind == Data && r.Monitors.InternalDelivery != nil {
 				r.Monitors.InternalDelivery(pkt.Task, now)
@@ -322,10 +343,10 @@ func (r *Router) tryForward(inPort, out Port, pkt *Packet, now sim.Tick) bool {
 	if dur < 1 {
 		dur = 1
 	}
-	if !next.in[inSide].Push(pkt, now+dur) {
+	if !next.pushIn(inSide, pkt, now+dur) {
 		return false
 	}
-	r.in[inPort].Pop()
+	r.popIn(inPort)
 	r.linkBusyUntil[out] = now + dur
 	pkt.Hops++
 	pkt.requeues = 0
@@ -375,6 +396,8 @@ func (r *Router) fail() []*Packet {
 		lost = append(lost, r.in[p].Drain()...)
 		r.blockedSince[p] = 0
 	}
+	r.queued = 0
+	r.occ = 0
 	r.Stats.Dropped += uint64(len(lost))
 	return lost
 }

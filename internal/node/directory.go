@@ -20,9 +20,42 @@ type Directory struct {
 	taskOf []taskgraph.TaskID
 	alive  []bool
 	byTask map[taskgraph.TaskID][]noc.NodeID
-	// Version increments on every mutation; cached lookups can use it to
-	// detect staleness.
+	// Version increments on every mutation; cached lookups use it to detect
+	// staleness.
 	Version uint64
+
+	// nearCache and nearKCache memoize Nearest/NearestK results per
+	// (task, anchor) query; they are valid while Version == nearVersion and
+	// are flushed lazily on the first lookup after a mutation. Both lookups
+	// sit on hot paths — Nearest on packet retargeting, NearestK on every
+	// fork spread in generate/finish — and the directory mutates only on
+	// task switches and deaths, so between switches every repeated lookup
+	// is a single map probe instead of an owner scan.
+	nearCache   map[nearestKey]noc.NodeID
+	nearKCache  map[nearestKKey][]noc.NodeID
+	nearVersion uint64
+}
+
+// nearestKey identifies one memoized Nearest query.
+type nearestKey struct {
+	task taskgraph.TaskID
+	from noc.NodeID
+}
+
+// nearestKKey identifies one memoized NearestK query.
+type nearestKKey struct {
+	task taskgraph.TaskID
+	from noc.NodeID
+	k    int
+}
+
+// flushStale lazily invalidates the memoized lookups after a mutation.
+func (d *Directory) flushStale() {
+	if d.nearVersion != d.Version {
+		clear(d.nearCache)
+		clear(d.nearKCache)
+		d.nearVersion = d.Version
+	}
 }
 
 // NewDirectory builds a directory from an initial mapping.
@@ -96,8 +129,17 @@ func (d *Directory) Counts(maxID taskgraph.TaskID) []int {
 
 // Nearest returns the alive node running task that is closest (Manhattan)
 // to from, breaking ties toward the smaller node ID. ok is false when no
-// alive node runs the task.
+// alive node runs the task. Results are memoized per (task, from) until the
+// next directory mutation.
 func (d *Directory) Nearest(task taskgraph.TaskID, from noc.NodeID) (noc.NodeID, bool) {
+	if d.nearCache == nil {
+		d.nearCache = make(map[nearestKey]noc.NodeID, 64)
+	}
+	d.flushStale()
+	key := nearestKey{task, from}
+	if best, ok := d.nearCache[key]; ok {
+		return best, best != noc.Invalid
+	}
 	best := noc.Invalid
 	bestDist := 1 << 30
 	fc := d.topo.Coord(from)
@@ -110,13 +152,24 @@ func (d *Directory) Nearest(task taskgraph.TaskID, from noc.NodeID) (noc.NodeID,
 			best, bestDist = id, dist
 		}
 	}
+	d.nearCache[key] = best
 	return best, best != noc.Invalid
 }
 
 // NearestK returns up to k distinct alive owners of task ordered by
 // distance from from (ties toward smaller IDs). Used by fork nodes to
-// spread parallel branches over nearby workers.
+// spread parallel branches over nearby workers. Results are memoized per
+// (task, from, k) until the next directory mutation; callers must not
+// mutate the returned slice.
 func (d *Directory) NearestK(task taskgraph.TaskID, from noc.NodeID, k int) []noc.NodeID {
+	if d.nearKCache == nil {
+		d.nearKCache = make(map[nearestKKey][]noc.NodeID, 64)
+	}
+	d.flushStale()
+	key := nearestKKey{task, from, k}
+	if out, ok := d.nearKCache[key]; ok {
+		return out
+	}
 	type cand struct {
 		id   noc.NodeID
 		dist int
@@ -144,6 +197,7 @@ func (d *Directory) NearestK(task taskgraph.TaskID, from noc.NodeID, k int) []no
 		cands[i], cands[best] = cands[best], cands[i]
 		out = append(out, cands[i].id)
 	}
+	d.nearKCache[key] = out
 	return out
 }
 

@@ -110,6 +110,50 @@ func TestDirectoryNearestK(t *testing.T) {
 	}
 }
 
+// The memoized Nearest/NearestK lookups must stay coherent across directory
+// mutations: a cached answer from before a Set/SetAlive would steer packets
+// at stale owners. Version is the staleness signal.
+func TestDirectoryNearestCacheInvalidation(t *testing.T) {
+	topo := noc.NewTopology(4, 1)
+	d := NewDirectory(topo, taskgraph.Mapping{1, 2, 2, 1})
+
+	// Prime the caches.
+	if got, _ := d.Nearest(2, 0); got != 1 {
+		t.Fatalf("Nearest(2,0) = %d, want 1", got)
+	}
+	if got := d.NearestK(2, 0, 2); len(got) != 2 || got[0] != 1 {
+		t.Fatalf("NearestK(2,0,2) = %v, want [1 2]", got)
+	}
+	if _, ok := d.Nearest(3, 0); ok {
+		t.Fatal("Nearest found owner for unmapped task")
+	}
+
+	// Mutate: node 1 leaves task 2, node 0 joins task 3.
+	d.Set(1, 3)
+	if got, _ := d.Nearest(2, 0); got != 2 {
+		t.Errorf("Nearest(2,0) after Set = %d, want 2 (stale cache?)", got)
+	}
+	if got := d.NearestK(2, 0, 2); len(got) != 1 || got[0] != 2 {
+		t.Errorf("NearestK(2,0,2) after Set = %v, want [2]", got)
+	}
+	if got, ok := d.Nearest(3, 0); !ok || got != 1 {
+		t.Errorf("Nearest(3,0) after Set = %d,%v, want 1 (negative result cached?)", got, ok)
+	}
+
+	// Death must invalidate too.
+	d.SetAlive(2, false)
+	if _, ok := d.Nearest(2, 0); ok {
+		t.Error("Nearest returned a dead owner after SetAlive")
+	}
+
+	// Repeated lookups without mutations keep answering consistently.
+	for i := 0; i < 3; i++ {
+		if got, ok := d.Nearest(3, 3); !ok || got != 1 {
+			t.Fatalf("stable lookup %d = %d,%v, want 1", i, got, ok)
+		}
+	}
+}
+
 func TestDirectoryOwnersSorted(t *testing.T) {
 	d := dir4x4()
 	d.Set(15, 1)

@@ -88,16 +88,17 @@ type Stats struct {
 // The rotation spreads successive instances over the 2n+2 nearest owners so
 // that neighbouring producers do not all pile onto the same consumer — the
 // locality-preserving load spread described in DESIGN.md §5. The returned
-// slice is empty when no owner exists.
-func pickTargets(d *Directory, task taskgraph.TaskID, from noc.NodeID, n int, salt uint64) []noc.NodeID {
+// slice is empty when no owner exists; it aliases buf (the caller's scratch,
+// valid until the next call with the same buffer).
+func pickTargets(d *Directory, task taskgraph.TaskID, from noc.NodeID, n int, salt uint64, buf []noc.NodeID) []noc.NodeID {
 	pool := d.NearestK(task, from, 2*n+2)
 	if len(pool) == 0 {
 		return nil
 	}
-	out := make([]noc.NodeID, n)
+	out := buf[:0]
 	start := int(salt % uint64(len(pool)))
 	for i := 0; i < n; i++ {
-		out[i] = pool[(start+i)%len(pool)]
+		out = append(out, pool[(start+i)%len(pool)])
 	}
 	return out
 }
@@ -128,16 +129,23 @@ type PE struct {
 	nextGen sim.Tick
 	outbox  []*noc.Packet
 
-	joins       map[uint64]*joinState
+	joins       map[uint64]joinState
 	outstanding map[uint64]sim.Tick // un-acked instances (flow control)
 	nextJoin    sim.Tick            // next join GC sweep
 	workCount   uint64              // monotonically increasing "useful work" events
+	targetBuf   []noc.NodeID        // pickTargets scratch, reused across emissions
 
 	// OnGenerate, when set, fires on every generated work item — the AIM's
 	// generation stimulus (a busy source is doing work).
 	OnGenerate func(now sim.Tick)
 	// OnSwitch fires after the node switches task.
 	OnSwitch func(from, to taskgraph.TaskID, now sim.Tick)
+	// OnStir, when set, fires on any external stimulus that can change what
+	// the next Tick does (packet accepted, window slot acknowledged, task or
+	// knob changed). The platform's active-set stepping core uses it to
+	// re-enroll a parked PE; spurious stirs are harmless (an extra Tick on an
+	// idle PE is the no-op the dense scan would have executed anyway).
+	OnStir func()
 
 	Stats Stats
 }
@@ -155,7 +163,7 @@ func NewPE(id noc.NodeID, env Env, par Params, task taskgraph.TaskID, genPhase s
 		alive:   true,
 		clockEn: true,
 		freqDiv: 1,
-		joins:   make(map[uint64]*joinState),
+		joins:   make(map[uint64]joinState),
 	}
 	pe.outstanding = make(map[uint64]sim.Tick)
 	pe.nextGen = genPhase
@@ -178,7 +186,17 @@ func (pe *PE) QueueLen() int { return len(pe.queue) }
 // AckInstance delivers a completion (or loss) acknowledgement for an
 // instance this node generated, freeing its flow-control window slot.
 // Unknown instance IDs are ignored, so duplicate acknowledgements are safe.
-func (pe *PE) AckInstance(inst uint64) { delete(pe.outstanding, inst) }
+func (pe *PE) AckInstance(inst uint64) {
+	delete(pe.outstanding, inst)
+	pe.stir()
+}
+
+// stir notifies the platform that this PE was stimulated externally.
+func (pe *PE) stir() {
+	if pe.OnStir != nil {
+		pe.OnStir()
+	}
+}
 
 // Outstanding returns the number of un-acknowledged instances.
 func (pe *PE) Outstanding() int { return len(pe.outstanding) }
@@ -208,6 +226,7 @@ func (pe *PE) Fail(now sim.Tick) {
 
 // Reset is the RCAP node-reset knob: state clears but the PE stays alive.
 func (pe *PE) Reset(now sim.Tick) {
+	defer pe.stir()
 	for _, p := range pe.queue {
 		pe.env.PacketDropped(p, pe.ID, now)
 	}
@@ -218,7 +237,10 @@ func (pe *PE) Reset(now sim.Tick) {
 }
 
 // SetClockEnable is the RCAP clock-gate knob.
-func (pe *PE) SetClockEnable(en bool) { pe.clockEn = en }
+func (pe *PE) SetClockEnable(en bool) {
+	pe.clockEn = en
+	pe.stir()
+}
 
 // SetFrequencyDivider is the RCAP frequency-scaling knob: processing
 // latencies multiply by div (1 = full speed).
@@ -235,6 +257,7 @@ func (pe *PE) SwitchTask(to taskgraph.TaskID, now sim.Tick) {
 	if !pe.alive || to == pe.task || to == taskgraph.None {
 		return
 	}
+	pe.stir()
 	from := pe.task
 	pe.task = to
 	if pe.current != nil {
@@ -269,6 +292,7 @@ func (pe *PE) Accept(p *noc.Packet, now sim.Tick) bool {
 		return false
 	}
 	pe.queue = append(pe.queue, p)
+	pe.stir()
 	return true
 }
 
@@ -282,21 +306,76 @@ func (pe *PE) Tick(now sim.Tick) {
 	pe.process(now)
 	if pe.par.JoinTimeout > 0 && now >= pe.nextJoin {
 		pe.gcJoins(now)
-		pe.nextJoin = now + pe.par.JoinTimeout/4
+		// Phase-aligned to multiples of the sweep step rather than to now:
+		// when ticked every cycle both forms are identical (now lands exactly
+		// on the boundary), but a PE woken late from a park must rejoin the
+		// same GC schedule the dense scan would have kept.
+		step := pe.par.JoinTimeout / 4
+		if step < 1 {
+			step = 1
+		}
+		pe.nextJoin = now - now%step + step
 	}
 }
 
-// drainOutbox injects pending packets; send back-pressure stalls the PE.
-func (pe *PE) drainOutbox(now sim.Tick) {
-	for len(pe.outbox) > 0 {
-		p := pe.outbox[0]
-		if !pe.env.Inject(pe.ID, p, now) {
-			pe.Stats.StallTicks++
-			return
-		}
-		pe.outbox[0] = nil
-		pe.outbox = pe.outbox[1:]
+// NextWake reports whether the PE may be parked after its Tick at now —
+// meaning every subsequent Tick is a no-op until either an external stimulus
+// (OnStir) arrives or the returned wake tick is reached. hasWake is false
+// when only a stimulus can make the next Tick meaningful (dead or clock-gated
+// node, flow-control window blocked with no reclaim timeout). parkable is
+// false while the PE must be ticked every cycle (queued input, back-pressured
+// outbox).
+func (pe *PE) NextWake(now sim.Tick) (wake sim.Tick, hasWake, parkable bool) {
+	if !pe.alive || !pe.clockEn {
+		return 0, false, true
 	}
+	if len(pe.outbox) > 0 || len(pe.queue) > 0 {
+		return 0, false, false
+	}
+	closer := func(t sim.Tick) {
+		if !hasWake || t < wake {
+			wake, hasWake = t, true
+		}
+	}
+	if pe.current != nil {
+		closer(pe.busyEnd)
+	}
+	if t := pe.env.Graph().Task(pe.task); t != nil && t.GenPeriod > 0 {
+		if now < pe.nextGen {
+			closer(pe.nextGen)
+		} else if pe.par.InstanceTimeout > 0 {
+			// Generation is window-blocked (a post-Tick nextGen in the past
+			// means generate ran and found the window full): the next
+			// self-driven change is the earliest outstanding-instance
+			// reclaim. An acknowledgement arriving sooner stirs the PE.
+			for _, born := range pe.outstanding {
+				closer(born + pe.par.InstanceTimeout + 1)
+			}
+		}
+	}
+	if len(pe.joins) > 0 && pe.par.JoinTimeout > 0 {
+		closer(pe.nextJoin)
+	}
+	return wake, hasWake, true
+}
+
+// drainOutbox injects pending packets; send back-pressure stalls the PE.
+// Sent entries are compacted out in place so the slice's capacity is reused
+// across emissions instead of sliding toward a reallocation.
+func (pe *PE) drainOutbox(now sim.Tick) {
+	sent := 0
+	for ; sent < len(pe.outbox); sent++ {
+		if !pe.env.Inject(pe.ID, pe.outbox[sent], now) {
+			pe.Stats.StallTicks++
+			break
+		}
+	}
+	if sent == 0 {
+		return
+	}
+	n := copy(pe.outbox, pe.outbox[sent:])
+	clear(pe.outbox[n:])
+	pe.outbox = pe.outbox[:n]
 }
 
 // generate emits new work items when the PE runs a source task.
@@ -342,7 +421,10 @@ func (pe *PE) generate(now sim.Tick) {
 	branch := 0
 	emitted := false
 	for _, e := range g.Successors(pe.task) {
-		owners := pickTargets(dir, e.To, pe.ID, e.Width, inst)
+		owners := pickTargets(dir, e.To, pe.ID, e.Width, inst, pe.targetBuf)
+		if owners != nil {
+			pe.targetBuf = owners // keep the grown scratch for reuse
+		}
 		if len(owners) == 0 {
 			// Nobody runs the consumer task: this edge's packets are lost.
 			continue
@@ -402,8 +484,9 @@ func (pe *PE) process(now sim.Tick) {
 		return
 	}
 	p := pe.queue[0]
-	pe.queue[0] = nil
-	pe.queue = pe.queue[1:]
+	n := copy(pe.queue, pe.queue[1:])
+	pe.queue[n] = nil
+	pe.queue = pe.queue[:n]
 
 	if p.Task != pe.task {
 		pe.retarget(p, now)
@@ -442,8 +525,9 @@ func (pe *PE) finish(p *noc.Packet, now sim.Tick) {
 					// node so sibling branches re-converge.
 					dst = nd
 				}
-			} else if nd := pickTargets(dir, e.To, pe.ID, 1, p.Instance); len(nd) == 1 {
+			} else if nd := pickTargets(dir, e.To, pe.ID, 1, p.Instance, pe.targetBuf); len(nd) == 1 {
 				dst = nd[0]
+				pe.targetBuf = nd
 			}
 			if dst == noc.Invalid {
 				// No owner for the consumer task: the would-be output packet
@@ -483,10 +567,9 @@ func (pe *PE) finishJoin(p *noc.Packet, now sim.Tick) {
 		pe.env.InstanceCompleted(p.Instance, p.Origin, pe.ID, now)
 		return
 	}
-	js := pe.joins[p.Instance]
-	if js == nil {
-		js = &joinState{origin: p.Origin}
-		pe.joins[p.Instance] = js
+	js, ok := pe.joins[p.Instance]
+	if !ok {
+		js = joinState{origin: p.Origin}
 	}
 	js.seen++
 	js.lastTouch = now
@@ -494,7 +577,9 @@ func (pe *PE) finishJoin(p *noc.Packet, now sim.Tick) {
 		delete(pe.joins, p.Instance)
 		pe.Stats.Completions++
 		pe.env.InstanceCompleted(p.Instance, p.Origin, pe.ID, now)
+		return
 	}
+	pe.joins[p.Instance] = js
 }
 
 // retarget re-addresses a packet that arrived for a task this node no

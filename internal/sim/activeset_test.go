@@ -1,0 +1,96 @@
+package sim
+
+import "testing"
+
+func TestActiveSetAddRemove(t *testing.T) {
+	s := NewActiveSet(130)
+	for _, id := range []int{0, 63, 64, 129} {
+		if s.Contains(id) {
+			t.Fatalf("fresh set contains %d", id)
+		}
+		s.Add(id)
+		s.Add(id) // idempotent
+		if !s.Contains(id) {
+			t.Fatalf("Add(%d) did not mark", id)
+		}
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	s.Remove(63)
+	s.Remove(63) // idempotent
+	if s.Contains(63) || s.Len() != 3 {
+		t.Fatalf("Remove(63) failed: contains=%v len=%d", s.Contains(63), s.Len())
+	}
+}
+
+func TestActiveSetSweepOrderAndRetire(t *testing.T) {
+	s := NewActiveSet(200)
+	for _, id := range []int{5, 70, 3, 199} {
+		s.Add(id)
+	}
+	var visited []int
+	s.Sweep(func(id int) bool {
+		visited = append(visited, id)
+		return id == 70 // retire everything except 70
+	})
+	want := []int{3, 5, 70, 199}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited %v, want ascending %v", visited, want)
+		}
+	}
+	if s.Len() != 1 || !s.Contains(70) {
+		t.Fatalf("after sweep: len=%d contains(70)=%v", s.Len(), s.Contains(70))
+	}
+}
+
+// Members marked during a sweep are visited in the same sweep when above the
+// cursor and deferred to the next sweep otherwise — the property that makes
+// the active-set sweep order-equivalent to a dense ascending scan.
+func TestActiveSetMidSweepMarks(t *testing.T) {
+	s := NewActiveSet(128)
+	s.Add(10)
+	var visited []int
+	s.Sweep(func(id int) bool {
+		visited = append(visited, id)
+		if id == 10 {
+			s.Add(4)  // below cursor: next sweep
+			s.Add(11) // same word, above cursor: this sweep
+			s.Add(90) // later word: this sweep
+		}
+		return false
+	})
+	if len(visited) != 3 || visited[0] != 10 || visited[1] != 11 || visited[2] != 90 {
+		t.Fatalf("first sweep visited %v, want [10 11 90]", visited)
+	}
+	if !s.Contains(4) || s.Len() != 1 {
+		t.Fatalf("deferred mark lost: contains(4)=%v len=%d", s.Contains(4), s.Len())
+	}
+	visited = nil
+	s.Sweep(func(id int) bool {
+		visited = append(visited, id)
+		return false
+	})
+	if len(visited) != 1 || visited[0] != 4 {
+		t.Fatalf("second sweep visited %v, want [4]", visited)
+	}
+}
+
+// A member re-marked during its own visit is still retired when the visit
+// returns false (the re-mark is an idempotent no-op on an active member),
+// matching the pre-bitmask semantics the platform relies on.
+func TestActiveSetSelfRemarkDuringVisit(t *testing.T) {
+	s := NewActiveSet(64)
+	s.Add(7)
+	s.Sweep(func(id int) bool {
+		s.Add(id)
+		return false
+	})
+	if s.Contains(7) || s.Len() != 0 {
+		t.Fatalf("self re-mark survived retirement: len=%d", s.Len())
+	}
+}

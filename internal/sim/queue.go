@@ -12,19 +12,37 @@ type Event struct {
 // EventQueue is a binary-heap priority queue of events ordered by (At, seq).
 //
 // The zero value is an empty queue ready to use. It is the timing substrate
-// for processing-element timers (generation periods, join timeouts) and the
-// experiment controller's scheduled actions (fault injection at 500 ms).
+// for processing-element timers (generation periods, join timeouts), the
+// platform's parked-component wake-ups, and the experiment controller's
+// scheduled actions (fault injection at 500 ms).
+//
+// Fired events are recycled through an internal free list, so steady-state
+// scheduling (the active-set stepping core parks and wakes components
+// constantly) does not allocate. A handle returned by Schedule is therefore
+// only valid until the event fires.
 type EventQueue struct {
 	heap []*Event
 	seq  uint64
+	free []*Event
 }
 
 // Len reports the number of pending events.
 func (q *EventQueue) Len() int { return len(q.heap) }
 
 // Schedule enqueues fn to run at tick at and returns the event handle.
+// The handle is owned by the queue again once the event fires — callers must
+// not retain it past that point.
 func (q *EventQueue) Schedule(at Tick, fn func(Tick)) *Event {
-	e := &Event{At: at, Fn: fn, seq: q.seq}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.At, e.Fn = at, fn
+	} else {
+		e = &Event{At: at, Fn: fn}
+	}
+	e.seq = q.seq
 	q.seq++
 	q.heap = append(q.heap, e)
 	q.up(len(q.heap) - 1)
@@ -41,12 +59,15 @@ func (q *EventQueue) PeekTick() (Tick, bool) {
 }
 
 // RunDue pops and runs every event scheduled at or before now, in order.
-// It returns the number of events that fired.
+// It returns the number of events that fired. Fired events are recycled.
 func (q *EventQueue) RunDue(now Tick) int {
 	n := 0
 	for len(q.heap) > 0 && q.heap[0].At <= now {
 		e := q.pop()
-		e.Fn(e.At)
+		fn := e.Fn
+		e.Fn = nil
+		q.free = append(q.free, e)
+		fn(e.At)
 		n++
 	}
 	return n

@@ -12,6 +12,7 @@ package taskgraph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // TaskID identifies a task class within a graph. Task IDs are small positive
@@ -50,6 +51,110 @@ type Graph struct {
 	tasks map[TaskID]*Task
 	edges []Edge
 	order []TaskID // topological order, computed by Validate
+
+	// memo caches the derived adjacency and classification queries that sit
+	// on the simulator's per-packet hot paths (Successors on every emission,
+	// JoinWidth on every join arrival). It is built lazily on first use,
+	// invalidated by AddTask/AddEdge, and swapped atomically so independent
+	// runs sharing one immutable graph (experiments.RunMany) stay race-free.
+	memo atomic.Pointer[graphMemo]
+}
+
+// graphMemo holds the precomputed query results, indexed densely by TaskID.
+type graphMemo struct {
+	succ     [][]Edge // outgoing edges sorted by destination
+	pred     [][]Edge // incoming edges sorted by source
+	isSource []bool
+	isSink   []bool
+	joinW    []int // packets of one instance a join waits for (min 1)
+	arrivals []int // raw per-instance arrival counts
+	ids      []TaskID
+	sources  []TaskID
+	sinks    []TaskID
+}
+
+// memoized returns the derived-query cache, building it on first use.
+func (g *Graph) memoized() *graphMemo {
+	if m := g.memo.Load(); m != nil {
+		return m
+	}
+	n := int(g.MaxTaskID()) + 1
+	for _, e := range g.edges {
+		// Size for unvalidated graphs whose edges mention unregistered IDs;
+		// Validate rejects them, but the accessors must not panic first.
+		if int(e.From) >= n {
+			n = int(e.From) + 1
+		}
+		if int(e.To) >= n {
+			n = int(e.To) + 1
+		}
+	}
+	m := &graphMemo{
+		succ:     make([][]Edge, n),
+		pred:     make([][]Edge, n),
+		isSource: make([]bool, n),
+		isSink:   make([]bool, n),
+		joinW:    make([]int, n),
+		arrivals: make([]int, n),
+	}
+	for _, e := range g.edges {
+		m.succ[e.From] = append(m.succ[e.From], e)
+		m.pred[e.To] = append(m.pred[e.To], e)
+	}
+	for id := range m.succ {
+		sort.Slice(m.succ[id], func(i, j int) bool { return m.succ[id][i].To < m.succ[id][j].To })
+		sort.Slice(m.pred[id], func(i, j int) bool { return m.pred[id][i].From < m.pred[id][j].From })
+	}
+	for id := range g.tasks {
+		m.ids = append(m.ids, id)
+	}
+	sort.Slice(m.ids, func(i, j int) bool { return m.ids[i] < m.ids[j] })
+	for _, id := range m.ids {
+		m.isSource[id] = len(m.pred[id]) == 0
+		m.isSink[id] = len(m.succ[id]) == 0
+		if m.isSource[id] {
+			m.sources = append(m.sources, id)
+		}
+		if m.isSink[id] {
+			m.sinks = append(m.sinks, id)
+		}
+	}
+	// Per-instance arrivals, propagated in topological order (Kahn over the
+	// memoized adjacency; cycles leave arrivals at zero, matching the
+	// pre-memo behaviour of an unvalidated graph only approximately — every
+	// platform workload passes Validate first).
+	indeg := make([]int, n)
+	for _, id := range m.ids {
+		indeg[id] = len(m.pred[id])
+	}
+	queue := append([]TaskID(nil), m.sources...)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if m.isSource[id] {
+			m.arrivals[id] = 1
+		} else {
+			total := 0
+			for _, e := range m.pred[id] {
+				total += m.arrivals[e.From] * e.Width
+			}
+			m.arrivals[id] = total
+		}
+		for _, e := range m.succ[id] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	for _, id := range m.ids {
+		m.joinW[id] = m.arrivals[id]
+		if m.joinW[id] <= 0 {
+			m.joinW[id] = 1
+		}
+	}
+	g.memo.Store(m)
+	return m
 }
 
 // New returns an empty graph with the given name.
@@ -71,6 +176,7 @@ func (g *Graph) AddTask(t Task) *Graph {
 	}
 	tt := t
 	g.tasks[t.ID] = &tt
+	g.memo.Store(nil)
 	return g
 }
 
@@ -80,6 +186,7 @@ func (g *Graph) AddEdge(from, to TaskID, width int) *Graph {
 		panic("taskgraph: edge width must be positive")
 	}
 	g.edges = append(g.edges, Edge{From: from, To: to, Width: width})
+	g.memo.Store(nil)
 	return g
 }
 
@@ -96,15 +203,9 @@ func (g *Graph) Tasks() []*Task {
 	return out
 }
 
-// TaskIDs returns all task IDs sorted ascending.
-func (g *Graph) TaskIDs() []TaskID {
-	out := make([]TaskID, 0, len(g.tasks))
-	for id := range g.tasks {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// TaskIDs returns all task IDs sorted ascending. The slice is memoized —
+// callers must not modify it.
+func (g *Graph) TaskIDs() []TaskID { return g.memoized().ids }
 
 // MaxTaskID returns the largest registered task ID (0 for an empty graph).
 // Engines size their per-task thresholder arrays from it.
@@ -126,27 +227,23 @@ func (g *Graph) Edges() []Edge {
 }
 
 // Successors returns the outgoing edges of a task, sorted by destination.
+// The slice is memoized — callers must not modify it.
 func (g *Graph) Successors(id TaskID) []Edge {
-	var out []Edge
-	for _, e := range g.edges {
-		if e.From == id {
-			out = append(out, e)
-		}
+	m := g.memoized()
+	if int(id) >= len(m.succ) || id < 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
-	return out
+	return m.succ[id]
 }
 
 // Predecessors returns the incoming edges of a task, sorted by source.
+// The slice is memoized — callers must not modify it.
 func (g *Graph) Predecessors(id TaskID) []Edge {
-	var out []Edge
-	for _, e := range g.edges {
-		if e.To == id {
-			out = append(out, e)
-		}
+	m := g.memoized()
+	if int(id) >= len(m.pred) || id < 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
-	return out
+	return m.pred[id]
 }
 
 // InWidth returns the total fan-in edge width of a task (the sum of the
@@ -168,17 +265,10 @@ func (g *Graph) InWidth(id TaskID) int {
 // sink receives 3 branch packets per instance and joins them into one
 // completion.
 func (g *Graph) InstanceArrivals() map[TaskID]int {
-	arrivals := make(map[TaskID]int, len(g.tasks))
-	for _, id := range g.TopoOrder() {
-		if g.IsSource(id) {
-			arrivals[id] = 1
-			continue
-		}
-		total := 0
-		for _, e := range g.Predecessors(id) {
-			total += arrivals[e.From] * e.Width
-		}
-		arrivals[id] = total
+	m := g.memoized()
+	arrivals := make(map[TaskID]int, len(m.ids))
+	for _, id := range m.ids {
+		arrivals[id] = m.arrivals[id]
 	}
 	return arrivals
 }
@@ -186,58 +276,40 @@ func (g *Graph) InstanceArrivals() map[TaskID]int {
 // JoinWidth returns the number of packets of one instance that must arrive
 // at task id before its join completes (1 for non-join tasks).
 func (g *Graph) JoinWidth(id TaskID) int {
-	w := g.InstanceArrivals()[id]
-	if w <= 0 {
+	m := g.memoized()
+	if int(id) >= len(m.joinW) || id < 0 {
 		return 1
 	}
-	return w
+	return m.joinW[id]
 }
 
 // IsSource reports whether the task has no predecessors (it generates work
 // spontaneously). In the paper's fork–join graph task 1 is the only source.
 func (g *Graph) IsSource(id TaskID) bool {
-	for _, e := range g.edges {
-		if e.To == id {
-			return false
-		}
+	m := g.memoized()
+	if int(id) >= len(m.isSource) || id < 0 {
+		return false
 	}
-	_, ok := g.tasks[id]
-	return ok
+	return m.isSource[id]
 }
 
 // IsSink reports whether the task has no successors (its completions are the
 // application's throughput events — task 3 in the fork–join graph).
 func (g *Graph) IsSink(id TaskID) bool {
-	for _, e := range g.edges {
-		if e.From == id {
-			return false
-		}
+	m := g.memoized()
+	if int(id) >= len(m.isSink) || id < 0 {
+		return false
 	}
-	_, ok := g.tasks[id]
-	return ok
+	return m.isSink[id]
 }
 
-// Sources returns all source task IDs sorted ascending.
-func (g *Graph) Sources() []TaskID {
-	var out []TaskID
-	for _, id := range g.TaskIDs() {
-		if g.IsSource(id) {
-			out = append(out, id)
-		}
-	}
-	return out
-}
+// Sources returns all source task IDs sorted ascending. The slice is
+// memoized — callers must not modify it.
+func (g *Graph) Sources() []TaskID { return g.memoized().sources }
 
-// Sinks returns all sink task IDs sorted ascending.
-func (g *Graph) Sinks() []TaskID {
-	var out []TaskID
-	for _, id := range g.TaskIDs() {
-		if g.IsSink(id) {
-			out = append(out, id)
-		}
-	}
-	return out
-}
+// Sinks returns all sink task IDs sorted ascending. The slice is memoized —
+// callers must not modify it.
+func (g *Graph) Sinks() []TaskID { return g.memoized().sinks }
 
 // Validate checks the structural invariants the platform depends on:
 // every edge endpoint exists, the graph is acyclic, there is at least one
