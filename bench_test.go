@@ -234,6 +234,24 @@ func BenchmarkPlatformStep(b *testing.B) {
 	}
 }
 
+// BenchmarkRunManyParallel measures full-sweep throughput through the pooled
+// experiment runner: a batch of independently seeded FFW runs executed in
+// parallel across CPUs, the unit of work the serving layer dispatches per
+// sweep cell. Reported as runs per second of wall time.
+func BenchmarkRunManyParallel(b *testing.B) {
+	spec := experiments.DefaultSpec(experiments.ModelFFW, 1)
+	spec.DurationMs = 250
+	const runs = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunMany(spec, runs, 1)
+		if len(res) != runs {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+	b.ReportMetric(float64(runs*b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
 // BenchmarkRouterTickLoaded measures the router datapath under traffic.
 func BenchmarkRouterTickLoaded(b *testing.B) {
 	net := noc.NewNetwork(noc.NewTopology(16, 8), noc.DefaultConfig())

@@ -79,6 +79,17 @@ const (
 // nodes — each AIM is embedded at its own router.
 type Factory func(g *taskgraph.Graph) Engine
 
+// HardResetter is the optional contract an engine implements to support
+// platform reuse (Platform.Reset): HardReset restores the engine to its
+// exactly-as-constructed state — counters and timers like Reset, but also any
+// parameters later rewritten through RCAP SetParam uploads — so a recycled
+// platform cannot leak a previous run's configuration into the next one.
+// Engines without it are Reset instead, which is equivalent as long as no
+// RCAP parameter write occurred.
+type HardResetter interface {
+	HardReset()
+}
+
 // DecideWaker is the optional scheduling contract an engine implements to
 // opt into the platform's activity-tracked stepping: between monitor stimuli
 // the platform polls Decide only at the ticks the engine asks for.

@@ -46,6 +46,7 @@ type QueuePeek func(now sim.Tick) (taskgraph.TaskID, bool)
 // routing and processing requirements, task switching is suppressed.
 type FFW struct {
 	par     FFWParams
+	base    FFWParams // as-constructed copy, restored by HardReset
 	graph   *taskgraph.Graph
 	current taskgraph.TaskID
 	peek    QueuePeek
@@ -60,7 +61,7 @@ func NewFFW(g *taskgraph.Graph, par FFWParams) *FFW {
 	if par.Timeout <= 0 {
 		par.Timeout = DefaultFFWParams().Timeout
 	}
-	return &FFW{par: par, graph: g}
+	return &FFW{par: par, base: par, graph: g}
 }
 
 // NewFFWFactory returns a Factory producing FFW engines with the parameters.
@@ -170,6 +171,15 @@ func (e *FFW) SetParam(param, value int) {
 // Reset implements Engine.
 func (e *FFW) Reset() {
 	e.armed = false
+	e.lastWork = 0
+}
+
+// HardReset implements HardResetter: parameters return to their constructed
+// values and all dynamic state clears, as if the engine were rebuilt.
+func (e *FFW) HardReset() {
+	e.par = e.base
+	e.armed = false
+	e.armTime = 0
 	e.lastWork = 0
 }
 

@@ -52,10 +52,16 @@ func DefaultNIParams() NIParams {
 // node switches to that task and all counters reset.
 type NI struct {
 	par     NIParams
+	base    NIParams // as-constructed copy, restored by HardReset
 	graph   *taskgraph.Graph
 	current taskgraph.TaskID
-	ths     []*Thresholder // indexed by TaskID (0 unused)
-	ids     []taskgraph.TaskID
+	// ths is one contiguous block of thresholders indexed by TaskID, so a
+	// decision pass walks a single cache-friendly allocation instead of
+	// chasing a pointer per task. Entries for IDs the graph does not use stay
+	// at threshold 0, which marks them invalid (a live thresholder's firing
+	// level is always >= 1).
+	ths []Thresholder
+	ids []taskgraph.TaskID
 
 	// Adaptive-threshold state (active when par.AdaptStep > 0).
 	level     int
@@ -70,12 +76,17 @@ func NewNI(g *taskgraph.Graph, par NIParams) *NI {
 	if par.AdaptStep > 0 && par.AdaptDecay <= 0 {
 		par.AdaptDecay = sim.Ms(10)
 	}
-	e := &NI{par: par, graph: g, ids: g.TaskIDs(), level: par.Threshold}
-	e.ths = make([]*Thresholder, int(g.MaxTaskID())+1)
+	e := &NI{par: par, base: par, graph: g, ids: g.TaskIDs(), level: par.Threshold}
+	e.ths = make([]Thresholder, int(g.MaxTaskID())+1)
 	for _, id := range e.ids {
-		e.ths[id] = NewThresholder(par.Threshold)
+		e.ths[id].SetThreshold(par.Threshold)
 	}
 	return e
+}
+
+// valid reports whether the task ID has a live thresholder.
+func (e *NI) valid(task taskgraph.TaskID) bool {
+	return int(task) < len(e.ths) && e.ths[task].threshold > 0
 }
 
 // Level returns the current (possibly adapted) firing level.
@@ -91,7 +102,7 @@ func (e *NI) Name() string { return "network-interaction" }
 
 // OnRouted implements Engine: excite the destination task's thresholder.
 func (e *NI) OnRouted(task taskgraph.TaskID, now sim.Tick) {
-	if int(task) < len(e.ths) && e.ths[task] != nil {
+	if e.valid(task) {
 		e.ths[task].Excite(1)
 	}
 }
@@ -106,7 +117,7 @@ func (e *NI) OnInternal(task taskgraph.TaskID, now sim.Tick) {
 	if w <= 0 {
 		w = 1
 	}
-	if int(task) < len(e.ths) && e.ths[task] != nil {
+	if e.valid(task) {
 		e.ths[task].Excite(w)
 	}
 	e.inhibitAll(e.par.InhibitWeight)
@@ -123,7 +134,7 @@ func (e *NI) OnDeadlineLapse(taskgraph.TaskID, sim.Tick) {}
 
 // OnNeighborSignal implements Engine: optional information transfer.
 func (e *NI) OnNeighborSignal(task taskgraph.TaskID, now sim.Tick) {
-	if e.par.NeighborWeight > 0 && int(task) < len(e.ths) && e.ths[task] != nil {
+	if e.par.NeighborWeight > 0 && e.valid(task) {
 		e.ths[task].Excite(e.par.NeighborWeight)
 	}
 }
@@ -220,14 +231,24 @@ func (e *NI) SetParam(param, value int) {
 // Reset implements Engine.
 func (e *NI) Reset() { e.resetAll() }
 
+// HardReset implements HardResetter: parameters return to their constructed
+// values and all dynamic state clears, as if the engine were rebuilt.
+func (e *NI) HardReset() {
+	e.par = e.base
+	e.level = e.base.Threshold
+	e.lastDecay = 0
+	for _, id := range e.ids {
+		e.ths[id].SetThreshold(e.level)
+		e.ths[id].Reset()
+	}
+}
+
 // Counts exposes the counter values (for tests and the embedded-equivalence
 // checks against the PicoBlaze implementation).
 func (e *NI) Counts() []int {
 	out := make([]int, len(e.ths))
-	for i, th := range e.ths {
-		if th != nil {
-			out[i] = th.Count()
-		}
+	for i := range e.ths {
+		out[i] = e.ths[i].Count()
 	}
 	return out
 }

@@ -62,28 +62,28 @@ func (c *Controller) SendConfig(dst noc.NodeID, op noc.ConfigOp, arg, arg2 int) 
 	}
 	now := c.p.Now()
 	tap := c.tapFor(dst)
-	pkt := &noc.Packet{
-		ID:      c.p.nextPkt + 1,
-		Kind:    noc.Config,
-		Src:     tap,
-		Dst:     dst,
-		Flits:   1,
-		Created: now,
-		Op:      op,
-		Arg:     arg,
-		Arg2:    arg2,
-	}
-	c.p.nextPkt++
+	pkt := c.p.allocPacket()
+	pkt.Kind = noc.Config
+	pkt.Src = tap
+	pkt.Dst = dst
+	pkt.Flits = 1
+	pkt.Created = now
+	pkt.Op = op
+	pkt.Arg = arg
+	pkt.Arg2 = arg2
 	c.inject(tap, pkt, now)
 	return nil
 }
 
 // inject tries to enqueue the packet at the tap, rescheduling next tick
-// under back-pressure.
+// under back-pressure. While a retry is pending the packet is tracked on
+// the platform so Platform.Reset can reclaim it with the cleared events.
 func (c *Controller) inject(tap noc.NodeID, pkt *noc.Packet, now sim.Tick) {
 	if c.p.Net.Inject(tap, pkt, now) {
+		c.p.untrackRetry(pkt)
 		return
 	}
+	c.p.trackRetry(pkt)
 	c.p.Schedule(now+1, func(later sim.Tick) { c.inject(tap, pkt, later) })
 }
 

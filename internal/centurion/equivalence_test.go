@@ -30,11 +30,10 @@ type steppingSnapshot struct {
 	work     [][3]uint64        // per-node Generated, Processed, Switches
 }
 
-// runStepping executes one run and snapshots its observable state. The fault
-// plan (nil = fault-free) is injected through the controller at 50 ms.
-func runStepping(cfg Config, dense bool, faultNodes []noc.NodeID) steppingSnapshot {
-	cfg.DenseStepping = dense
-	p := New(cfg)
+// driveStepping runs a (fresh or reset) platform for 200 ms and snapshots
+// its observable state. The fault plan (nil = fault-free) is injected through
+// the controller at 50 ms.
+func driveStepping(p *Platform, faultNodes []noc.NodeID) steppingSnapshot {
 	if len(faultNodes) > 0 {
 		NewController(p).ScheduleFaults(sim.Ms(50), faultNodes)
 	}
@@ -55,6 +54,12 @@ func runStepping(cfg Config, dense bool, faultNodes []noc.NodeID) steppingSnapsh
 		snap.work = append(snap.work, [3]uint64{pe.Stats.Generated, pe.Stats.Processed, pe.Stats.Switches})
 	}
 	return snap
+}
+
+// runStepping executes one fresh-platform run and snapshots it.
+func runStepping(cfg Config, dense bool, faultNodes []noc.NodeID) steppingSnapshot {
+	cfg.DenseStepping = dense
+	return driveStepping(New(cfg), faultNodes)
 }
 
 func compareSnapshots(t *testing.T, dense, active steppingSnapshot) {
@@ -115,6 +120,50 @@ func TestSteppingEquivalence(t *testing.T) {
 					dense := runStepping(cfg, true, plan)
 					active := runStepping(cfg, false, plan)
 					compareSnapshots(t, dense, active)
+				})
+			}
+		}
+	}
+}
+
+// TestSteppingEquivalencePooledReuse is the determinism proof of platform
+// pooling (ISSUE 3): one platform per model is constructed once, dirtied by a
+// run under heavy faults, then Reset(seed) and re-run for every seed × fault
+// plan — and each reused run must be bit-identical to a fresh dense-scan
+// reference: same counters, fabric stats, per-window series, final tasks and
+// per-node stats. This is what lets RunMany and the server lease recycled
+// platforms instead of rebuilding them.
+func TestSteppingEquivalencePooledReuse(t *testing.T) {
+	models := []struct {
+		name    string
+		factory aim.Factory
+		mapper  taskgraph.Mapper
+	}{
+		{"none", aim.NewNone, taskgraph.HeuristicMapper{}},
+		{"ni", aim.NewNIFactory(aim.DefaultNIParams()), taskgraph.RandomMapper{}},
+		{"ffw", aim.NewFFWFactory(aim.DefaultFFWParams()), taskgraph.RandomMapper{}},
+	}
+	for _, m := range models {
+		cfg := DefaultConfig(m.factory, m.mapper, 999)
+		reused := New(cfg)
+		// Dirty the platform thoroughly: a faulted run leaves dead routers,
+		// dead PEs, buffered packets, parked components and adapted engines.
+		driveStepping(reused, faults.RandomNodes(reused.Topo, 24, sim.NewRNG(0xd117)))
+
+		for seed := uint64(1); seed <= 3; seed++ {
+			for _, faulted := range []bool{false, true} {
+				name := fmt.Sprintf("%s/seed=%d/faulted=%v", m.name, seed, faulted)
+				t.Run(name, func(t *testing.T) {
+					var plan []noc.NodeID
+					if faulted {
+						plan = faults.RandomNodes(noc.NewTopology(cfg.Width, cfg.Height),
+							12, sim.NewRNG(seed^0xfa17))
+					}
+					refCfg := DefaultConfig(m.factory, m.mapper, seed)
+					dense := runStepping(refCfg, true, plan)
+					reused.Reset(seed)
+					pooled := driveStepping(reused, plan)
+					compareSnapshots(t, dense, pooled)
 				})
 			}
 		}

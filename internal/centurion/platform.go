@@ -113,6 +113,18 @@ type Platform struct {
 	rng     *sim.RNG
 	events  sim.EventQueue
 
+	// pool recycles every packet of this platform (DESIGN.md §9): PEs and the
+	// controller acquire through it, and delivery/drop/config-consumption
+	// return packets to it, so the steady-state hot loop never allocates.
+	pool noc.PacketPool
+	// ctlRetry tracks config packets a back-pressured controller tap is
+	// retrying through the event queue; Reset reclaims them (their retry
+	// events are cleared with the queue, which would otherwise leak them).
+	ctlRetry []*noc.Packet
+	// maxPhase is the generation-stagger bound derived at construction; Reset
+	// replays the same per-node phase draws with it.
+	maxPhase sim.Tick
+
 	// Activity tracking for the event-driven stepping core. peSet and
 	// engSet hold the PEs that must be ticked and the engines that must be
 	// polled this tick; parked components are woken by stimuli or by the
@@ -166,6 +178,7 @@ func New(cfg Config) *Platform {
 		rng:   sim.NewRNG(cfg.Seed),
 	}
 	p.Net = noc.NewNetwork(p.Topo, cfg.NoC)
+	p.Net.Pool = &p.pool
 	mapping := cfg.Mapper.Map(cfg.Graph, cfg.Width, cfg.Height, p.rng)
 	p.Dir = node.NewDirectory(p.Topo, mapping)
 
@@ -181,6 +194,7 @@ func New(cfg Config) *Platform {
 			maxPhase = 1
 		}
 	}
+	p.maxPhase = maxPhase
 
 	nodes := p.Topo.Nodes()
 	p.pes = make([]*node.PE, nodes)
@@ -239,6 +253,64 @@ func New(cfg Config) *Platform {
 
 // Thermal returns the temperature model, or nil when disabled.
 func (p *Platform) Thermal() *thermal.Model { return p.heat }
+
+// Reset rewinds the platform to the state New would construct for the same
+// configuration with the given seed, reusing every allocation: topology,
+// route tables, task graph and wiring closures are shared read-only, while
+// routers, PEs, engines, the directory, the thermal field and all counters
+// are cleared in place. Packets still held from the previous run are recycled
+// into the pool. The replayed construction sequence (mapping draw, then one
+// generation-phase draw per node) makes a reset platform bit-identical to a
+// freshly built one for every seed — the contract the pooled runners rely on
+// (see TestSteppingEquivalencePooledReuse).
+func (p *Platform) Reset(seed uint64) {
+	p.Cfg.Seed = seed
+	p.rng.Reseed(seed)
+	p.clock.Reset()
+	p.events.Clear()
+	// Clearing the queue discarded any pending controller-retry closures;
+	// reclaim the packets they held.
+	for i, pkt := range p.ctlRetry {
+		p.pool.Put(pkt)
+		p.ctlRetry[i] = nil
+	}
+	p.ctlRetry = p.ctlRetry[:0]
+	p.counters = Counters{}
+	p.nextPkt, p.nextInst = 0, 0
+
+	// The fabric first: its buffers hand their leftover packets back to the
+	// pool before the PEs release theirs.
+	p.Net.Reset()
+
+	mapping := p.Cfg.Mapper.Map(p.Graph, p.Cfg.Width, p.Cfg.Height, p.rng)
+	p.Dir.Reset(mapping)
+
+	p.peSet.Clear()
+	p.engSet.Clear()
+	p.peWake.reset()
+	p.engWake.reset()
+	for id := range p.pes {
+		phase := sim.Tick(p.rng.Intn(int(p.maxPhase)))
+		p.pes[id].Restart(mapping[id], phase)
+		engine := p.engines[id]
+		if hr, ok := engine.(aim.HardResetter); ok {
+			hr.HardReset()
+		} else {
+			engine.Reset()
+		}
+		engine.NoteTask(mapping[id])
+		p.peSet.Add(id)
+		p.engSet.Add(id)
+	}
+
+	if p.heat != nil {
+		p.heat.Reset()
+		p.nextHeat = 0
+		for i := range p.throttled {
+			p.throttled[i] = false
+		}
+	}
+}
 
 // stepThermal advances the temperature field and applies the DVFS governor.
 func (p *Platform) stepThermal(now sim.Tick) {
@@ -371,8 +443,48 @@ func (e platformEnv) Directory() *node.Directory { return e.p.Dir }
 // Graph implements node.Env.
 func (e platformEnv) Graph() *taskgraph.Graph { return e.p.Graph }
 
-// NextPacketID implements node.Env.
-func (e platformEnv) NextPacketID() uint64 { e.p.nextPkt++; return e.p.nextPkt }
+// allocPacket acquires a recycled (or fresh) zeroed packet stamped with the
+// next fabric-unique ID.
+func (p *Platform) allocPacket() *noc.Packet {
+	pkt := p.pool.Get()
+	p.nextPkt++
+	pkt.ID = p.nextPkt
+	return pkt
+}
+
+// PacketPool exposes the platform's packet recycler (stats, conservation
+// checks). Callers must not Get/Put concurrently with a running platform.
+func (p *Platform) PacketPool() *noc.PacketPool { return &p.pool }
+
+// trackRetry remembers a config packet held by a pending controller retry
+// (idempotent: a packet is tracked once however often the retry fires).
+func (p *Platform) trackRetry(pkt *noc.Packet) {
+	for _, q := range p.ctlRetry {
+		if q == pkt {
+			return
+		}
+	}
+	p.ctlRetry = append(p.ctlRetry, pkt)
+}
+
+// untrackRetry forgets a retry-held packet once its injection succeeded.
+func (p *Platform) untrackRetry(pkt *noc.Packet) {
+	for i, q := range p.ctlRetry {
+		if q == pkt {
+			last := len(p.ctlRetry) - 1
+			p.ctlRetry[i] = p.ctlRetry[last]
+			p.ctlRetry[last] = nil
+			p.ctlRetry = p.ctlRetry[:last]
+			return
+		}
+	}
+}
+
+// NewPacket implements node.Env.
+func (e platformEnv) NewPacket() *noc.Packet { return e.p.allocPacket() }
+
+// FreePacket implements node.Env.
+func (e platformEnv) FreePacket(pkt *noc.Packet) { e.p.pool.Put(pkt) }
 
 // NextInstanceID implements node.Env.
 func (e platformEnv) NextInstanceID() uint64 {
@@ -586,6 +698,14 @@ func newWakeTable(n int, events *sim.EventQueue, set *sim.ActiveSet) *wakeTable 
 		}
 	}
 	return w
+}
+
+// reset forgets all pending wakes (their queued events must have been
+// cleared by the caller).
+func (w *wakeTable) reset() {
+	for id := range w.at {
+		w.at[id] = -1
+	}
 }
 
 // schedule arranges a wake at the given tick, deduplicating against an

@@ -178,20 +178,10 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 	if spec.WindowMs <= 0 {
 		spec.WindowMs = 1
 	}
-	cfg := centurion.DefaultConfig(spec.engineFactory(), spec.mapper(), spec.Seed)
-	cfg.NeighborSignals = spec.NeighborSignals
-	cfg.Thermal = spec.Thermal
-	cfg.ThermalDVFS = spec.ThermalDVFS
-	if spec.Width > 0 {
-		cfg.Width = spec.Width
-	}
-	if spec.Height > 0 {
-		cfg.Height = spec.Height
-	}
-	if spec.Graph != nil {
-		cfg.Graph = spec.Graph
-	}
-	p := centurion.New(cfg)
+	// Lease a pooled platform (reset in place for this seed) instead of
+	// assembling a fresh one; the release hands it back for the next run.
+	p, release := leasePlatform(spec)
+	defer release()
 	ctl := centurion.NewController(p)
 
 	// Fault plan through the controller's debug interface.

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"centurion/internal/aim"
+	"centurion/internal/centurion"
+	"centurion/internal/taskgraph"
+	"centurion/internal/thermal"
+)
+
+// The platform pool: RunContext leases assembled platforms from per-shape
+// sync.Pools instead of calling centurion.New per run. A leased platform is
+// Reset(seed) in place — immutable structure (topology, route tables, task
+// graph, wiring) is reused, mutable state is cleared — which makes the
+// construction cost of a run O(state), not O(structure), and keeps sweeps
+// allocation-free at steady state. Platform.Reset's bit-identity contract
+// (TestSteppingEquivalencePooledReuse) guarantees pooled runs equal fresh
+// ones for every seed.
+
+// platformShape is the pool key: everything about a Spec that affects the
+// *construction* of a platform, as opposed to one run's seed, duration,
+// sampling or fault plan. Two specs with equal shapes can share recycled
+// platforms.
+type platformShape struct {
+	model         Model
+	width, height int
+	// graph identifies a caller-supplied task graph by pointer; nil selects
+	// the default fork–join workload. Callers that rebuild equivalent graphs
+	// per run should share one instance to pool effectively (graphs are
+	// immutable and race-safe once built).
+	graph      *taskgraph.Graph
+	neighbor   bool
+	ni         aim.NIParams
+	ffw        aim.FFWParams
+	thermal    thermal.Params
+	hasThermal bool
+	dvfs       bool
+}
+
+// shape derives the pool key. Call only when the spec is poolable.
+func (s Spec) shape() platformShape {
+	k := platformShape{
+		model:    s.Model,
+		width:    s.Width,
+		height:   s.Height,
+		graph:    s.Graph,
+		neighbor: s.NeighborSignals,
+		dvfs:     s.ThermalDVFS,
+	}
+	switch s.Model {
+	case ModelNI:
+		k.ni = aim.DefaultNIParams()
+		if s.NI != nil {
+			k.ni = *s.NI
+		}
+	case ModelFFW:
+		k.ffw = aim.DefaultFFWParams()
+		if s.FFW != nil {
+			k.ffw = *s.FFW
+		}
+	}
+	if s.Thermal != nil {
+		k.thermal = *s.Thermal
+		k.hasThermal = true
+	}
+	return k
+}
+
+// poolable reports whether the spec's platforms may be recycled. A custom
+// Mapper is an opaque interface value, so it cannot key the pool; those
+// (rare, ablation-only) specs build fresh platforms.
+func (s Spec) poolable() bool { return s.Mapper == nil }
+
+// platformConfig builds the platform configuration the spec describes.
+func (s Spec) platformConfig() centurion.Config {
+	cfg := centurion.DefaultConfig(s.engineFactory(), s.mapper(), s.Seed)
+	cfg.NeighborSignals = s.NeighborSignals
+	cfg.Thermal = s.Thermal
+	cfg.ThermalDVFS = s.ThermalDVFS
+	if s.Width > 0 {
+		cfg.Width = s.Width
+	}
+	if s.Height > 0 {
+		cfg.Height = s.Height
+	}
+	if s.Graph != nil {
+		cfg.Graph = s.Graph
+	}
+	return cfg
+}
+
+var (
+	platformPools sync.Map // platformShape → *sync.Pool of *pooledPlatform
+	// poolShapes counts distinct keys in platformPools. The map never
+	// evicts (its keys pin their graphs), so beyond maxPoolShapes new
+	// shapes run on fresh platforms instead of registering — a caller that
+	// rebuilds an equivalent graph per run then degrades to pre-pool
+	// behavior rather than growing the map one pinned entry per run.
+	poolShapes atomic.Int64
+
+	statPlatformsCreated atomic.Uint64
+	statPlatformsReused  atomic.Uint64
+	statPacketsRecycled  atomic.Uint64
+)
+
+// maxPoolShapes bounds the distinct platform shapes the pool tracks; far
+// above any real workload mix (the paper's grids use a handful).
+const maxPoolShapes = 64
+
+// pooledPlatform wraps a recyclable platform with the packet-recycling
+// watermark last reported to the global stats.
+type pooledPlatform struct {
+	p        *centurion.Platform
+	recycled uint64
+}
+
+// leasePlatform returns a platform ready to run the spec (seeded, clean) and
+// a release function that must be called exactly once when the run is over.
+func leasePlatform(spec Spec) (*centurion.Platform, func()) {
+	if !spec.poolable() {
+		return centurion.New(spec.platformConfig()), func() {}
+	}
+	poolAny, ok := platformPools.Load(spec.shape())
+	if !ok {
+		if poolShapes.Load() >= maxPoolShapes {
+			// Shape churn overflow: simulate on a throwaway platform.
+			return centurion.New(spec.platformConfig()), func() {}
+		}
+		var loaded bool
+		poolAny, loaded = platformPools.LoadOrStore(spec.shape(), new(sync.Pool))
+		if !loaded {
+			poolShapes.Add(1)
+		}
+	}
+	pool := poolAny.(*sync.Pool)
+
+	var pp *pooledPlatform
+	if v := pool.Get(); v != nil {
+		pp = v.(*pooledPlatform)
+		pp.p.Reset(spec.Seed)
+		statPlatformsReused.Add(1)
+	} else {
+		pp = &pooledPlatform{p: centurion.New(spec.platformConfig())}
+		statPlatformsCreated.Add(1)
+	}
+	return pp.p, func() {
+		// Publish the packets this platform recycled since its last release,
+		// then hand it back dirty; the next lease resets it.
+		cur := pp.p.PacketPool().Stats().Recycled
+		statPacketsRecycled.Add(cur - pp.recycled)
+		pp.recycled = cur
+		pool.Put(pp)
+	}
+}
+
+// PoolStatsSnapshot summarises the platform pool for capacity monitoring
+// (surfaced by the server's /healthz).
+type PoolStatsSnapshot struct {
+	// PlatformsCreated counts platforms built because no pooled one fit.
+	PlatformsCreated uint64 `json:"platforms_created"`
+	// PlatformsReused counts runs served by resetting a pooled platform.
+	PlatformsReused uint64 `json:"platforms_reused"`
+	// PacketsRecycled totals packet-pool recycles across released platforms.
+	PacketsRecycled uint64 `json:"packets_recycled"`
+}
+
+// PoolStats snapshots the platform-pool counters.
+func PoolStats() PoolStatsSnapshot {
+	return PoolStatsSnapshot{
+		PlatformsCreated: statPlatformsCreated.Load(),
+		PlatformsReused:  statPlatformsReused.Load(),
+		PacketsRecycled:  statPacketsRecycled.Load(),
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"centurion/internal/taskgraph"
+)
+
+func TestPlatformPoolReuses(t *testing.T) {
+	spec := DefaultSpec(ModelNone, 1)
+	spec.DurationMs = 10
+	// A sync.Pool may be purged by an ill-timed GC; a few back-to-back
+	// pairs make a complete miss effectively impossible.
+	before := PoolStats()
+	for seed := uint64(1); seed <= 6; seed++ {
+		s := spec
+		s.Seed = seed
+		Run(s)
+	}
+	after := PoolStats()
+	if after.PlatformsReused == before.PlatformsReused {
+		t.Error("six same-shape runs reused no pooled platform")
+	}
+}
+
+func TestPlatformPoolShapeCap(t *testing.T) {
+	base := DefaultSpec(ModelNone, 1)
+	base.Width, base.Height = 4, 2
+	base.DurationMs = 1
+	// Every iteration presents a distinct graph pointer — the worst-case
+	// caller that rebuilds an equivalent graph per run. The pool must stop
+	// registering shapes at the cap instead of pinning one graph per run.
+	for i := 0; i < maxPoolShapes+8; i++ {
+		s := base
+		s.Graph = taskgraph.Pipeline(2, 40, 8)
+		p, release := leasePlatform(s)
+		if p == nil {
+			t.Fatal("leasePlatform returned nil platform")
+		}
+		release()
+	}
+	if n := poolShapes.Load(); n > maxPoolShapes {
+		t.Errorf("pool registered %d shapes, cap is %d", n, maxPoolShapes)
+	}
+}

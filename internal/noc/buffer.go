@@ -43,10 +43,10 @@ func (b *buffer) Push(p *Packet, readyAt sim.Tick) bool {
 // Head returns the oldest packet and its ready tick without removing it,
 // or nil when empty.
 func (b *buffer) Head() (*Packet, sim.Tick) {
-	if b.Len() == 0 {
-		return nil, 0
+	if h := b.head; h < len(b.pkts) && h < len(b.readyAt) {
+		return b.pkts[h], b.readyAt[h]
 	}
-	return b.pkts[b.head], b.readyAt[b.head]
+	return nil, 0
 }
 
 // Pop removes and returns the oldest packet. It returns nil when empty.
@@ -77,4 +77,19 @@ func (b *buffer) Drain() []*Packet {
 		out = append(out, b.Pop())
 	}
 	return out
+}
+
+// reset empties the buffer in place, retaining the slices' capacity, and
+// hands every queued packet to release (when non-nil) for recycling.
+func (b *buffer) reset(release func(*Packet)) {
+	for i := b.head; i < len(b.pkts); i++ {
+		if release != nil {
+			release(b.pkts[i])
+		}
+		b.pkts[i] = nil
+	}
+	b.pkts = b.pkts[:0]
+	b.readyAt = b.readyAt[:0]
+	b.head = 0
+	b.usedFlit = 0
 }

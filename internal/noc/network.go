@@ -81,9 +81,23 @@ type Network struct {
 	// the mesh actually carrying traffic instead of all W×H routers.
 	active *sim.ActiveSet
 
-	tables     *routeTables
+	tables *routeTables
+	// healthy caches the fault-free route tables so Reset can restore them
+	// without recomputation (they are immutable once built).
+	healthy *routeTables
+	// xy[from][dst] is the XY dimension-order next hop, precomputed once so
+	// the healthy-mesh forwarding path is a single indexed load instead of
+	// two coordinate decompositions per packet per tick.
+	xy         [][]Port
 	haveFaults bool
 	faultyCnt  int
+
+	// Pool, when non-nil, receives packets whose fabric lifecycle ended at a
+	// router: applied config payloads and dropped packets (released after the
+	// DropHandler has observed them). Packets delivered to a sink are owned by
+	// the sink from then on. May be nil (un-pooled fabrics just let the GC
+	// collect dead packets).
+	Pool *PacketPool
 
 	// DropHandler observes every dropped packet (may be nil).
 	DropHandler func(at NodeID, p *Packet, reason DropReason)
@@ -114,10 +128,34 @@ func NewNetwork(topo Topology, cfg Params) *Network {
 			}
 		}
 	}
+	n.xy = make([][]Port, topo.Nodes())
+	for from := range n.xy {
+		row := make([]Port, topo.Nodes())
+		for dst := range row {
+			row[dst] = xyNextHop(topo, NodeID(from), NodeID(dst))
+		}
+		n.xy[from] = row
+	}
 	if cfg.Mode == RouteTables {
 		n.RecomputeRoutes()
+	} else {
+		n.applyRoutingRows()
 	}
 	return n
+}
+
+// applyRoutingRows rebinds every router's next-hop row to the table the
+// current routing state selects (XY on a healthy mesh, shortest-path tables
+// otherwise). Called whenever mode-relevant state changes.
+func (n *Network) applyRoutingRows() {
+	useXY := n.cfg.Mode == RouteXY || (n.cfg.Mode == RouteAuto && !n.haveFaults)
+	for id, r := range n.routers {
+		if useXY {
+			r.hop = n.xy[id]
+		} else {
+			r.hop = n.tables.next[id]
+		}
+	}
 }
 
 // Router returns the router at the given node.
@@ -175,12 +213,12 @@ func (n *Network) NextHop(from, dst NodeID) Port {
 	}
 	switch n.cfg.Mode {
 	case RouteXY:
-		return xyNextHop(n.Topo, from, dst)
+		return n.xy[from][dst]
 	case RouteTables:
 		return n.tables.NextHop(from, dst)
 	default: // RouteAuto
 		if !n.haveFaults {
-			return xyNextHop(n.Topo, from, dst)
+			return n.xy[from][dst]
 		}
 		return n.tables.NextHop(from, dst)
 	}
@@ -216,6 +254,33 @@ func (n *Network) Fail(id NodeID, now sim.Tick) {
 // RecomputeRoutes rebuilds the fault-aware shortest-path tables.
 func (n *Network) RecomputeRoutes() {
 	n.tables = computeTables(n.Topo, func(id NodeID) bool { return !n.routers[id].faulty })
+	if !n.haveFaults && n.healthy == nil {
+		n.healthy = n.tables
+	}
+	n.applyRoutingRows()
+}
+
+// Reset restores the fabric to its as-constructed state in place: routers
+// revive with empty buffers and default settings, counters clear, and the
+// fault-free route tables are restored. Buffered packets are recycled into
+// the pool without drop accounting — a reset ends the run they belonged to.
+func (n *Network) Reset() {
+	for _, r := range n.routers {
+		r.reset(n.cfg)
+	}
+	n.active.Clear()
+	n.haveFaults = false
+	n.faultyCnt = 0
+	n.stats = NetworkStats{}
+	n.tables = n.healthy
+	n.applyRoutingRows()
+}
+
+// release recycles a packet whose fabric lifecycle ended.
+func (n *Network) release(p *Packet) {
+	if n.Pool != nil {
+		n.Pool.Put(p)
+	}
 }
 
 // Reachable reports whether dst can be reached from src under the current
@@ -247,6 +312,8 @@ func (n *Network) handleDrop(at NodeID, p *Packet, reason DropReason) {
 	if n.DropHandler != nil {
 		n.DropHandler(at, p, reason)
 	}
+	// The handler was the last reader: the packet's lifecycle ends here.
+	n.release(p)
 }
 
 func (n *Network) handleRecovery(at NodeID, p *Packet, now sim.Tick) bool {

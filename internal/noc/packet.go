@@ -104,6 +104,9 @@ type Packet struct {
 	// requeues counts consecutive deadlock-recovery rotations at the current
 	// router; it resets on every successful forward.
 	requeues int
+	// pooled marks a packet currently resting in a PacketPool free list; the
+	// pool uses it to catch double-recycles.
+	pooled bool
 }
 
 // Lapsed reports whether the packet is past its deadline at tick now, firing

@@ -1,0 +1,75 @@
+package noc
+
+// PacketPool is a free-list recycler for Packet values — the allocation side
+// of the zero-allocation steady state (DESIGN.md §9). One pool belongs to one
+// platform (it is not safe for concurrent use, exactly like the rest of a
+// platform), and every packet of a pooled platform is acquired through Get
+// and returned through Put when its lifecycle ends: processed by a PE,
+// consumed as a config/debug payload, or dropped.
+//
+// Ownership is linear: at any instant a packet is owned by exactly one of a
+// PE (outbox, receive queue, in-progress slot), a router input buffer, a
+// pending controller retry, or the pool. Put zeroes the packet — including
+// the once-per-lifetime latches (lapsedSeen, requeues, Retargets, Hops) — so
+// a recycled packet is indistinguishable from a freshly allocated one, which
+// is what keeps pooled runs bit-identical to unpooled ones. Double-recycling
+// panics immediately rather than corrupting a later run.
+type PacketPool struct {
+	free []*Packet
+	news uint64 // packets allocated because the free list was empty
+	gets uint64
+	puts uint64
+}
+
+// PacketPoolStats is a point-in-time snapshot of a pool's accounting.
+type PacketPoolStats struct {
+	// Allocated is how many packets were newly heap-allocated.
+	Allocated uint64
+	// Recycled is how many packets were returned for reuse.
+	Recycled uint64
+	// Live is how many acquired packets have not been returned — at a
+	// quiescent point it must equal the number of packets in flight.
+	Live int
+	// FreeListLen is the current free-list depth.
+	FreeListLen int
+}
+
+// Get returns a zeroed packet, recycling a free one when available. The
+// caller owns the packet until it hands it to Put (or to a component that
+// takes ownership, such as a router buffer accepting an injection).
+func (pp *PacketPool) Get() *Packet {
+	pp.gets++
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		p.pooled = false
+		return p
+	}
+	pp.news++
+	return &Packet{}
+}
+
+// Put returns a packet whose lifecycle ended. The packet is cleared in full —
+// the single point where recycled-packet state (lapsedSeen, requeues,
+// Retargets, Hops and every payload field) is wiped. Putting a packet twice
+// without an intervening Get panics: a double-recycle means two owners, which
+// would silently corrupt a later run.
+func (pp *PacketPool) Put(p *Packet) {
+	if p.pooled {
+		panic("noc: packet double-recycled")
+	}
+	pp.puts++
+	*p = Packet{pooled: true}
+	pp.free = append(pp.free, p)
+}
+
+// Stats snapshots the pool accounting.
+func (pp *PacketPool) Stats() PacketPoolStats {
+	return PacketPoolStats{
+		Allocated:   pp.news,
+		Recycled:    pp.puts,
+		Live:        int(pp.gets - pp.puts),
+		FreeListLen: len(pp.free),
+	}
+}

@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"math/bits"
+
 	"centurion/internal/sim"
 	"centurion/internal/taskgraph"
 )
@@ -66,7 +68,9 @@ type Router struct {
 	topo Topology
 	net  *Network
 
-	in            [NumPorts]*buffer
+	// in holds the five input FIFOs inline (no per-buffer indirection: the
+	// port scan is the hottest loop in the simulator).
+	in            [NumPorts]buffer
 	neighbor      [NumPorts]*Router
 	linkBusyUntil [NumPorts]sim.Tick
 	blockedSince  [NumPorts]sim.Tick
@@ -79,6 +83,18 @@ type Router struct {
 	// ports.
 	queued int
 	occ    uint8
+	// quietUntil is a pure fast-forward: when the last scan found every
+	// occupied port waiting on an in-transit head (wormhole tail flit not
+	// yet arrived) and serviced nothing, it records the earliest head
+	// arrival; scans before that tick would observably do nothing except
+	// advance the round-robin pointer, so Tick does exactly that and
+	// returns. Any push resets it — a new packet may be ready sooner.
+	quietUntil sim.Tick
+
+	// hop is this router's row of the active next-hop table (XY while the
+	// mesh is healthy, fault-aware tables otherwise); the network rebinds it
+	// whenever the routing state changes, so forwarding is one indexed load.
+	hop []Port
 
 	faulty        bool
 	deadlockLimit sim.Tick
@@ -105,7 +121,7 @@ type Router struct {
 func newRouter(id NodeID, topo Topology, net *Network, bufFlits int, deadlockLimit sim.Tick, requeueLimit int) *Router {
 	r := &Router{ID: id, topo: topo, net: net, deadlockLimit: deadlockLimit, requeueLimit: requeueLimit}
 	for p := Port(0); p < NumPorts; p++ {
-		r.in[p] = newBuffer(bufFlits)
+		r.in[p] = buffer{capFlits: bufFlits}
 	}
 	return r
 }
@@ -131,6 +147,7 @@ func (r *Router) pushIn(port Port, p *Packet, readyAt sim.Tick) bool {
 	}
 	r.queued++
 	r.occ |= 1 << port
+	r.quietUntil = 0
 	r.net.activate(r.ID)
 	return true
 }
@@ -209,19 +226,60 @@ func (r *Router) Tick(now sim.Tick) {
 	if r.rr >= int(NumPorts) {
 		r.rr = 0
 	}
-	for i := 0; i < int(NumPorts); i++ {
-		port := Port((start + i) % int(NumPorts))
-		if r.occ&(1<<port) != 0 {
-			r.servicePort(port, now)
+	// All heads in transit and nothing to service: the full scan would be a
+	// no-op (the pointer advance above is all the dense scan would mutate).
+	if now < r.quietUntil {
+		return
+	}
+	// quiet collects the earliest in-transit head arrival; it survives to
+	// quietUntil only when every occupied port is waiting on one and no port
+	// was serviced (a serviced port's state may unblock a neighbour this
+	// very tick, so any activity forces a rescan next tick).
+	quiet := sim.Tick(1) << 62
+	allQuiet := true
+	// Visit occupied ports in round-robin order by iterating set bits of the
+	// occupancy mask rotated so bit order equals rotation order from start.
+	// The mask is re-derived from the live occ after every service — a port
+	// can become occupied mid-scan (a rescued packet re-injected locally),
+	// and the cursor makes it serviced this tick exactly when its rotation
+	// position is still ahead, just as testing each port in turn would.
+	for cursor := 0; cursor < int(NumPorts); {
+		rot := (uint(r.occ)>>start | uint(r.occ)<<(uint(NumPorts)-uint(start))) & (1<<NumPorts - 1)
+		rot &= ^uint(0) << cursor
+		if rot == 0 {
+			break
 		}
+		b := bits.TrailingZeros(rot)
+		cursor = b + 1
+		port := Port(b + start)
+		if port >= NumPorts {
+			port -= NumPorts
+		}
+		if at, ok := r.servicePort(port, now); ok {
+			if at < quiet {
+				quiet = at
+			}
+		} else {
+			allQuiet = false
+		}
+	}
+	if allQuiet {
+		r.quietUntil = quiet
 	}
 }
 
-func (r *Router) servicePort(port Port, now sim.Tick) {
-	b := r.in[port]
+// servicePort advances one input port. It reports (arrival, true) when the
+// port provably cannot act before arrival — its head packet's tail flit is
+// still in transit — and (0, false) whenever it did or might have done
+// observable work this tick.
+func (r *Router) servicePort(port Port, now sim.Tick) (sim.Tick, bool) {
+	b := &r.in[port]
 	pkt, readyAt := b.Head()
-	if pkt == nil || readyAt > now {
-		return
+	if pkt == nil {
+		return 0, false
+	}
+	if readyAt > now {
+		return readyAt, true
 	}
 	if pkt.Kind == Data && pkt.Lapsed(now) {
 		r.Stats.LapsesSeen++
@@ -232,41 +290,49 @@ func (r *Router) servicePort(port Port, now sim.Tick) {
 
 	if pkt.Dst == r.ID {
 		r.deliverLocal(port, pkt, now)
-		return
+		return 0, false
 	}
 
 	// Task-addressed absorption: an en-route owner of the packet's task may
-	// sink it locally instead of forwarding.
-	if pkt.Kind == Data && r.Absorb != nil && r.Absorb(pkt, now) {
-		r.popIn(port)
-		r.Stats.Delivered++
-		if r.Monitors.InternalDelivery != nil {
-			r.Monitors.InternalDelivery(pkt.Task, now)
+	// sink it locally instead of forwarding. Absorb transfers ownership on
+	// true, so the task is read before the hand-over.
+	if pkt.Kind == Data && r.Absorb != nil {
+		task := pkt.Task
+		if r.Absorb(pkt, now) {
+			r.popIn(port)
+			r.Stats.Delivered++
+			if r.Monitors.InternalDelivery != nil {
+				r.Monitors.InternalDelivery(task, now)
+			}
+			r.net.noteDelivered()
+			return 0, false
 		}
-		r.net.noteDelivered()
-		return
 	}
 
-	out := r.net.NextHop(r.ID, pkt.Dst)
+	out := PortInvalid
+	if uint(pkt.Dst) < uint(len(r.hop)) {
+		out = r.hop[pkt.Dst]
+	}
 	if out == PortInvalid || out == Local {
 		// Unreachable destination (e.g. partitioned by faults): hand the
 		// packet to the recovery path so the platform can retarget it.
 		r.popIn(port)
 		r.recover(pkt, now)
-		return
+		return 0, false
 	}
 	if r.tryForward(port, out, pkt, now) {
-		return
+		return 0, false
 	}
 	// Head is blocked: track for deadlock recovery.
 	r.Stats.BlockedTicks++
 	if r.blockedSince[port] == 0 {
 		r.blockedSince[port] = now
-		return
+		return 0, false
 	}
 	if r.deadlockLimit > 0 && now-r.blockedSince[port] >= r.deadlockLimit {
 		r.recoverBlocked(port, pkt, now)
 	}
+	return 0, false
 }
 
 // recoverBlocked applies the deadlock-recovery action to the blocked head of
@@ -298,6 +364,8 @@ func (r *Router) deliverLocal(port Port, pkt *Packet, now sim.Tick) {
 		r.popIn(port)
 		r.applyConfig(pkt, now)
 		r.net.noteConfig()
+		// The payload has been applied; the packet's lifecycle ends here.
+		r.net.release(pkt)
 	case Debug, Data:
 		if r.sink == nil {
 			r.popIn(port)
@@ -305,11 +373,15 @@ func (r *Router) deliverLocal(port Port, pkt *Packet, now sim.Tick) {
 			r.net.handleDrop(r.ID, pkt, DropNoSink)
 			return
 		}
+		// A successful Accept transfers ownership to the sink (which may
+		// consume and recycle the packet immediately): read what the monitor
+		// needs before handing it over.
+		isData, task := pkt.Kind == Data, pkt.Task
 		if r.sink.Accept(pkt, now) {
 			r.popIn(port)
 			r.Stats.Delivered++
-			if pkt.Kind == Data && r.Monitors.InternalDelivery != nil {
-				r.Monitors.InternalDelivery(pkt.Task, now)
+			if isData && r.Monitors.InternalDelivery != nil {
+				r.Monitors.InternalDelivery(task, now)
 			}
 			r.net.noteDelivered()
 			return
@@ -385,6 +457,27 @@ func (r *Router) applyConfig(pkt *Packet, now sim.Tick) {
 			r.configSink.ApplyConfig(pkt.Op, pkt.Arg, pkt.Arg2, now)
 		}
 	}
+}
+
+// reset restores the router to its as-constructed state in place: buffers
+// empty (their packets recycled), ports enabled, fault cleared, counters
+// zeroed, and the deadlock settings back at the fabric defaults. Slice and
+// buffer capacity is retained so a reused router re-runs without reallocating.
+func (r *Router) reset(cfg Params) {
+	for p := Port(0); p < NumPorts; p++ {
+		r.in[p].reset(r.net.release)
+		r.linkBusyUntil[p] = 0
+		r.blockedSince[p] = 0
+		r.portDisabled[p] = false
+	}
+	r.rr = 0
+	r.queued = 0
+	r.occ = 0
+	r.quietUntil = 0
+	r.faulty = false
+	r.deadlockLimit = cfg.DeadlockLimit
+	r.requeueLimit = cfg.RequeueLimit
+	r.Stats = RouterStats{}
 }
 
 // fail marks the router dead and drains its buffers, returning the lost

@@ -96,6 +96,11 @@ func (p Port) Opposite() Port {
 // Topology describes a W×H mesh.
 type Topology struct {
 	W, H int
+	// coords memoizes NodeID→Coord so the routing hot path (XY next hops,
+	// Manhattan scans in the task directory) avoids a div/mod pair per
+	// lookup. Built once by NewTopology; the slice is shared read-only by
+	// every copy of the value.
+	coords []Coord
 }
 
 // NewTopology returns a mesh topology. It panics on non-positive dimensions.
@@ -103,7 +108,12 @@ func NewTopology(w, h int) Topology {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("noc: invalid topology %dx%d", w, h))
 	}
-	return Topology{W: w, H: h}
+	t := Topology{W: w, H: h}
+	t.coords = make([]Coord, w*h)
+	for id := range t.coords {
+		t.coords[id] = Coord{X: id % w, Y: id / w}
+	}
+	return t
 }
 
 // Nodes returns the node count W*H.
@@ -122,6 +132,11 @@ func (t Topology) Coord(id NodeID) Coord {
 	if id < 0 || int(id) >= t.Nodes() {
 		panic(fmt.Sprintf("noc: node %d outside %dx%d mesh", id, t.W, t.H))
 	}
+	if t.coords != nil {
+		return t.coords[id]
+	}
+	// Zero-value topologies (tests constructing Topology{W, H} directly)
+	// fall back to the arithmetic form.
 	return Coord{X: int(id) % t.W, Y: int(id) / t.W}
 }
 

@@ -34,6 +34,19 @@ type Directory struct {
 	nearCache   map[nearestKey]noc.NodeID
 	nearKCache  map[nearestKKey][]noc.NodeID
 	nearVersion uint64
+
+	// arena backs the slices stored in nearKCache: results are carved off
+	// its tail and the whole arena is truncated on flush, so cache refills
+	// after a mutation stop allocating once it has grown to the working-set
+	// size. candBuf is the owner-scan scratch of NearestK.
+	arena   []noc.NodeID
+	candBuf []ownerCand
+}
+
+// ownerCand is NearestK's owner-scan scratch entry.
+type ownerCand struct {
+	id   noc.NodeID
+	dist int
 }
 
 // nearestKey identifies one memoized Nearest query.
@@ -49,11 +62,14 @@ type nearestKKey struct {
 	k    int
 }
 
-// flushStale lazily invalidates the memoized lookups after a mutation.
+// flushStale lazily invalidates the memoized lookups after a mutation. The
+// arena is truncated with the cache that referenced it: the retained backing
+// array is rewritten by the next refills.
 func (d *Directory) flushStale() {
 	if d.nearVersion != d.Version {
 		clear(d.nearCache)
 		clear(d.nearKCache)
+		d.arena = d.arena[:0]
 		d.nearVersion = d.Version
 	}
 }
@@ -75,6 +91,27 @@ func NewDirectory(topo noc.Topology, m taskgraph.Mapping) *Directory {
 		d.byTask[task] = append(d.byTask[task], noc.NodeID(i))
 	}
 	return d
+}
+
+// Reset rebuilds the directory in place from a fresh mapping: every node
+// comes back alive running its mapped task. The per-task owner lists retain
+// their capacity, and the memoized lookups are invalidated through the usual
+// version bump.
+func (d *Directory) Reset(m taskgraph.Mapping) {
+	if len(m) != len(d.taskOf) {
+		panic("node: reset mapping size does not match directory")
+	}
+	for task, owners := range d.byTask {
+		d.byTask[task] = owners[:0]
+	}
+	for i, task := range m {
+		d.taskOf[i] = task
+		d.alive[i] = true
+		// Node IDs ascend, so the owner lists come out sorted as insertID
+		// would keep them.
+		d.byTask[task] = append(d.byTask[task], noc.NodeID(i))
+	}
+	d.Version++
 }
 
 // TaskOf returns the task the node currently runs.
@@ -160,7 +197,8 @@ func (d *Directory) Nearest(task taskgraph.TaskID, from noc.NodeID) (noc.NodeID,
 // distance from from (ties toward smaller IDs). Used by fork nodes to
 // spread parallel branches over nearby workers. Results are memoized per
 // (task, from, k) until the next directory mutation; callers must not
-// mutate the returned slice.
+// mutate the returned slice and must not retain it across a mutation (its
+// arena-backed storage is recycled on the next refill).
 func (d *Directory) NearestK(task taskgraph.TaskID, from noc.NodeID, k int) []noc.NodeID {
 	if d.nearKCache == nil {
 		d.nearKCache = make(map[nearestKKey][]noc.NodeID, 64)
@@ -170,22 +208,22 @@ func (d *Directory) NearestK(task taskgraph.TaskID, from noc.NodeID, k int) []no
 	if out, ok := d.nearKCache[key]; ok {
 		return out
 	}
-	type cand struct {
-		id   noc.NodeID
-		dist int
-	}
 	fc := d.topo.Coord(from)
-	var cands []cand
+	cands := d.candBuf[:0]
 	for _, id := range d.byTask[task] {
 		if d.alive[id] {
-			cands = append(cands, cand{id, fc.Manhattan(d.topo.Coord(id))})
+			cands = append(cands, ownerCand{id, fc.Manhattan(d.topo.Coord(id))})
 		}
 	}
+	d.candBuf = cands // keep the grown scratch
 	// Selection sort of the first k: k is tiny (the fork fan-out).
 	if k > len(cands) {
 		k = len(cands)
 	}
-	out := make([]noc.NodeID, 0, k)
+	// Carve the result off the arena tail. Appends beyond capacity move the
+	// arena to a new backing array; earlier cached slices keep referencing
+	// the old one, which stays alive until they are flushed with it.
+	start := len(d.arena)
 	for i := 0; i < k; i++ {
 		best := i
 		for j := i + 1; j < len(cands); j++ {
@@ -195,8 +233,9 @@ func (d *Directory) NearestK(task taskgraph.TaskID, from noc.NodeID, k int) []no
 			}
 		}
 		cands[i], cands[best] = cands[best], cands[i]
-		out = append(out, cands[i].id)
+		d.arena = append(d.arena, cands[i].id)
 	}
+	out := d.arena[start:len(d.arena):len(d.arena)]
 	d.nearKCache[key] = out
 	return out
 }

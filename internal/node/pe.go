@@ -18,8 +18,14 @@ type Env interface {
 	Directory() *Directory
 	// Graph is the application task graph.
 	Graph() *taskgraph.Graph
-	// NextPacketID allocates a fabric-unique packet ID.
-	NextPacketID() uint64
+	// NewPacket acquires a zeroed packet carrying a fresh fabric-unique ID
+	// (from the platform's recycling pool when one is attached). The PE owns
+	// it until it is injected or freed.
+	NewPacket() *noc.Packet
+	// FreePacket returns a packet whose lifecycle ended at this PE —
+	// processed to completion, consumed as a debug payload, or dropped —
+	// to the platform's recycling pool. Must be the packet's final use.
+	FreePacket(p *noc.Packet)
 	// NextInstanceID allocates an application instance ID.
 	NextInstanceID() uint64
 	// InstanceCompleted reports a completed fork–join instance (a throughput
@@ -183,6 +189,17 @@ func (pe *PE) WorkCount() uint64 { return pe.workCount }
 // QueueLen returns the receive-queue depth.
 func (pe *PE) QueueLen() int { return len(pe.queue) }
 
+// PendingPackets counts the packets the PE currently owns (receive queue,
+// in-progress slot, outbox) — this PE's contribution to the fabric-wide
+// packet-conservation check.
+func (pe *PE) PendingPackets() int {
+	n := len(pe.queue) + len(pe.outbox)
+	if pe.current != nil {
+		n++
+	}
+	return n
+}
+
 // AckInstance delivers a completion (or loss) acknowledgement for an
 // instance this node generated, freeing its flow-control window slot.
 // Unknown instance IDs are ignored, so duplicate acknowledgements are safe.
@@ -201,6 +218,34 @@ func (pe *PE) stir() {
 // Outstanding returns the number of un-acknowledged instances.
 func (pe *PE) Outstanding() int { return len(pe.outstanding) }
 
+// releaseAllPackets recycles every packet the PE holds (queue, in-progress
+// slot, outbox), truncating the slices in place so their capacity survives
+// for the next run. With account set each packet is also reported through
+// the drop accounting (fault/reset semantics); without it the packets are
+// silently reclaimed (platform reuse — the run they belonged to is over).
+func (pe *PE) releaseAllPackets(now sim.Tick, account bool) {
+	release := func(p *noc.Packet) {
+		if account {
+			pe.env.PacketDropped(p, pe.ID, now)
+		}
+		pe.env.FreePacket(p)
+	}
+	for i, p := range pe.queue {
+		release(p)
+		pe.queue[i] = nil
+	}
+	pe.queue = pe.queue[:0]
+	if pe.current != nil {
+		release(pe.current)
+		pe.current = nil
+	}
+	for i, p := range pe.outbox {
+		release(p)
+		pe.outbox[i] = nil
+	}
+	pe.outbox = pe.outbox[:0]
+}
+
 // Fail kills the PE: it stops processing and rejects traffic. Queued and
 // in-progress packets are lost.
 func (pe *PE) Fail(now sim.Tick) {
@@ -208,18 +253,7 @@ func (pe *PE) Fail(now sim.Tick) {
 		return
 	}
 	pe.alive = false
-	for _, p := range pe.queue {
-		pe.env.PacketDropped(p, pe.ID, now)
-	}
-	if pe.current != nil {
-		pe.env.PacketDropped(pe.current, pe.ID, now)
-	}
-	for _, p := range pe.outbox {
-		pe.env.PacketDropped(p, pe.ID, now)
-	}
-	pe.queue = nil
-	pe.current = nil
-	pe.outbox = nil
+	pe.releaseAllPackets(now, true)
 	pe.abandonJoins(now)
 	pe.env.Directory().SetAlive(pe.ID, false)
 }
@@ -227,13 +261,29 @@ func (pe *PE) Fail(now sim.Tick) {
 // Reset is the RCAP node-reset knob: state clears but the PE stays alive.
 func (pe *PE) Reset(now sim.Tick) {
 	defer pe.stir()
-	for _, p := range pe.queue {
-		pe.env.PacketDropped(p, pe.ID, now)
-	}
-	pe.queue = pe.queue[:0]
-	pe.current = nil
-	pe.outbox = nil
+	pe.releaseAllPackets(now, true)
+	pe.busyEnd = 0
 	pe.abandonJoins(now)
+}
+
+// Restart rewinds the PE to the state NewPE would construct for the given
+// task and generation phase, retaining every allocation (queue, outbox and
+// scratch capacity, join and window maps). Held packets are recycled without
+// drop accounting: a restart ends the run they belonged to. It is the
+// platform-reuse path (Platform.Reset), not an RCAP knob.
+func (pe *PE) Restart(task taskgraph.TaskID, genPhase sim.Tick) {
+	pe.releaseAllPackets(0, false)
+	pe.task = task
+	pe.alive = true
+	pe.clockEn = true
+	pe.freqDiv = 1
+	pe.busyEnd = 0
+	pe.nextGen = genPhase
+	clear(pe.joins)
+	clear(pe.outstanding)
+	pe.nextJoin = 0
+	pe.workCount = 0
+	pe.Stats = Stats{}
 }
 
 // SetClockEnable is the RCAP clock-gate knob.
@@ -264,6 +314,7 @@ func (pe *PE) SwitchTask(to taskgraph.TaskID, now sim.Tick) {
 		pe.Stats.Dropped++
 		pe.env.PacketDropped(pe.current, pe.ID, now)
 		pe.env.InstanceLost(pe.current.Instance, pe.current.Origin, pe.ID, now)
+		pe.env.FreePacket(pe.current)
 		pe.current = nil
 	}
 	pe.busyEnd = 0
@@ -286,6 +337,7 @@ func (pe *PE) Accept(p *noc.Packet, now sim.Tick) bool {
 	}
 	if p.Kind == noc.Debug {
 		pe.Stats.DebugSeen++
+		pe.env.FreePacket(p) // consumed on the spot
 		return true
 	}
 	if len(pe.queue) >= pe.par.QueueCap {
@@ -431,19 +483,17 @@ func (pe *PE) generate(now sim.Tick) {
 		}
 		for i := 0; i < e.Width; i++ {
 			dst := owners[i%len(owners)]
-			pkt := &noc.Packet{
-				ID:       pe.env.NextPacketID(),
-				Kind:     noc.Data,
-				Src:      pe.ID,
-				Dst:      dst,
-				Task:     e.To,
-				Instance: inst,
-				Branch:   branch,
-				Origin:   pe.ID,
-				JoinDst:  joinDst,
-				Flits:    pe.par.PacketFlits,
-				Created:  now,
-			}
+			pkt := pe.env.NewPacket()
+			pkt.Kind = noc.Data
+			pkt.Src = pe.ID
+			pkt.Dst = dst
+			pkt.Task = e.To
+			pkt.Instance = inst
+			pkt.Branch = branch
+			pkt.Origin = pe.ID
+			pkt.JoinDst = joinDst
+			pkt.Flits = pe.par.PacketFlits
+			pkt.Created = now
 			if pe.par.DeadlineTicks > 0 {
 				pkt.Deadline = now + pe.par.DeadlineTicks
 			}
@@ -475,8 +525,10 @@ func (pe *PE) process(now sim.Tick) {
 		if now < pe.busyEnd {
 			return
 		}
-		pe.finish(pe.current, now)
+		done := pe.current
 		pe.current = nil
+		pe.finish(done, now)
+		pe.env.FreePacket(done)
 	}
 	// Start the next one. Send back-pressure gates new work so the outbox
 	// stays bounded.
@@ -496,6 +548,7 @@ func (pe *PE) process(now sim.Tick) {
 	proc := sim.Tick(t.ProcTicks * pe.freqDiv)
 	if proc <= 0 {
 		pe.finish(p, now)
+		pe.env.FreePacket(p)
 		return
 	}
 	pe.current = p
@@ -536,19 +589,17 @@ func (pe *PE) finish(p *noc.Packet, now sim.Tick) {
 				pe.env.InstanceLost(p.Instance, p.Origin, pe.ID, now)
 				continue
 			}
-			out := &noc.Packet{
-				ID:       pe.env.NextPacketID(),
-				Kind:     noc.Data,
-				Src:      pe.ID,
-				Dst:      dst,
-				Task:     e.To,
-				Instance: p.Instance,
-				Branch:   p.Branch,
-				Origin:   p.Origin,
-				JoinDst:  dst,
-				Flits:    pe.par.PacketFlits,
-				Created:  now,
-			}
+			out := pe.env.NewPacket()
+			out.Kind = noc.Data
+			out.Src = pe.ID
+			out.Dst = dst
+			out.Task = e.To
+			out.Instance = p.Instance
+			out.Branch = p.Branch
+			out.Origin = p.Origin
+			out.JoinDst = dst
+			out.Flits = pe.par.PacketFlits
+			out.Created = now
 			if pe.par.DeadlineTicks > 0 {
 				out.Deadline = now + pe.par.DeadlineTicks
 			}
@@ -596,6 +647,7 @@ func (pe *PE) retarget(p *noc.Packet, now sim.Tick) {
 		pe.Stats.Dropped++
 		pe.env.PacketDropped(p, pe.ID, now)
 		pe.env.InstanceLost(p.Instance, p.Origin, pe.ID, now)
+		pe.env.FreePacket(p)
 		return
 	}
 	p.Dst = dst

@@ -44,8 +44,12 @@ func (e *fakeEnv) Inject(from noc.NodeID, p *noc.Packet, now sim.Tick) bool {
 }
 func (e *fakeEnv) Directory() *Directory   { return e.dir }
 func (e *fakeEnv) Graph() *taskgraph.Graph { return e.graph }
-func (e *fakeEnv) NextPacketID() uint64    { e.nextPkt++; return e.nextPkt }
-func (e *fakeEnv) NextInstanceID() uint64  { e.nextInst++; return e.nextInst }
+func (e *fakeEnv) NewPacket() *noc.Packet {
+	e.nextPkt++
+	return &noc.Packet{ID: e.nextPkt}
+}
+func (e *fakeEnv) FreePacket(p *noc.Packet) {} // un-pooled: tests keep reading dropped packets
+func (e *fakeEnv) NextInstanceID() uint64   { e.nextInst++; return e.nextInst }
 func (e *fakeEnv) InstanceCompleted(inst uint64, origin, at noc.NodeID, now sim.Tick) {
 	e.completed = append(e.completed, inst)
 	e.origins = append(e.origins, origin)

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
+
+	"centurion/internal/experiments"
 )
 
 // maxBodyBytes bounds request bodies; a run spec is a few hundred bytes.
@@ -84,12 +87,48 @@ func (s *Server) status(j *Job) JobStatus {
 	}
 }
 
-// handleHealth reports liveness plus engine and cache statistics.
+// GCStats is the allocator/GC view surfaced by /healthz: with pooled
+// platforms and recycled packets the pause totals should stay flat under
+// sustained sweep traffic — a growing pause total is the capacity signal
+// that something regressed to per-run allocation.
+type GCStats struct {
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	PauseTotalMs   float64 `json:"pause_total_ms"`
+}
+
+// gcStatsTTL bounds how often /healthz pays for a runtime.ReadMemStats —
+// the call stops the world, so a hammered health endpoint must not turn
+// into a GC-pause generator of its own.
+const gcStatsTTL = time.Second
+
+// gcStats returns the allocator snapshot, refreshing it at most once per
+// gcStatsTTL.
+func (s *Server) gcStats() GCStats {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if time.Since(s.gcAt) >= gcStatsTTL {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.gcSnap = GCStats{
+			HeapAllocBytes: ms.HeapAlloc,
+			NumGC:          ms.NumGC,
+			PauseTotalMs:   float64(ms.PauseTotalNs) / 1e6,
+		}
+		s.gcAt = time.Now()
+	}
+	return s.gcSnap
+}
+
+// handleHealth reports liveness plus engine, cache, platform-pool and GC
+// statistics for capacity monitoring.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"engine":         s.engine.Stats(),
+		"pool":           experiments.PoolStats(),
+		"gc":             s.gcStats(),
 	})
 }
 

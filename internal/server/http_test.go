@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"centurion/internal/experiments"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -55,14 +57,33 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz status = %d", resp.StatusCode)
 	}
 	var h struct {
-		Status string      `json:"status"`
-		Engine EngineStats `json:"engine"`
+		Status string                        `json:"status"`
+		Engine EngineStats                   `json:"engine"`
+		Pool   experiments.PoolStatsSnapshot `json:"pool"`
+		GC     *GCStats                      `json:"gc"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
 	if h.Status != "ok" || h.Engine.Workers != 2 {
 		t.Errorf("healthz = %+v", h)
+	}
+	if h.GC == nil {
+		t.Error("healthz carries no gc stats")
+	}
+	// The platform pool is process-global: after at least one simulated run
+	// (any test in this package, or the submit below) it must show activity.
+	postRun(t, ts, `{"model":"none","duration_ms":20,"window_ms":20,"runs":2}`, true)
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Pool.PlatformsCreated == 0 {
+		t.Errorf("pool stats show no platform activity: %+v", h.Pool)
 	}
 }
 

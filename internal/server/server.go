@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -43,6 +44,11 @@ type Server struct {
 	engine  *Engine
 	mux     *http.ServeMux
 	started time.Time
+
+	// Cached GC snapshot for /healthz (see gcStats).
+	gcMu   sync.Mutex
+	gcAt   time.Time
+	gcSnap GCStats
 }
 
 // New assembles a service and starts its worker pool.

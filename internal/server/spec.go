@@ -134,11 +134,14 @@ var models = map[string]experiments.Model{
 	"random-static": experiments.ModelRandomStatic,
 }
 
-// graphs enumerates the built-in workloads.
-var graphs = map[string]func() *taskgraph.Graph{
-	"forkjoin": func() *taskgraph.Graph { return taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams()) },
-	"pipeline": func() *taskgraph.Graph { return taskgraph.Pipeline(4, 120, 24) },
-	"diamond":  func() *taskgraph.Graph { return taskgraph.Diamond(120, 24) },
+// graphs enumerates the built-in workloads as shared singletons: graphs are
+// immutable (and their memoized accessors race-safe), and handing every run
+// of a workload the same instance is what lets the experiment runner's
+// platform pool — keyed by graph identity — recycle platforms across jobs.
+var graphs = map[string]*taskgraph.Graph{
+	"forkjoin": taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams()),
+	"pipeline": taskgraph.Pipeline(4, 120, 24),
+	"diamond":  taskgraph.Diamond(120, 24),
 }
 
 // ParseSpec decodes a JSON run-spec, rejecting unknown fields, and returns
@@ -270,7 +273,7 @@ func (s RunSpec) toExperiment(i int) experiments.Spec {
 		NeighborSignals: s.NeighborSignals,
 		Width:           s.Width,
 		Height:          s.Height,
-		Graph:           graphs[s.Graph](),
+		Graph:           graphs[s.Graph],
 	}
 	if s.NI != nil {
 		par := aim.DefaultNIParams()

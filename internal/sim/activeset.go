@@ -55,6 +55,12 @@ func (s *ActiveSet) Contains(id int) bool {
 // Len returns the number of active members.
 func (s *ActiveSet) Len() int { return s.n }
 
+// Clear deactivates every member.
+func (s *ActiveSet) Clear() {
+	clear(s.words)
+	s.n = 0
+}
+
 // Empty reports whether no member is active.
 func (s *ActiveSet) Empty() bool { return s.n == 0 }
 

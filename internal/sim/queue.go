@@ -73,8 +73,15 @@ func (q *EventQueue) RunDue(now Tick) int {
 	return n
 }
 
-// Clear drops all pending events.
-func (q *EventQueue) Clear() { q.heap = q.heap[:0] }
+// Clear drops all pending events without running them. The dropped events
+// are recycled, so a cleared queue reschedules without allocating.
+func (q *EventQueue) Clear() {
+	for _, e := range q.heap {
+		e.Fn = nil
+		q.free = append(q.free, e)
+	}
+	q.heap = q.heap[:0]
+}
 
 func (q *EventQueue) less(i, j int) bool {
 	a, b := q.heap[i], q.heap[j]

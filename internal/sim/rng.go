@@ -20,6 +20,14 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// Reseed rewinds the generator to the exact state NewRNG(seed) produces, so
+// a reused generator replays the same stream a fresh one would.
+func (r *RNG) Reseed(seed uint64) {
+	r.state = seed
+	r.Uint64()
+	r.Uint64()
+}
+
 // Uint64 returns the next 64 random bits (SplitMix64 step).
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -84,6 +84,16 @@ func New(topo noc.Topology, par Params) *Model {
 // Params returns the model parameters.
 func (m *Model) Params() Params { return m.par }
 
+// Reset returns every node to ambient temperature and clears the work
+// baselines, reusing the existing fields (the platform-reuse path).
+func (m *Model) Reset() {
+	for i := range m.temp {
+		m.temp[i] = m.par.Ambient
+		m.next[i] = 0
+		m.last[i] = 0
+	}
+}
+
 // Temperature returns a node's current temperature.
 func (m *Model) Temperature(id noc.NodeID) float64 { return m.temp[id] }
 
