@@ -211,20 +211,27 @@ func BenchmarkAblationEmbeddedAIMCost(b *testing.B) {
 
 // --- Substrate micro-benchmarks ---
 
-// BenchmarkPlatformStep measures one full platform tick (128 routers + PEs +
-// AIM decisions) at steady state.
+// BenchmarkPlatformStep measures one full platform tick (128 nodes' routers
+// + PEs + AIM decisions) at steady state. The torus and cmesh variants run
+// the FFW model on the non-mesh fabrics: the allocs/op guard in CI holds all
+// five sub-benchmarks to the zero-allocation contract.
 func BenchmarkPlatformStep(b *testing.B) {
 	for _, tc := range []struct {
-		name    string
-		factory aim.Factory
-		mapper  taskgraph.Mapper
+		name     string
+		topology string
+		factory  aim.Factory
+		mapper   taskgraph.Mapper
 	}{
-		{"none", aim.NewNone, taskgraph.HeuristicMapper{}},
-		{"ni", aim.NewNIFactory(aim.DefaultNIParams()), taskgraph.RandomMapper{}},
-		{"ffw", aim.NewFFWFactory(aim.DefaultFFWParams()), taskgraph.RandomMapper{}},
+		{"none", "", aim.NewNone, taskgraph.HeuristicMapper{}},
+		{"ni", "", aim.NewNIFactory(aim.DefaultNIParams()), taskgraph.RandomMapper{}},
+		{"ffw", "", aim.NewFFWFactory(aim.DefaultFFWParams()), taskgraph.RandomMapper{}},
+		{"torus", "torus", aim.NewFFWFactory(aim.DefaultFFWParams()), taskgraph.RandomMapper{}},
+		{"cmesh", "cmesh", aim.NewFFWFactory(aim.DefaultFFWParams()), taskgraph.RandomMapper{}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			p := platform.New(platform.DefaultConfig(tc.factory, tc.mapper, 1))
+			cfg := platform.DefaultConfig(tc.factory, tc.mapper, 1)
+			cfg.Topology = tc.topology
+			p := platform.New(cfg)
 			p.RunFor(sim.Ms(100), nil) // reach steady state
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

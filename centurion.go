@@ -53,6 +53,7 @@ type config struct {
 	seed        uint64
 	width       int
 	height      int
+	topology    string
 	graph       *taskgraph.Graph
 	neighborSig bool
 	embeddedAIM bool
@@ -72,10 +73,19 @@ func WithModel(m Model) Option { return func(c *config) { c.model = m } }
 // WithSeed sets the run's random seed (default 1).
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 
-// WithSize sets the mesh dimensions (default 16×8 — Centurion-V6's 128
+// WithSize sets the node-grid dimensions (default 16×8 — Centurion-V6's 128
 // nodes).
 func WithSize(w, h int) Option {
 	return func(c *config) { c.width, c.height = w, h }
+}
+
+// WithTopology selects the fabric shape: "mesh" (default), "torus"
+// (wrap-around links) or "cmesh" (concentrated mesh — 2×2 clusters of
+// processing elements share one router; requires even dimensions).
+// NewSystem panics on an unknown or invalid shape, exactly like an invalid
+// custom graph.
+func WithTopology(kind string) Option {
+	return func(c *config) { c.topology = kind }
 }
 
 // WithGraph selects a built-in workload (default GraphForkJoin).
@@ -195,6 +205,7 @@ func NewSystem(opts ...Option) *System {
 	cfg.NeighborSignals = c.neighborSig
 	cfg.Thermal = c.thermal
 	cfg.ThermalDVFS = c.thermalDVFS
+	cfg.Topology = c.topology
 	if c.graph != nil {
 		cfg.Graph = c.graph
 	}
@@ -236,9 +247,17 @@ func (s *System) InjectRandomFaults(n int, seed uint64) {
 	s.p.InjectFaults(nodes)
 }
 
-// InjectRegionFault kills every node in the rectangle [x0,x0+w)×[y0,y0+h).
-func (s *System) InjectRegionFault(x0, y0, w, h int) {
-	s.p.InjectFaults(faults.Region(s.p.Topo, x0, y0, w, h))
+// InjectRegionFault kills every node within the given topology distance of
+// the epicentre at grid coordinate (x, y) — a localised thermal hot-spot
+// shaped by the fabric's own metric (wrap-aware on a torus, cluster-granular
+// on a concentrated mesh). An epicentre outside the grid is off-die and
+// kills nothing.
+func (s *System) InjectRegionFault(x, y, radius int) {
+	c := noc.Coord{X: x, Y: y}
+	if !s.p.Topo.InBounds(c) {
+		return
+	}
+	s.p.InjectFaults(faults.Region(s.p.Topo, s.p.Topo.ID(c), radius))
 }
 
 // AliveNodes returns the number of functioning nodes.
@@ -267,9 +286,9 @@ func (s *System) Thermal() *thermal.Model { return s.p.Thermal() }
 // (sources '1'..'9', dead nodes 'x', idle '.').
 func (s *System) MapASCII() string {
 	topo := s.p.Topo
-	out := make([]byte, 0, (topo.W+1)*topo.H)
-	for y := 0; y < topo.H; y++ {
-		for x := 0; x < topo.W; x++ {
+	out := make([]byte, 0, (topo.Width()+1)*topo.Height())
+	for y := 0; y < topo.Height(); y++ {
+		for x := 0; x < topo.Width(); x++ {
 			id := topo.ID(noc.Coord{X: x, Y: y})
 			switch {
 			case !s.p.Net.Alive(id):

@@ -51,7 +51,7 @@ func TestFaultInjectionAPI(t *testing.T) {
 	if got := sys.AliveNodes(); got != 112 {
 		t.Errorf("AliveNodes after 16 faults = %d", got)
 	}
-	sys.InjectRegionFault(0, 0, 2, 2)
+	sys.InjectRegionFault(0, 0, 1) // corner epicentre, radius 1
 	if got := sys.AliveNodes(); got > 112-1 {
 		t.Errorf("region fault killed nothing (alive %d)", got)
 	}
@@ -135,7 +135,7 @@ func TestMapASCII(t *testing.T) {
 	if len(lines) != 8 || len(lines[0]) != 16 {
 		t.Fatalf("map is %dx%d, want 8 lines of 16", len(lines), len(lines[0]))
 	}
-	sys.InjectRegionFault(0, 0, 1, 1)
+	sys.InjectRegionFault(0, 0, 0) // radius 0: just the corner node
 	if !strings.HasPrefix(sys.MapASCII(), "x") {
 		t.Error("dead node not marked in map")
 	}

@@ -7,8 +7,8 @@
 //	centurion table1 [-runs N] [-seed S]
 //	centurion table2 [-runs N] [-seed S] [-faults 0,2,4,8,16,32]
 //	centurion fig4   [-faults 5] [-seed S] [-csv out.csv]
-//	centurion run    [-model none|ni|ffw|ni-pb] [-seed S] [-ms 1000]
-//	                 [-faults N] [-fault-at MS] [-map]
+//	centurion run    [-model none|ni|ffw|ni-pb] [-topology mesh|torus|cmesh]
+//	                 [-seed S] [-ms 1000] [-faults N] [-fault-at MS] [-map]
 //	centurion serve  [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	centurion asm    [-o out.txt] file.psm
 package main
@@ -23,6 +23,7 @@ import (
 
 	"centurion"
 	"centurion/internal/experiments"
+	"centurion/internal/noc"
 	"centurion/internal/picoblaze"
 )
 
@@ -131,6 +132,7 @@ func cmdFig4(args []string) error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	model := fs.String("model", "ffw", "none | ni | ffw | ni-pb (embedded PicoBlaze NI)")
+	topology := fs.String("topology", "mesh", "fabric shape: mesh | torus | cmesh")
 	seed := fs.Uint64("seed", 1, "seed")
 	ms := fs.Float64("ms", 1000, "simulated milliseconds")
 	faultN := fs.Int("faults", 0, "random node faults to inject")
@@ -144,10 +146,15 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The noc layer owns the topology rules; validating against the default
+	// 16×8 grid here turns a construction panic into a flag error.
+	if _, err := noc.MakeTopology(*topology, 16, 8); err != nil {
+		return err
+	}
 	if *faultN > 0 && (*faultAt <= 0 || *faultAt >= *ms) {
 		return fmt.Errorf("-fault-at %g must lie strictly inside (0, %g) to inject %d faults", *faultAt, *ms, *faultN)
 	}
-	opts := append([]centurion.Option{centurion.WithSeed(*seed)}, modelOpts...)
+	opts := append([]centurion.Option{centurion.WithSeed(*seed), centurion.WithTopology(*topology)}, modelOpts...)
 	sys := centurion.NewSystem(opts...)
 	if *showMap {
 		fmt.Println("initial task map:")
@@ -162,13 +169,13 @@ func cmdRun(args []string) error {
 		post := sys.Counters()
 		preRate := float64(pre.InstancesCompleted) / *faultAt
 		postRate := float64(post.InstancesCompleted-pre.InstancesCompleted) / (*ms - *faultAt)
-		fmt.Printf("model=%s seed=%d: pre-fault %.2f inst/ms, post-fault (%d faults) %.2f inst/ms\n",
-			*model, *seed, preRate, *faultN, postRate)
+		fmt.Printf("model=%s topology=%s seed=%d: pre-fault %.2f inst/ms, post-fault (%d faults) %.2f inst/ms\n",
+			*model, *topology, *seed, preRate, *faultN, postRate)
 	} else {
 		sys.RunMs(*ms)
 		c := sys.Counters()
-		fmt.Printf("model=%s seed=%d: %d instances completed in %.0f ms (%.2f inst/ms), %d task switches\n",
-			*model, *seed, c.InstancesCompleted, *ms,
+		fmt.Printf("model=%s topology=%s seed=%d: %d instances completed in %.0f ms (%.2f inst/ms), %d task switches\n",
+			*model, *topology, *seed, c.InstancesCompleted, *ms,
 			float64(c.InstancesCompleted)/(*ms), c.TaskSwitches)
 	}
 	if *showMap {

@@ -82,11 +82,36 @@ func TestRunSubcommandSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run subcommand: %v", err)
 	}
-	if !strings.Contains(out, "model=ffw seed=1") {
+	if !strings.Contains(out, "model=ffw topology=mesh seed=1") {
 		t.Errorf("run output missing summary line:\n%s", out)
 	}
 	if !strings.Contains(out, "task populations:") {
 		t.Errorf("run output missing task populations:\n%s", out)
+	}
+}
+
+func TestRunSubcommandTopologies(t *testing.T) {
+	for _, topo := range []string{"torus", "cmesh"} {
+		out, err := captureStdout(t, func() error {
+			return cmdRun([]string{"-model", "ffw", "-topology", topo, "-seed", "1", "-ms", "50"})
+		})
+		if err != nil {
+			t.Fatalf("run -topology %s: %v", topo, err)
+		}
+		if !strings.Contains(out, "topology="+topo) {
+			t.Errorf("run -topology %s output missing summary line:\n%s", topo, out)
+		}
+		if !strings.Contains(out, "instances completed") {
+			t.Errorf("run -topology %s produced no throughput summary:\n%s", topo, out)
+		}
+	}
+}
+
+func TestRunRejectsUnknownTopology(t *testing.T) {
+	if _, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-topology", "hypercube"})
+	}); err == nil {
+		t.Error("unknown topology accepted by run subcommand")
 	}
 }
 

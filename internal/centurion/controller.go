@@ -23,7 +23,7 @@ type Controller struct {
 // four evenly spaced top-row routers act as injection taps.
 func NewController(p *Platform) *Controller {
 	c := &Controller{p: p}
-	w := p.Topo.W
+	w := p.Topo.Width()
 	n := 4
 	if w < n {
 		n = w
@@ -122,7 +122,9 @@ type NodeReport struct {
 	QueueLen  int
 }
 
-// ReadNode returns a node's runtime data without touching the NoC.
+// ReadNode returns a node's runtime data without touching the NoC. The
+// router stats are those of the router serving the node (shared by the
+// whole cluster on concentrated fabrics).
 func (c *Controller) ReadNode(id noc.NodeID) NodeReport {
 	pe := c.p.pes[id]
 	return NodeReport{

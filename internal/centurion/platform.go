@@ -23,9 +23,14 @@ import (
 
 // Config assembles a platform.
 type Config struct {
-	// Width, Height set the mesh dimensions (default 16×8 = 128 nodes,
+	// Width, Height set the node-grid dimensions (default 16×8 = 128 nodes,
 	// Centurion-V6).
 	Width, Height int
+	// Topology selects the fabric shape: "mesh" (default), "torus" or
+	// "cmesh" (concentrated mesh, 2×2 clusters sharing a router; requires
+	// even dimensions). New panics on an unknown or invalid shape — the spec
+	// and CLI layers validate before construction.
+	Topology string
 	// Graph is the application task graph (default: the paper's fork–join).
 	Graph *taskgraph.Graph
 	// Mapper produces the initial task mapping (default: random — the
@@ -171,9 +176,13 @@ func New(cfg Config) *Platform {
 		cfg.NoC = noc.DefaultConfig()
 	}
 
+	topo, err := noc.MakeTopology(cfg.Topology, cfg.Width, cfg.Height)
+	if err != nil {
+		panic("centurion: " + err.Error())
+	}
 	p := &Platform{
 		Cfg:   cfg,
-		Topo:  noc.NewTopology(cfg.Width, cfg.Height),
+		Topo:  topo,
 		Graph: cfg.Graph,
 		rng:   sim.NewRNG(cfg.Seed),
 	}
@@ -228,8 +237,9 @@ func New(cfg Config) *Platform {
 		p.peSet.Add(id)
 		p.engSet.Add(id)
 
-		p.wireNode(nid, pe, engine)
+		p.wirePE(nid, pe, engine)
 	}
+	p.wireRouters()
 
 	p.Net.DropHandler = func(at noc.NodeID, pkt *noc.Packet, reason noc.DropReason) {
 		p.counters.PacketsDropped++
@@ -339,40 +349,13 @@ func (p *Platform) stepThermal(now sim.Tick) {
 	}
 }
 
-// wireNode connects one node's router monitors and knobs to its AIM and PE.
-func (p *Platform) wireNode(id noc.NodeID, pe *node.PE, engine aim.Engine) {
+// wirePE connects one node's PE-level hooks: the task-switch tap, the FFW
+// queue peek against the node's (possibly shared) router, and the generation
+// stimulus. Router-level taps are wired per physical router by wireRouters.
+func (p *Platform) wirePE(id noc.NodeID, pe *node.PE, engine aim.Engine) {
 	r := p.Net.Router(id)
-	r.SetSink(pe)
-	// Task-addressed absorption: this node consumes any passing data packet
-	// of its own task (join-bound sink packets stay bound to their fork-time
-	// join node so branches converge).
-	r.Absorb = func(pkt *noc.Packet, now sim.Tick) bool {
-		if pkt.Task != pe.Task() {
-			return false
-		}
-		if p.Graph.IsSink(pkt.Task) && p.Graph.JoinWidth(pkt.Task) > 1 {
-			return false
-		}
-		return pe.Accept(pkt, now)
-	}
-	// Monitor taps mark the engine dirty so the stepping core polls Decide
-	// on stimulated ticks only. The no-intelligence baseline ignores every
-	// stimulus, so its taps stay nil and the router hot path skips the calls
-	// entirely.
 	if _, isNone := engine.(aim.None); !isNone {
 		eid := int(id)
-		r.Monitors.RoutedTask = func(task taskgraph.TaskID, now sim.Tick) {
-			engine.OnRouted(task, now)
-			p.engSet.Add(eid)
-		}
-		r.Monitors.InternalDelivery = func(task taskgraph.TaskID, now sim.Tick) {
-			engine.OnInternal(task, now)
-			p.engSet.Add(eid)
-		}
-		r.Monitors.DeadlineLapse = func(task taskgraph.TaskID, now sim.Tick) {
-			engine.OnDeadlineLapse(task, now)
-			p.engSet.Add(eid)
-		}
 		pe.OnGenerate = func(now sim.Tick) {
 			engine.OnGenerated(now)
 			p.engSet.Add(eid)
@@ -380,7 +363,9 @@ func (p *Platform) wireNode(id noc.NodeID, pe *node.PE, engine aim.Engine) {
 	}
 	if ffw, ok := engine.(*aim.FFW); ok {
 		// FFW adoption is limited to packets this node could sink locally:
-		// join-bound traffic belongs to its fork-time join node.
+		// join-bound traffic belongs to its fork-time join node. On a
+		// concentrated fabric every cluster member peeks the shared router's
+		// queues — they all forage from the same stream.
 		ffw.SetQueuePeek(func(now sim.Tick) (taskgraph.TaskID, bool) {
 			return r.QueuedHeadTaskFunc(now, func(pkt *noc.Packet) bool {
 				return !(p.Graph.IsSink(pkt.Task) && p.Graph.JoinWidth(pkt.Task) > 1)
@@ -394,31 +379,119 @@ func (p *Platform) wireNode(id noc.NodeID, pe *node.PE, engine aim.Engine) {
 		}
 		if p.Cfg.NeighborSignals {
 			for port := noc.North; port <= noc.West; port++ {
-				if nb, ok := p.Topo.Neighbor(id, port); ok {
+				if nb, ok := p.Topo.Lateral(id, port); ok {
 					p.engines[nb].OnNeighborSignal(to, now)
 					p.engSet.Add(int(nb))
 				}
 			}
 		}
 	}
-	r.SetConfigSink(&nodeConfig{p: p, id: id})
 }
 
-// nodeConfig dispatches RCAP operations addressed to one node.
-type nodeConfig struct {
-	p  *Platform
-	id noc.NodeID
+// wireRouters connects every physical router's sink, absorption, monitor
+// taps and RCAP dispatch. On the mesh and torus each router serves exactly
+// one node, so the wiring reduces to the classic one-to-one form; on a
+// concentrated fabric the cluster's members share the router: deliveries
+// demux on the packet's destination, absorption scans the members in
+// ascending ID order, and monitor impulses stimulate every member's engine
+// (they all observe the same router traffic).
+func (p *Platform) wireRouters() {
+	members := make([][]noc.NodeID, p.Topo.Nodes())
+	for id := 0; id < p.Topo.Nodes(); id++ {
+		rid := p.Topo.RouterOf(noc.NodeID(id))
+		members[rid] = append(members[rid], noc.NodeID(id))
+	}
+	for _, r := range p.Net.UniqueRouters() {
+		p.wireRouter(r, members[r.ID])
+	}
 }
+
+// wireRouter wires one physical router for the given cluster members.
+func (p *Platform) wireRouter(r *noc.Router, members []noc.NodeID) {
+	if len(members) == 1 {
+		r.SetSink(p.pes[members[0]])
+	} else {
+		r.SetSink(clusterSink{p})
+	}
+	// Task-addressed absorption: a member consumes any passing data packet
+	// of its own task (join-bound sink packets stay bound to their fork-time
+	// join node so branches converge).
+	mems := members
+	r.Absorb = func(pkt *noc.Packet, now sim.Tick) bool {
+		for _, m := range mems {
+			pe := p.pes[m]
+			if pkt.Task != pe.Task() {
+				continue
+			}
+			if p.Graph.IsSink(pkt.Task) && p.Graph.JoinWidth(pkt.Task) > 1 {
+				return false
+			}
+			if pe.Accept(pkt, now) {
+				return true
+			}
+		}
+		return false
+	}
+	// Monitor taps mark the member engines dirty so the stepping core polls
+	// Decide on stimulated ticks only. The no-intelligence baseline ignores
+	// every stimulus, so its taps stay nil and the router hot path skips the
+	// calls entirely.
+	smart := mems[:0:0]
+	for _, m := range mems {
+		if _, isNone := p.engines[m].(aim.None); !isNone {
+			smart = append(smart, m)
+		}
+	}
+	if len(smart) > 0 {
+		r.Monitors.RoutedTask = func(task taskgraph.TaskID, now sim.Tick) {
+			for _, m := range smart {
+				p.engines[m].OnRouted(task, now)
+				p.engSet.Add(int(m))
+			}
+		}
+		r.Monitors.InternalDelivery = func(task taskgraph.TaskID, now sim.Tick) {
+			for _, m := range smart {
+				p.engines[m].OnInternal(task, now)
+				p.engSet.Add(int(m))
+			}
+		}
+		r.Monitors.DeadlineLapse = func(task taskgraph.TaskID, now sim.Tick) {
+			for _, m := range smart {
+				p.engines[m].OnDeadlineLapse(task, now)
+				p.engSet.Add(int(m))
+			}
+		}
+	}
+	r.SetConfigSink(platformConfig{p})
+}
+
+// clusterSink demuxes deliveries at a shared router onto the destination
+// member's PE.
+type clusterSink struct{ p *Platform }
+
+// Accept implements noc.Sink.
+func (s clusterSink) Accept(pkt *noc.Packet, now sim.Tick) bool {
+	if uint(pkt.Dst) >= uint(len(s.p.pes)) {
+		return false
+	}
+	return s.p.pes[pkt.Dst].Accept(pkt, now)
+}
+
+// platformConfig dispatches RCAP operations to their addressed node.
+type platformConfig struct{ p *Platform }
 
 // ApplyConfig implements noc.ConfigSink.
-func (c *nodeConfig) ApplyConfig(op noc.ConfigOp, arg, arg2 int, now sim.Tick) {
-	pe := c.p.pes[c.id]
+func (c platformConfig) ApplyConfig(dst noc.NodeID, op noc.ConfigOp, arg, arg2 int, now sim.Tick) {
+	if uint(dst) >= uint(len(c.p.pes)) {
+		return
+	}
+	pe := c.p.pes[dst]
 	switch op {
 	case noc.OpAIMParam:
-		c.p.engines[c.id].SetParam(arg, arg2)
+		c.p.engines[dst].SetParam(arg, arg2)
 		// A parameter write can change the engine's timing (FFW timeout, NI
 		// thresholds): re-poll it so a fresh wake is scheduled.
-		c.p.engSet.Add(int(c.id))
+		c.p.engSet.Add(int(dst))
 	case noc.OpNodeReset:
 		pe.Reset(now)
 	case noc.OpNodeClockEnable:
@@ -580,9 +653,13 @@ func (p *Platform) Schedule(at sim.Tick, fn func(now sim.Tick)) {
 }
 
 // InjectFaults kills the given nodes now: their routers stop forwarding,
-// their PEs stop processing, and fault-aware routes are recomputed. This is
-// the experiment controller's out-of-band debug interface, so it does not
-// perturb NoC traffic.
+// their PEs stop processing, and fault-aware routes are recomputed. On a
+// concentrated fabric the failed node's router is the whole cluster's
+// attachment point, so its sibling members go down with it — keeping the
+// directory's aliveness consistent with the fabric's (a "live" sibling
+// behind a dead router would keep winning nearest-owner ties at distance 0
+// while being unreachable). This is the experiment controller's out-of-band
+// debug interface, so it does not perturb NoC traffic.
 func (p *Platform) InjectFaults(nodes []noc.NodeID) {
 	now := p.clock.Now()
 	for _, id := range nodes {
@@ -590,6 +667,16 @@ func (p *Platform) InjectFaults(nodes []noc.NodeID) {
 		p.Net.Fail(id, now)
 		if p.Cfg.Trace != nil {
 			p.Cfg.Trace.Add(trace.Event{At: now, Kind: trace.KindFault, Node: id})
+		}
+		rid := p.Topo.RouterOf(id)
+		for m := noc.NodeID(0); int(m) < p.Topo.Nodes(); m++ {
+			if m == id || p.Topo.RouterOf(m) != rid || !p.pes[m].Alive() {
+				continue
+			}
+			p.pes[m].Fail(now)
+			if p.Cfg.Trace != nil {
+				p.Cfg.Trace.Add(trace.Event{At: now, Kind: trace.KindFault, Node: m})
+			}
 		}
 	}
 }

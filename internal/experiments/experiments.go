@@ -76,6 +76,9 @@ type Spec struct {
 	Mapper taskgraph.Mapper
 	// Platform-level overrides (zero values = defaults).
 	Width, Height int
+	// Topology selects the fabric shape: "mesh" (default, the paper's
+	// Centurion-V6), "torus" or "cmesh".
+	Topology string
 	// Graph overrides the application task graph (nil = the paper's
 	// fork–join workload).
 	Graph *taskgraph.Graph

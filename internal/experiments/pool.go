@@ -26,6 +26,7 @@ import (
 type platformShape struct {
 	model         Model
 	width, height int
+	topology      string
 	// graph identifies a caller-supplied task graph by pointer; nil selects
 	// the default fork–join workload. Callers that rebuild equivalent graphs
 	// per run should share one instance to pool effectively (graphs are
@@ -45,6 +46,7 @@ func (s Spec) shape() platformShape {
 		model:    s.Model,
 		width:    s.Width,
 		height:   s.Height,
+		topology: s.topologyKind(),
 		graph:    s.Graph,
 		neighbor: s.NeighborSignals,
 		dvfs:     s.ThermalDVFS,
@@ -73,12 +75,21 @@ func (s Spec) shape() platformShape {
 // (rare, ablation-only) specs build fresh platforms.
 func (s Spec) poolable() bool { return s.Mapper == nil }
 
+// topologyKind normalizes the spec's fabric shape for pool keys and stats.
+func (s Spec) topologyKind() string {
+	if s.Topology == "" {
+		return "mesh"
+	}
+	return s.Topology
+}
+
 // platformConfig builds the platform configuration the spec describes.
 func (s Spec) platformConfig() centurion.Config {
 	cfg := centurion.DefaultConfig(s.engineFactory(), s.mapper(), s.Seed)
 	cfg.NeighborSignals = s.NeighborSignals
 	cfg.Thermal = s.Thermal
 	cfg.ThermalDVFS = s.ThermalDVFS
+	cfg.Topology = s.Topology
 	if s.Width > 0 {
 		cfg.Width = s.Width
 	}
@@ -103,7 +114,29 @@ var (
 	statPlatformsCreated atomic.Uint64
 	statPlatformsReused  atomic.Uint64
 	statPacketsRecycled  atomic.Uint64
+
+	// statByTopo breaks the platform counters down per fabric shape
+	// (string → *topoCounters) for the /healthz capacity view: a sweep that
+	// suddenly stops reusing torus platforms shows up here even while the
+	// mesh totals look healthy.
+	statByTopo sync.Map
 )
+
+// topoCounters are the per-topology platform-pool counters.
+type topoCounters struct {
+	created atomic.Uint64
+	reused  atomic.Uint64
+}
+
+// topoStat returns the counters for one fabric shape, creating them on
+// first use.
+func topoStat(kind string) *topoCounters {
+	if v, ok := statByTopo.Load(kind); ok {
+		return v.(*topoCounters)
+	}
+	v, _ := statByTopo.LoadOrStore(kind, new(topoCounters))
+	return v.(*topoCounters)
+}
 
 // maxPoolShapes bounds the distinct platform shapes the pool tracks; far
 // above any real workload mix (the paper's grids use a handful).
@@ -119,13 +152,23 @@ type pooledPlatform struct {
 // leasePlatform returns a platform ready to run the spec (seeded, clean) and
 // a release function that must be called exactly once when the run is over.
 func leasePlatform(spec Spec) (*centurion.Platform, func()) {
+	topoKind := spec.topologyKind()
+	// Every construction counts in both the global and the per-topology
+	// counters (pooled misses, non-poolable specs and shape overflow alike),
+	// so /healthz's by_topology breakdown always sums to the totals.
+	created := func() {
+		statPlatformsCreated.Add(1)
+		topoStat(topoKind).created.Add(1)
+	}
 	if !spec.poolable() {
+		created()
 		return centurion.New(spec.platformConfig()), func() {}
 	}
 	poolAny, ok := platformPools.Load(spec.shape())
 	if !ok {
 		if poolShapes.Load() >= maxPoolShapes {
 			// Shape churn overflow: simulate on a throwaway platform.
+			created()
 			return centurion.New(spec.platformConfig()), func() {}
 		}
 		var loaded bool
@@ -141,9 +184,10 @@ func leasePlatform(spec Spec) (*centurion.Platform, func()) {
 		pp = v.(*pooledPlatform)
 		pp.p.Reset(spec.Seed)
 		statPlatformsReused.Add(1)
+		topoStat(topoKind).reused.Add(1)
 	} else {
 		pp = &pooledPlatform{p: centurion.New(spec.platformConfig())}
-		statPlatformsCreated.Add(1)
+		created()
 	}
 	return pp.p, func() {
 		// Publish the packets this platform recycled since its last release,
@@ -155,22 +199,45 @@ func leasePlatform(spec Spec) (*centurion.Platform, func()) {
 	}
 }
 
+// TopoPoolStats are the per-topology platform counters of one fabric shape.
+type TopoPoolStats struct {
+	PlatformsCreated uint64 `json:"platforms_created"`
+	PlatformsReused  uint64 `json:"platforms_reused"`
+}
+
 // PoolStatsSnapshot summarises the platform pool for capacity monitoring
 // (surfaced by the server's /healthz).
 type PoolStatsSnapshot struct {
-	// PlatformsCreated counts platforms built because no pooled one fit.
+	// PlatformsCreated counts every platform construction: pooled misses,
+	// non-poolable (custom-Mapper) specs and shape-overflow throwaways.
 	PlatformsCreated uint64 `json:"platforms_created"`
 	// PlatformsReused counts runs served by resetting a pooled platform.
 	PlatformsReused uint64 `json:"platforms_reused"`
 	// PacketsRecycled totals packet-pool recycles across released platforms.
 	PacketsRecycled uint64 `json:"packets_recycled"`
+	// ByTopology breaks the platform counters down per fabric shape (keyed
+	// by topology kind: "mesh", "torus", "cmesh"). Absent until the first
+	// lease of that shape.
+	ByTopology map[string]TopoPoolStats `json:"by_topology,omitempty"`
 }
 
 // PoolStats snapshots the platform-pool counters.
 func PoolStats() PoolStatsSnapshot {
-	return PoolStatsSnapshot{
+	snap := PoolStatsSnapshot{
 		PlatformsCreated: statPlatformsCreated.Load(),
 		PlatformsReused:  statPlatformsReused.Load(),
 		PacketsRecycled:  statPacketsRecycled.Load(),
 	}
+	statByTopo.Range(func(k, v any) bool {
+		tc := v.(*topoCounters)
+		if snap.ByTopology == nil {
+			snap.ByTopology = make(map[string]TopoPoolStats)
+		}
+		snap.ByTopology[k.(string)] = TopoPoolStats{
+			PlatformsCreated: tc.created.Load(),
+			PlatformsReused:  tc.reused.Load(),
+		}
+		return true
+	})
+	return snap
 }

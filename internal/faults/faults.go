@@ -4,6 +4,12 @@
 // application faults, large counts (42 = one third of the 128 nodes) model
 // the failure of a global clock buffer, other critical global circuitry, or
 // a thermal event. Each plan names the nodes that die and when.
+//
+// Selection is topology-aware: localized damage (Region) is "every node
+// within a hop radius of an epicentre", which follows the fabric's own
+// distance metric — a ball on the mesh, a wrap-around ball on a torus, a
+// whole-cluster blast on a concentrated mesh — instead of assuming a
+// rectangular coordinate grid.
 package faults
 
 import (
@@ -28,7 +34,9 @@ func (p Plan) String() string {
 }
 
 // RandomNodes picks k distinct random nodes — the paper's multiple-node
-// fault model. It panics if k exceeds the node count.
+// fault model. The draw is fully determined by the RNG state, so the same
+// seed yields the same fault set on every topology of the same node count.
+// It panics if k exceeds the node count.
 func RandomNodes(topo noc.Topology, k int, rng *sim.RNG) []noc.NodeID {
 	if k < 0 || k > topo.Nodes() {
 		panic(fmt.Sprintf("faults: cannot pick %d of %d nodes", k, topo.Nodes()))
@@ -41,34 +49,57 @@ func RandomNodes(topo noc.Topology, k int, rng *sim.RNG) []noc.NodeID {
 	return out
 }
 
-// Region kills every node in the rectangle [x0, x0+w) × [y0, y0+h),
-// clipped to the mesh — a localised thermal hot-spot.
-func Region(topo noc.Topology, x0, y0, w, h int) []noc.NodeID {
+// Region kills every node within the given topology distance of the
+// epicentre — a localised thermal hot-spot shaped by the fabric itself
+// (wrap-aware on a torus, cluster-granular on a concentrated mesh). Nodes
+// are returned in ascending ID order, so the selection is deterministic for
+// a given (topology, center, radius).
+func Region(topo noc.Topology, center noc.NodeID, radius int) []noc.NodeID {
+	if center < 0 || int(center) >= topo.Nodes() {
+		panic(fmt.Sprintf("faults: region centre %d outside %d-node fabric", center, topo.Nodes()))
+	}
 	var out []noc.NodeID
-	for y := y0; y < y0+h; y++ {
-		for x := x0; x < x0+w; x++ {
-			c := noc.Coord{X: x, Y: y}
-			if topo.InBounds(c) {
-				out = append(out, topo.ID(c))
-			}
+	for id := noc.NodeID(0); int(id) < topo.Nodes(); id++ {
+		if topo.Distance(center, id) <= radius {
+			out = append(out, id)
 		}
 	}
 	return out
 }
 
-// Column kills a full mesh column — the shape of a failed clock spine or
+// RandomRegion picks a random epicentre and returns its Region — the seeded
+// localized-damage model. The epicentre draw consumes exactly one RNG value,
+// so plans are reproducible per seed.
+func RandomRegion(topo noc.Topology, radius int, rng *sim.RNG) []noc.NodeID {
+	return Region(topo, noc.NodeID(rng.Intn(topo.Nodes())), radius)
+}
+
+// selectNodes returns every node whose grid coordinate satisfies the
+// predicate, in ascending ID order.
+func selectNodes(topo noc.Topology, pred func(noc.Coord) bool) []noc.NodeID {
+	var out []noc.NodeID
+	for id := noc.NodeID(0); int(id) < topo.Nodes(); id++ {
+		if pred(topo.Coord(id)) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Column kills a full grid column — the shape of a failed clock spine or
 // column buffer on the FPGA.
 func Column(topo noc.Topology, x int) []noc.NodeID {
-	return Region(topo, x, 0, 1, topo.H)
+	return selectNodes(topo, func(c noc.Coord) bool { return c.X == x })
 }
 
-// Row kills a full mesh row.
+// Row kills a full grid row.
 func Row(topo noc.Topology, y int) []noc.NodeID {
-	return Region(topo, 0, y, topo.W, 1)
+	return selectNodes(topo, func(c noc.Coord) bool { return c.Y == y })
 }
 
-// HalfGrid kills the right half of the mesh — the paper's "failure of a
+// HalfGrid kills the right half of the grid — the paper's "failure of a
 // global clock buffer" scale of damage.
 func HalfGrid(topo noc.Topology) []noc.NodeID {
-	return Region(topo, topo.W/2, 0, topo.W-topo.W/2, topo.H)
+	half := topo.Width() / 2
+	return selectNodes(topo, func(c noc.Coord) bool { return c.X >= half })
 }

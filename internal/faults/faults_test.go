@@ -50,11 +50,74 @@ func TestRandomNodesSeedVariation(t *testing.T) {
 	}
 }
 
-func TestRegionClipping(t *testing.T) {
-	topo := noc.NewTopology(4, 4)
-	got := Region(topo, 2, 2, 5, 5) // clips to 2x2 corner
-	if len(got) != 4 {
-		t.Fatalf("clipped region has %d nodes, want 4", len(got))
+func TestRegionByTopologyDistance(t *testing.T) {
+	mesh := noc.NewTopology(4, 4)
+	center := mesh.ID(noc.Coord{X: 0, Y: 0})
+	// Radius 1 around the mesh corner: the corner plus its two neighbours.
+	if got := Region(mesh, center, 1); len(got) != 3 {
+		t.Fatalf("mesh corner ball has %d nodes, want 3: %v", len(got), got)
+	}
+	// The same epicentre on a torus wraps: corner + four ring neighbours.
+	torus := noc.NewTorus(4, 4)
+	if got := Region(torus, center, 1); len(got) != 5 {
+		t.Fatalf("torus corner ball has %d nodes, want 5: %v", len(got), got)
+	}
+	// On a concentrated mesh, radius 0 takes out the epicentre's whole
+	// cluster (distance is measured between shared routers).
+	cmesh := noc.NewCMesh(4, 4)
+	if got := Region(cmesh, center, 0); len(got) != 4 {
+		t.Fatalf("cmesh cluster ball has %d nodes, want 4: %v", len(got), got)
+	}
+	// Every selected node really is within the radius, in ascending order.
+	for _, topo := range []noc.Topology{mesh, torus, cmesh} {
+		got := Region(topo, center, 2)
+		for i, id := range got {
+			if topo.Distance(center, id) > 2 {
+				t.Errorf("%s: node %d outside radius", topo, id)
+			}
+			if i > 0 && got[i-1] >= id {
+				t.Errorf("%s: selection not in ascending order", topo)
+			}
+		}
+	}
+}
+
+// Region selection must be deterministic: the same seed draws the same
+// epicentre, and the ball around it is a pure function of the topology.
+func TestRandomRegionSeededDeterminism(t *testing.T) {
+	for _, topo := range []noc.Topology{
+		noc.NewTopology(16, 8), noc.NewTorus(16, 8), noc.NewCMesh(16, 8),
+	} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			a := RandomRegion(topo, 2, sim.NewRNG(seed))
+			b := RandomRegion(topo, 2, sim.NewRNG(seed))
+			if len(a) == 0 {
+				t.Fatalf("%s seed %d: empty region", topo, seed)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%s seed %d: lengths differ (%d vs %d)", topo, seed, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s seed %d: node %d differs (%d vs %d)", topo, seed, i, a[i], b[i])
+				}
+			}
+		}
+		// Different seeds should (typically) pick different epicentres.
+		a := RandomRegion(topo, 1, sim.NewRNG(1))
+		b := RandomRegion(topo, 1, sim.NewRNG(99))
+		same := len(a) == len(b)
+		if same {
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 1 and 99 drew identical regions", topo)
+		}
 	}
 }
 

@@ -70,24 +70,30 @@ type NetworkStats struct {
 	Rescued   uint64 // recovery-path packets re-admitted by the handler
 }
 
-// Network is the mesh fabric: topology, routers, links and routing state.
+// Network is the fabric: topology, routers, links and routing state.
 type Network struct {
-	Topo    Topology
-	cfg     Params
+	Topo  Topology
+	cfg   Params
+	nodes int
+	// routers maps every NodeID to the router serving it. On concentrated
+	// topologies cluster members share one *Router, so the slice holds
+	// duplicates; uniq lists each router exactly once (ascending IDs) for
+	// whole-fabric iteration.
 	routers []*Router
+	uniq    []*Router
 
 	// active tracks routers with queued packets. A router enrolls on any
 	// buffer push and retires once drained, so Tick sweeps only the part of
-	// the mesh actually carrying traffic instead of all W×H routers.
+	// the fabric actually carrying traffic instead of every router.
 	active *sim.ActiveSet
 
 	tables *routeTables
 	// healthy caches the fault-free route tables so Reset can restore them
 	// without recomputation (they are immutable once built).
 	healthy *routeTables
-	// xy[from][dst] is the XY dimension-order next hop, precomputed once so
-	// the healthy-mesh forwarding path is a single indexed load instead of
-	// two coordinate decompositions per packet per tick.
+	// xy[from][dst] is the topology's dimension-order next hop, precomputed
+	// once so the healthy-fabric forwarding path is a single indexed load
+	// instead of two coordinate decompositions per packet per tick.
 	xy         [][]Port
 	haveFaults bool
 	faultyCnt  int
@@ -109,32 +115,49 @@ type Network struct {
 	stats NetworkStats
 }
 
-// NewNetwork builds a W×H mesh with the given configuration.
+// NewNetwork builds the fabric the topology describes with the given
+// configuration.
 func NewNetwork(topo Topology, cfg Params) *Network {
 	if cfg.BufferFlits <= 0 {
 		cfg.BufferFlits = DefaultConfig().BufferFlits
 	}
-	n := &Network{Topo: topo, cfg: cfg, active: sim.NewActiveSet(topo.Nodes())}
-	n.routers = make([]*Router, topo.Nodes())
-	for id := range n.routers {
-		n.routers[id] = newRouter(NodeID(id), topo, n, cfg.BufferFlits, cfg.DeadlockLimit, cfg.RequeueLimit)
+	nodes := topo.Nodes()
+	n := &Network{Topo: topo, cfg: cfg, nodes: nodes, active: sim.NewActiveSet(nodes)}
+	n.routers = make([]*Router, nodes)
+	for id := 0; id < nodes; id++ {
+		rid := topo.RouterOf(NodeID(id))
+		if n.routers[rid] == nil {
+			r := newRouter(rid, n, cfg.BufferFlits, cfg.DeadlockLimit, cfg.RequeueLimit)
+			n.routers[rid] = r
+			n.uniq = append(n.uniq, r)
+		}
+		n.routers[id] = n.routers[rid]
 	}
-	// Wire the mesh links.
-	for id := range n.routers {
-		r := n.routers[id]
+	// Wire the fabric links between routers.
+	for _, r := range n.uniq {
 		for p := North; p <= West; p++ {
-			if nb, ok := topo.Neighbor(NodeID(id), p); ok {
+			if nb, ok := topo.Neighbor(r.ID, p); ok {
 				r.neighbor[p] = n.routers[nb]
 			}
 		}
 	}
-	n.xy = make([][]Port, topo.Nodes())
+	// Like the route tables, xy rows depend only on the serving router, so
+	// cluster members alias their hub's row.
+	n.xy = make([][]Port, nodes)
 	for from := range n.xy {
-		row := make([]Port, topo.Nodes())
+		if topo.RouterOf(NodeID(from)) != NodeID(from) {
+			continue
+		}
+		row := make([]Port, nodes)
 		for dst := range row {
 			row[dst] = xyNextHop(topo, NodeID(from), NodeID(dst))
 		}
 		n.xy[from] = row
+	}
+	for from := range n.xy {
+		if n.xy[from] == nil {
+			n.xy[from] = n.xy[topo.RouterOf(NodeID(from))]
+		}
 	}
 	if cfg.Mode == RouteTables {
 		n.RecomputeRoutes()
@@ -145,25 +168,31 @@ func NewNetwork(topo Topology, cfg Params) *Network {
 }
 
 // applyRoutingRows rebinds every router's next-hop row to the table the
-// current routing state selects (XY on a healthy mesh, shortest-path tables
-// otherwise). Called whenever mode-relevant state changes.
+// current routing state selects (dimension-order on a healthy fabric,
+// shortest-path tables otherwise). Called whenever mode-relevant state
+// changes.
 func (n *Network) applyRoutingRows() {
 	useXY := n.cfg.Mode == RouteXY || (n.cfg.Mode == RouteAuto && !n.haveFaults)
-	for id, r := range n.routers {
+	for _, r := range n.uniq {
 		if useXY {
-			r.hop = n.xy[id]
+			r.hop = n.xy[r.ID]
 		} else {
-			r.hop = n.tables.next[id]
+			r.hop = n.tables.next[r.ID]
 		}
 	}
 }
 
-// Router returns the router at the given node.
+// Router returns the router serving the given node (shared by the whole
+// cluster on concentrated topologies).
 func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
 
-// Routers returns the router slice indexed by NodeID. Callers must not
-// mutate it.
+// Routers returns the router slice indexed by NodeID. On concentrated
+// topologies cluster members alias one router. Callers must not mutate it.
 func (n *Network) Routers() []*Router { return n.routers }
+
+// UniqueRouters returns each physical router exactly once, in ascending ID
+// order. Callers must not mutate the slice.
+func (n *Network) UniqueRouters() []*Router { return n.uniq }
 
 // Stats returns the fabric-wide counters.
 func (n *Network) Stats() NetworkStats { return n.stats }
@@ -184,7 +213,7 @@ func (n *Network) Tick(now sim.Tick) {
 // TickDense advances every router by one cycle, active or not — the
 // pre-active-set reference scan kept for the stepping-equivalence tests.
 func (n *Network) TickDense(now sim.Tick) {
-	for _, r := range n.routers {
+	for _, r := range n.uniq {
 		r.Tick(now)
 	}
 }
@@ -208,7 +237,7 @@ func (n *Network) Inject(at NodeID, p *Packet, now sim.Tick) bool {
 // NextHop returns the output port at from toward dst under the current
 // routing mode.
 func (n *Network) NextHop(from, dst NodeID) Port {
-	if dst < 0 || int(dst) >= n.Topo.Nodes() {
+	if dst < 0 || int(dst) >= n.nodes {
 		return PortInvalid
 	}
 	switch n.cfg.Mode {
@@ -230,8 +259,10 @@ func (n *Network) Alive(id NodeID) bool { return !n.routers[id].faulty }
 // FaultyCount returns the number of failed routers.
 func (n *Network) FaultyCount() int { return n.faultyCnt }
 
-// Fail marks a node's router as failed, drains and accounts its buffered
-// packets, and recomputes fault-aware routes. Failing an already-failed
+// Fail marks the router serving a node as failed, drains and accounts its
+// buffered packets, and recomputes fault-aware routes. On concentrated
+// topologies this takes the node's whole cluster off the fabric (the shared
+// router is the cluster's only attachment point). Failing an already-failed
 // router is a no-op.
 func (n *Network) Fail(id NodeID, now sim.Tick) {
 	r := n.routers[id]
@@ -239,10 +270,10 @@ func (n *Network) Fail(id NodeID, now sim.Tick) {
 		return
 	}
 	lost := r.fail()
-	n.active.Remove(int(id))
+	n.active.Remove(int(r.ID))
 	n.faultyCnt++
 	for _, p := range lost {
-		n.handleDrop(id, p, DropRouterFailed)
+		n.handleDrop(r.ID, p, DropRouterFailed)
 	}
 	n.haveFaults = true
 	if n.cfg.Mode != RouteXY {
@@ -265,7 +296,7 @@ func (n *Network) RecomputeRoutes() {
 // fault-free route tables are restored. Buffered packets are recycled into
 // the pool without drop accounting — a reset ends the run they belonged to.
 func (n *Network) Reset() {
-	for _, r := range n.routers {
+	for _, r := range n.uniq {
 		r.reset(n.cfg)
 	}
 	n.active.Clear()
@@ -301,7 +332,7 @@ func (n *Network) Reachable(src, dst NodeID) bool {
 // InFlight counts packets currently buffered anywhere in the fabric.
 func (n *Network) InFlight() int {
 	total := 0
-	for _, r := range n.routers {
+	for _, r := range n.uniq {
 		total += r.QueuedPackets()
 	}
 	return total

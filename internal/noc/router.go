@@ -47,11 +47,12 @@ type RouterStats struct {
 	LapsesSeen   uint64 // deadline lapses noticed
 }
 
-// ConfigSink applies RCAP operations addressed to the node (router settings
+// ConfigSink applies RCAP operations addressed to node dst (router settings
 // knobs, AIM parameters, processing-element knobs). Implemented by the
-// platform layer.
+// platform layer. dst matters on concentrated topologies, where one router
+// applies configuration for every cluster member.
 type ConfigSink interface {
-	ApplyConfig(op ConfigOp, arg, arg2 int, now sim.Tick)
+	ApplyConfig(dst NodeID, op ConfigOp, arg, arg2 int, now sim.Tick)
 }
 
 // Router is one five-port wormhole router of the mesh.
@@ -64,9 +65,8 @@ type ConfigSink interface {
 // is ejected through the recovery path — the paper's "basic deadlock
 // recovery mechanism".
 type Router struct {
-	ID   NodeID
-	topo Topology
-	net  *Network
+	ID  NodeID
+	net *Network
 
 	// in holds the five input FIFOs inline (no per-buffer indirection: the
 	// port scan is the hottest loop in the simulator).
@@ -118,8 +118,8 @@ type Router struct {
 	Stats RouterStats
 }
 
-func newRouter(id NodeID, topo Topology, net *Network, bufFlits int, deadlockLimit sim.Tick, requeueLimit int) *Router {
-	r := &Router{ID: id, topo: topo, net: net, deadlockLimit: deadlockLimit, requeueLimit: requeueLimit}
+func newRouter(id NodeID, net *Network, bufFlits int, deadlockLimit sim.Tick, requeueLimit int) *Router {
+	r := &Router{ID: id, net: net, deadlockLimit: deadlockLimit, requeueLimit: requeueLimit}
 	for p := Port(0); p < NumPorts; p++ {
 		r.in[p] = buffer{capFlits: bufFlits}
 	}
@@ -288,7 +288,14 @@ func (r *Router) servicePort(port Port, now sim.Tick) (sim.Tick, bool) {
 		}
 	}
 
-	if pkt.Dst == r.ID {
+	// The next-hop row decides the packet's fate: Local means "this router
+	// serves the destination" — the destination node itself, or a cluster
+	// member on concentrated topologies — and delivers through the sink.
+	out := PortInvalid
+	if uint(pkt.Dst) < uint(len(r.hop)) {
+		out = r.hop[pkt.Dst]
+	}
+	if out == Local {
 		r.deliverLocal(port, pkt, now)
 		return 0, false
 	}
@@ -309,11 +316,7 @@ func (r *Router) servicePort(port Port, now sim.Tick) (sim.Tick, bool) {
 		}
 	}
 
-	out := PortInvalid
-	if uint(pkt.Dst) < uint(len(r.hop)) {
-		out = r.hop[pkt.Dst]
-	}
-	if out == PortInvalid || out == Local {
+	if out == PortInvalid {
 		// Unreachable destination (e.g. partitioned by faults): hand the
 		// packet to the recovery path so the platform can retarget it.
 		r.popIn(port)
@@ -454,7 +457,7 @@ func (r *Router) applyConfig(pkt *Packet, now sim.Tick) {
 		}
 	default:
 		if r.configSink != nil {
-			r.configSink.ApplyConfig(pkt.Op, pkt.Arg, pkt.Arg2, now)
+			r.configSink.ApplyConfig(pkt.Dst, pkt.Op, pkt.Arg, pkt.Arg2, now)
 		}
 	}
 }

@@ -250,7 +250,7 @@ func TestConfigForwardedToConfigSink(t *testing.T) {
 	net := testNet(2, 1, RouteAuto)
 	var gotOp ConfigOp
 	var gotArg, gotArg2 int
-	net.Router(1).SetConfigSink(configSinkFunc(func(op ConfigOp, a, b int, now sim.Tick) {
+	net.Router(1).SetConfigSink(configSinkFunc(func(dst NodeID, op ConfigOp, a, b int, now sim.Tick) {
 		gotOp, gotArg, gotArg2 = op, a, b
 	}))
 	var clk sim.Clock
@@ -261,9 +261,11 @@ func TestConfigForwardedToConfigSink(t *testing.T) {
 	}
 }
 
-type configSinkFunc func(ConfigOp, int, int, sim.Tick)
+type configSinkFunc func(NodeID, ConfigOp, int, int, sim.Tick)
 
-func (f configSinkFunc) ApplyConfig(op ConfigOp, a, b int, now sim.Tick) { f(op, a, b, now) }
+func (f configSinkFunc) ApplyConfig(dst NodeID, op ConfigOp, a, b int, now sim.Tick) {
+	f(dst, op, a, b, now)
+}
 
 func TestMonitorImpulses(t *testing.T) {
 	net := testNet(4, 1, RouteAuto)

@@ -4,13 +4,14 @@ package noc
 type RoutingMode int
 
 const (
-	// RouteAuto uses XY dimension-order routing while the mesh is healthy
-	// and switches to fault-aware shortest-path tables once a router fails
-	// (a stand-in for the platform's route-discovery around dead nodes;
-	// see DESIGN.md §2).
+	// RouteAuto uses the topology's dimension-order routing while the fabric
+	// is healthy and switches to fault-aware shortest-path tables once a
+	// router fails (a stand-in for the platform's route-discovery around dead
+	// nodes; see DESIGN.md §2).
 	RouteAuto RoutingMode = iota
-	// RouteXY always uses XY routing, even across faults (packets heading
-	// into a dead router are recovered/dropped) — the ablation case.
+	// RouteXY always uses dimension-order routing, even across faults
+	// (packets heading into a dead router are recovered/dropped) — the
+	// ablation case.
 	RouteXY
 	// RouteTables always uses the shortest-path tables.
 	RouteTables
@@ -29,46 +30,49 @@ func (m RoutingMode) String() string {
 	return "unknown"
 }
 
-// xyNextHop is classic dimension-order routing: correct X first, then Y.
-// It is deadlock-free on a fault-free mesh.
+// xyNextHop is the topology's healthy-fabric dimension-order hop (XY on the
+// mesh). Kept as a free function because half the routing tests and the
+// network's precomputed rows speak in these terms.
 func xyNextHop(topo Topology, from, dst NodeID) Port {
-	fc, dc := topo.Coord(from), topo.Coord(dst)
-	switch {
-	case dc.X > fc.X:
-		return East
-	case dc.X < fc.X:
-		return West
-	case dc.Y > fc.Y:
-		return South
-	case dc.Y < fc.Y:
-		return North
-	default:
-		return Local
-	}
+	return topo.BaseNextHop(from, dst)
 }
 
 // routeTables holds per-destination next-hop ports for every router,
 // computed by breadth-first search over the alive subgraph.
 type routeTables struct {
-	topo Topology
-	// next[from][dst] is the output port at from toward dst
-	// (PortInvalid when unreachable, Local when from == dst).
+	// next[from][dst] is the output port at from's router toward dst
+	// (PortInvalid when unreachable, Local when both share a router).
 	next [][]Port
 }
 
-// computeTables builds shortest-path next hops avoiding faulty routers.
-// Port preference follows XY habit (horizontal first) so that table routes
-// coincide with XY on the fault-free mesh, keeping the ablation comparison
-// clean.
+// computeTables builds shortest-path next hops avoiding faulty routers, for
+// any topology: the BFS runs over the topology's router link graph, and
+// nodes sharing a router (concentrated fabrics) share rows. Port preference
+// follows XY habit (horizontal first) so that table routes coincide with
+// dimension-order routing on the healthy fabric, keeping the ablation
+// comparison clean.
 func computeTables(topo Topology, alive func(NodeID) bool) *routeTables {
 	n := topo.Nodes()
-	rt := &routeTables{topo: topo, next: make([][]Port, n)}
+	rt := &routeTables{next: make([][]Port, n)}
+	// Nodes sharing a router have byte-identical rows (the Local condition
+	// and every hop depend only on the serving router), so only hub rows are
+	// materialised and filled; members alias them. Rows are read-only after
+	// build and routers only ever bind their own hub row, so the aliasing is
+	// safe — and it cuts cmesh rebuild work and table memory to a quarter.
 	for i := range rt.next {
+		if topo.RouterOf(NodeID(i)) != NodeID(i) {
+			continue
+		}
 		row := make([]Port, n)
 		for j := range row {
 			row[j] = PortInvalid
 		}
 		rt.next[i] = row
+	}
+	for i := range rt.next {
+		if rt.next[i] == nil {
+			rt.next[i] = rt.next[topo.RouterOf(NodeID(i))]
+		}
 	}
 
 	// Preference order for tie-breaking among equal-distance neighbours.
@@ -76,30 +80,40 @@ func computeTables(topo Topology, alive func(NodeID) bool) *routeTables {
 
 	dist := make([]int, n)
 	queue := make([]NodeID, 0, n)
+	// Consecutive destinations often share a router (cluster members along a
+	// grid row); reuse the previous BFS for them.
+	lastRouter := Invalid
 	for dst := NodeID(0); int(dst) < n; dst++ {
-		if !alive(dst) {
+		rdst := topo.RouterOf(dst)
+		if !alive(rdst) {
 			continue
 		}
-		// BFS from the destination over alive nodes.
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[dst] = 0
-		queue = queue[:0]
-		queue = append(queue, dst)
-		for qi := 0; qi < len(queue); qi++ {
-			cur := queue[qi]
-			for _, p := range pref {
-				nb, ok := topo.Neighbor(cur, p)
-				if !ok || !alive(nb) || dist[nb] >= 0 {
-					continue
-				}
-				dist[nb] = dist[cur] + 1
-				queue = append(queue, nb)
+		if rdst != lastRouter {
+			// BFS from the destination's router over alive routers.
+			for i := range dist {
+				dist[i] = -1
 			}
+			dist[rdst] = 0
+			queue = queue[:0]
+			queue = append(queue, rdst)
+			for qi := 0; qi < len(queue); qi++ {
+				cur := queue[qi]
+				for _, p := range pref {
+					nb, ok := topo.Neighbor(cur, p)
+					if !ok || !alive(nb) || dist[nb] >= 0 {
+						continue
+					}
+					dist[nb] = dist[cur] + 1
+					queue = append(queue, nb)
+				}
+			}
+			lastRouter = rdst
 		}
 		for from := NodeID(0); int(from) < n; from++ {
-			if from == dst {
+			if topo.RouterOf(from) != from {
+				continue // row aliased to the hub's
+			}
+			if from == rdst {
 				rt.next[from][dst] = Local
 				continue
 			}

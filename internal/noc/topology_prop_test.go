@@ -1,0 +1,287 @@
+package noc
+
+// Per-topology routing properties: under seeded random fault sets, the
+// shortest-path tables must (a) find a route exactly when one exists in the
+// alive router graph, (b) never route through a dead router, and (c) be free
+// of cycles — every hop strictly decreases the BFS distance to the
+// destination, so following the table always terminates (the routing sense
+// of deadlock freedom; head-of-line deadlock across destinations is handled
+// by the router's recovery mechanism). The healthy-fabric dimension-order
+// hop must satisfy the same monotone-progress property.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// propTopologies builds one instance of every fabric shape on a 16×8 grid.
+func propTopologies() []Topology {
+	return []Topology{NewMesh(16, 8), NewTorus(16, 8), NewCMesh(16, 8)}
+}
+
+// routerSet returns the distinct router IDs of a topology.
+func routerSet(topo Topology) []NodeID {
+	var out []NodeID
+	for id := NodeID(0); int(id) < topo.Nodes(); id++ {
+		if topo.RouterOf(id) == id {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// aliveComponents labels every alive router with its connected component.
+func aliveComponents(topo Topology, alive func(NodeID) bool) map[NodeID]int {
+	comp := map[NodeID]int{}
+	next := 0
+	for _, start := range routerSet(topo) {
+		if !alive(start) {
+			continue
+		}
+		if _, seen := comp[start]; seen {
+			continue
+		}
+		comp[start] = next
+		queue := []NodeID{start}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for p := North; p <= West; p++ {
+				if nb, ok := topo.Neighbor(cur, p); ok && alive(nb) {
+					if _, seen := comp[nb]; !seen {
+						comp[nb] = next
+						queue = append(queue, nb)
+					}
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// TestTopologyRoutingProperties is the satellite property test: for every
+// topology and fault count 0/8/32 (three seeded draws each), every pair of
+// live nodes in the same alive component is mutually reachable through the
+// route tables without revisiting a router, and cross-component pairs are
+// marked unreachable.
+func TestTopologyRoutingProperties(t *testing.T) {
+	for _, topo := range propTopologies() {
+		for _, kills := range []int{0, 8, 32} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%s/faults=%d/seed=%d", topo.Kind(), kills, seed)
+				t.Run(name, func(t *testing.T) {
+					rng := newTestRNG(seed * 7919)
+					// Kill `kills` distinct nodes; each takes its serving
+					// router down, as Network.Fail does (so on cmesh several
+					// node faults may collapse onto one hub).
+					picked := map[NodeID]bool{}
+					dead := map[NodeID]bool{}
+					for len(picked) < kills {
+						n := NodeID(rng.Intn(topo.Nodes()))
+						if !picked[n] {
+							picked[n] = true
+							dead[topo.RouterOf(n)] = true
+						}
+					}
+					alive := func(id NodeID) bool { return !dead[id] }
+					rt := computeTables(topo, alive)
+					comp := aliveComponents(topo, alive)
+
+					for src := NodeID(0); int(src) < topo.Nodes(); src++ {
+						rsrc := topo.RouterOf(src)
+						if dead[rsrc] {
+							continue
+						}
+						for dst := NodeID(0); int(dst) < topo.Nodes(); dst++ {
+							rdst := topo.RouterOf(dst)
+							if dead[rdst] {
+								continue
+							}
+							hop := rt.NextHop(src, dst)
+							if rsrc == rdst {
+								if hop != Local {
+									t.Fatalf("same-router pair %d->%d hop = %v, want Local", src, dst, hop)
+								}
+								continue
+							}
+							if comp[rsrc] != comp[rdst] {
+								if hop != PortInvalid {
+									t.Fatalf("cross-partition pair %d->%d has hop %v", src, dst, hop)
+								}
+								continue
+							}
+							// Same component: the walk must reach dst's router
+							// without revisiting any router (cycle freedom).
+							cur, steps := rsrc, 0
+							visited := map[NodeID]bool{}
+							for cur != rdst {
+								if visited[cur] {
+									t.Fatalf("route %d->%d revisits router %d (cycle)", src, dst, cur)
+								}
+								visited[cur] = true
+								p := rt.NextHop(cur, dst)
+								if p == PortInvalid || p == Local {
+									t.Fatalf("route %d->%d dead-ends at router %d with %v", src, dst, cur, p)
+								}
+								nb, ok := topo.Neighbor(cur, p)
+								if !ok || dead[nb] {
+									t.Fatalf("route %d->%d enters dead/off-fabric router via %v at %d", src, dst, p, cur)
+								}
+								cur = nb
+								if steps++; steps > topo.Nodes() {
+									t.Fatalf("route %d->%d did not converge", src, dst)
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTopologyBaseNextHopMonotone checks the healthy-fabric dimension-order
+// hop on every topology: each hop strictly decreases the topology distance
+// to the destination (so base routing is cycle-free too), and same-router
+// pairs resolve to Local.
+func TestTopologyBaseNextHopMonotone(t *testing.T) {
+	for _, topo := range propTopologies() {
+		t.Run(topo.Kind(), func(t *testing.T) {
+			for src := NodeID(0); int(src) < topo.Nodes(); src++ {
+				for dst := NodeID(0); int(dst) < topo.Nodes(); dst++ {
+					hop := topo.BaseNextHop(src, dst)
+					if topo.RouterOf(src) == topo.RouterOf(dst) {
+						if hop != Local {
+							t.Fatalf("same-router %d->%d hop = %v, want Local", src, dst, hop)
+						}
+						continue
+					}
+					nb, ok := topo.Neighbor(topo.RouterOf(src), hop)
+					if !ok {
+						t.Fatalf("base hop %d->%d via %v leaves the fabric", src, dst, hop)
+					}
+					if topo.Distance(nb, dst) != topo.Distance(src, dst)-1 {
+						t.Fatalf("base hop %d->%d via %v is not minimal (%d -> %d)",
+							src, dst, hop, topo.Distance(src, dst), topo.Distance(nb, dst))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTorusTopology covers the wrap-around specifics: edge neighbours wrap,
+// distances take the short way around, and the tie between equal ring
+// directions resolves East/South deterministically.
+func TestTorusTopology(t *testing.T) {
+	topo := NewTorus(8, 4)
+	// West of the west edge wraps to the east edge.
+	if nb, ok := topo.Neighbor(topo.ID(Coord{0, 0}), West); !ok || nb != topo.ID(Coord{7, 0}) {
+		t.Errorf("west wrap = %v", nb)
+	}
+	if nb, ok := topo.Neighbor(topo.ID(Coord{0, 0}), North); !ok || nb != topo.ID(Coord{0, 3}) {
+		t.Errorf("north wrap = %v", nb)
+	}
+	// Corner-to-corner is 2 hops on the torus, not 10.
+	if got := topo.Distance(topo.ID(Coord{0, 0}), topo.ID(Coord{7, 3})); got != 2 {
+		t.Errorf("wrapped corner distance = %d, want 2", got)
+	}
+	// Exactly half way around an even ring: the tie goes East.
+	if got := topo.BaseNextHop(topo.ID(Coord{0, 0}), topo.ID(Coord{4, 0})); got != East {
+		t.Errorf("half-ring X tie = %v, want East", got)
+	}
+	if got := topo.BaseNextHop(topo.ID(Coord{0, 0}), topo.ID(Coord{0, 2})); got != South {
+		t.Errorf("half-ring Y tie = %v, want South", got)
+	}
+	mustPanic(t, "degenerate torus", func() { NewTorus(1, 4) })
+}
+
+// TestCMeshTopology covers the concentration specifics: cluster membership,
+// express links between hubs only, grid-adjacent laterals, and router-hop
+// distances.
+func TestCMeshTopology(t *testing.T) {
+	topo := NewCMesh(8, 4)
+	hub := topo.ID(Coord{0, 0})
+	for _, c := range []Coord{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+		if got := topo.RouterOf(topo.ID(c)); got != hub {
+			t.Errorf("RouterOf(%v) = %d, want hub %d", c, got, hub)
+		}
+	}
+	// Express link: hub (0,0) east to hub (2,0).
+	if nb, ok := topo.Neighbor(hub, East); !ok || nb != topo.ID(Coord{2, 0}) {
+		t.Errorf("hub east express = %v, %v", nb, ok)
+	}
+	// Leaves own no fabric links...
+	leaf := topo.ID(Coord{1, 1})
+	for p := North; p <= West; p++ {
+		if _, ok := topo.Neighbor(leaf, p); ok {
+			t.Errorf("leaf has fabric link via %v", p)
+		}
+	}
+	// ...but keep their physical grid adjacency for thermal conduction.
+	if nb, ok := topo.Lateral(leaf, West); !ok || nb != topo.ID(Coord{0, 1}) {
+		t.Errorf("leaf lateral west = %v, %v", nb, ok)
+	}
+	// Distance is measured in router hops: intra-cluster 0, next cluster 1.
+	if got := topo.Distance(leaf, hub); got != 0 {
+		t.Errorf("intra-cluster distance = %d, want 0", got)
+	}
+	if got := topo.Distance(leaf, topo.ID(Coord{2, 0})); got != 1 {
+		t.Errorf("adjacent-cluster distance = %d, want 1", got)
+	}
+	mustPanic(t, "odd cmesh", func() { NewCMesh(7, 4) })
+}
+
+// TestMakeTopology covers the kind-name constructor used by the spec/CLI
+// layers.
+func TestMakeTopology(t *testing.T) {
+	for _, tc := range []struct {
+		kind string
+		want string
+	}{
+		{"", "mesh"}, {"mesh", "mesh"}, {"torus", "torus"}, {"cmesh", "cmesh"},
+	} {
+		topo, err := MakeTopology(tc.kind, 8, 4)
+		if err != nil {
+			t.Fatalf("MakeTopology(%q): %v", tc.kind, err)
+		}
+		if topo.Kind() != tc.want {
+			t.Errorf("MakeTopology(%q).Kind() = %q, want %q", tc.kind, topo.Kind(), tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		kind string
+		w, h int
+	}{
+		{"hypercube", 8, 4}, {"torus", 1, 4}, {"cmesh", 7, 4}, {"cmesh", 8, 3}, {"mesh", 0, 4},
+	} {
+		if _, err := MakeTopology(tc.kind, tc.w, tc.h); err == nil {
+			t.Errorf("MakeTopology(%q, %d, %d) accepted", tc.kind, tc.w, tc.h)
+		}
+	}
+}
+
+// On a dimension-2 torus ring both directions reach the same node; Lateral
+// must report that physical pair through one port only, while the fabric's
+// Neighbor keeps both parallel links.
+func TestTorusDim2LateralDedup(t *testing.T) {
+	topo := NewTorus(2, 8)
+	n0 := topo.ID(Coord{0, 3})
+	if nb, ok := topo.Lateral(n0, East); !ok || nb != topo.ID(Coord{1, 3}) {
+		t.Errorf("East lateral = %v,%v", nb, ok)
+	}
+	if _, ok := topo.Lateral(n0, West); ok {
+		t.Error("West lateral duplicates the 2-ring pair")
+	}
+	if nb, ok := topo.Neighbor(n0, West); !ok || nb != topo.ID(Coord{1, 3}) {
+		t.Errorf("fabric West link lost: %v,%v", nb, ok)
+	}
+	tall := NewTorus(8, 2)
+	if _, ok := tall.Lateral(tall.ID(Coord{3, 0}), North); ok {
+		t.Error("North lateral duplicates the 2-ring pair")
+	}
+	if _, ok := tall.Lateral(tall.ID(Coord{3, 0}), South); !ok {
+		t.Error("South lateral missing on 2-tall torus")
+	}
+}

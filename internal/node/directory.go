@@ -164,10 +164,13 @@ func (d *Directory) Counts(maxID taskgraph.TaskID) []int {
 	return out
 }
 
-// Nearest returns the alive node running task that is closest (Manhattan)
-// to from, breaking ties toward the smaller node ID. ok is false when no
-// alive node runs the task. Results are memoized per (task, from) until the
-// next directory mutation.
+// Nearest returns the alive node running task that is closest (by topology
+// distance) to from, breaking ties toward the smaller node ID. The tie-break
+// is what keeps results deterministic across topologies: wrap-around links
+// (torus) and shared routers (cmesh) make exact-distance ties common, and
+// the per-task owner lists are kept sorted so the ascending scan always
+// lands on the same winner. ok is false when no alive node runs the task.
+// Results are memoized per (task, from) until the next directory mutation.
 func (d *Directory) Nearest(task taskgraph.TaskID, from noc.NodeID) (noc.NodeID, bool) {
 	if d.nearCache == nil {
 		d.nearCache = make(map[nearestKey]noc.NodeID, 64)
@@ -179,12 +182,11 @@ func (d *Directory) Nearest(task taskgraph.TaskID, from noc.NodeID) (noc.NodeID,
 	}
 	best := noc.Invalid
 	bestDist := 1 << 30
-	fc := d.topo.Coord(from)
 	for _, id := range d.byTask[task] {
 		if !d.alive[id] {
 			continue
 		}
-		dist := fc.Manhattan(d.topo.Coord(id))
+		dist := d.topo.Distance(from, id)
 		if dist < bestDist || (dist == bestDist && id < best) {
 			best, bestDist = id, dist
 		}
@@ -194,11 +196,12 @@ func (d *Directory) Nearest(task taskgraph.TaskID, from noc.NodeID) (noc.NodeID,
 }
 
 // NearestK returns up to k distinct alive owners of task ordered by
-// distance from from (ties toward smaller IDs). Used by fork nodes to
-// spread parallel branches over nearby workers. Results are memoized per
-// (task, from, k) until the next directory mutation; callers must not
-// mutate the returned slice and must not retain it across a mutation (its
-// arena-backed storage is recycled on the next refill).
+// topology distance from from (ties toward smaller IDs — the same stable
+// order Nearest guarantees, so both lookups agree on every topology). Used
+// by fork nodes to spread parallel branches over nearby workers. Results are
+// memoized per (task, from, k) until the next directory mutation; callers
+// must not mutate the returned slice and must not retain it across a
+// mutation (its arena-backed storage is recycled on the next refill).
 func (d *Directory) NearestK(task taskgraph.TaskID, from noc.NodeID, k int) []noc.NodeID {
 	if d.nearKCache == nil {
 		d.nearKCache = make(map[nearestKKey][]noc.NodeID, 64)
@@ -208,11 +211,10 @@ func (d *Directory) NearestK(task taskgraph.TaskID, from noc.NodeID, k int) []no
 	if out, ok := d.nearKCache[key]; ok {
 		return out
 	}
-	fc := d.topo.Coord(from)
 	cands := d.candBuf[:0]
 	for _, id := range d.byTask[task] {
 		if d.alive[id] {
-			cands = append(cands, ownerCand{id, fc.Manhattan(d.topo.Coord(id))})
+			cands = append(cands, ownerCand{id, d.topo.Distance(from, id)})
 		}
 	}
 	d.candBuf = cands // keep the grown scratch

@@ -214,3 +214,90 @@ func TestNearestMinimalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Satellite audit (ISSUE 4): equidistance ties must resolve identically —
+// toward the smaller node ID — on every topology, for both Nearest and
+// NearestK. Wrap-around links (torus) and shared routers (cmesh) make exact
+// ties far more common than on the mesh, so a non-deterministic tie-break
+// would silently destroy run reproducibility there.
+func TestNearestTieBreakAcrossTopologies(t *testing.T) {
+	cases := []struct {
+		name  string
+		topo  noc.Topology
+		from  noc.NodeID
+		owner []noc.NodeID // equidistant owners of task 2, ascending
+	}{
+		// Mesh: owners symmetric around the query node on a row.
+		{"mesh", noc.NewTopology(8, 2), 3, []noc.NodeID{1, 5}},
+		// Torus: one owner two steps East, one two steps West around the
+		// wrap (node 14 is at (6,0): distance to (0,0) is 2 both ways).
+		{"torus", noc.NewTorus(8, 2), 0, []noc.NodeID{2, 6}},
+		// CMesh: two owners in the same cluster are both at distance 0.
+		{"cmesh", noc.NewCMesh(8, 2), 0, []noc.NodeID{1, 9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := make(taskgraph.Mapping, tc.topo.Nodes())
+			for i := range m {
+				m[i] = 1
+			}
+			for _, id := range tc.owner {
+				m[id] = 2
+			}
+			d := NewDirectory(tc.topo, m)
+			da := tc.topo.Distance(tc.from, tc.owner[0])
+			db := tc.topo.Distance(tc.from, tc.owner[1])
+			if da != db {
+				t.Fatalf("test premise broken: owners at distances %d and %d", da, db)
+			}
+			// Nearest picks the smaller ID, however often it is asked and in
+			// whatever cache state.
+			for i := 0; i < 3; i++ {
+				if got, ok := d.Nearest(2, tc.from); !ok || got != tc.owner[0] {
+					t.Fatalf("Nearest tie = %d,%v, want %d", got, ok, tc.owner[0])
+				}
+			}
+			// NearestK orders the tie the same way.
+			got := d.NearestK(2, tc.from, 2)
+			if len(got) != 2 || got[0] != tc.owner[0] || got[1] != tc.owner[1] {
+				t.Fatalf("NearestK tie order = %v, want %v", got, tc.owner)
+			}
+			// The order survives an unrelated mutation (cache flush + refill).
+			d.Set(tc.from, 3)
+			if got, _ := d.Nearest(2, tc.from); got != tc.owner[0] {
+				t.Fatalf("Nearest tie after mutation = %d, want %d", got, tc.owner[0])
+			}
+		})
+	}
+}
+
+// Nearest and NearestK must agree on their first choice for every topology —
+// packet retargeting uses Nearest while fork spreading uses NearestK, and a
+// disagreement would make them converge on different owners.
+func TestNearestAgreesWithNearestK(t *testing.T) {
+	for _, topo := range []noc.Topology{
+		noc.NewTopology(8, 4), noc.NewTorus(8, 4), noc.NewCMesh(8, 4),
+	} {
+		rng := sim.NewRNG(42)
+		m := make(taskgraph.Mapping, topo.Nodes())
+		for i := range m {
+			m[i] = taskgraph.TaskID(rng.Intn(3) + 1)
+		}
+		d := NewDirectory(topo, m)
+		for from := noc.NodeID(0); int(from) < topo.Nodes(); from++ {
+			for task := taskgraph.TaskID(1); task <= 3; task++ {
+				near, ok := d.Nearest(task, from)
+				k := d.NearestK(task, from, 1)
+				if !ok {
+					if len(k) != 0 {
+						t.Fatalf("%s: NearestK found owners Nearest missed", topo)
+					}
+					continue
+				}
+				if len(k) != 1 || k[0] != near {
+					t.Fatalf("%s: Nearest=%d but NearestK[0]=%v (task %d from %d)", topo, near, k, task, from)
+				}
+			}
+		}
+	}
+}

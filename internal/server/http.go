@@ -29,20 +29,24 @@ type JobStatus struct {
 	Result   *RunResult `json:"result,omitempty"`
 }
 
-// SweepRequest asks for a grid of batches: every model × fault count, each
-// aggregated over Runs independently seeded runs.
+// SweepRequest asks for a grid of batches: every model × fault count ×
+// topology, each aggregated over Runs independently seeded runs. An empty
+// Topologies axis sweeps only the base spec's shape, so existing clients
+// keep their two-dimensional grids.
 type SweepRequest struct {
 	Spec        RunSpec  `json:"spec"`
 	Models      []string `json:"models"`
 	FaultCounts []int    `json:"fault_counts"`
+	Topologies  []string `json:"topologies"`
 	Runs        int      `json:"runs"`
 }
 
 // SweepRow is one cell of the sweep: the aggregate for one model at one
-// fault count.
+// fault count on one topology.
 type SweepRow struct {
 	Model     string    `json:"model"`
 	Faults    int       `json:"faults"`
+	Topology  string    `json:"topology"`
 	CacheHit  bool      `json:"cache_hit"`
 	Aggregate Aggregate `json:"aggregate"`
 }
@@ -226,9 +230,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleSweep fans a grid of batch jobs (model × fault count) through the
-// engine, waits for all of them, and returns one aggregate row per cell —
-// mean ± 95% CI over the batch's runs. Cells already in the cache are free.
+// handleSweep fans a grid of batch jobs (model × fault count × topology)
+// through the engine, waits for all of them, and returns one aggregate row
+// per cell — mean ± 95% CI over the batch's runs. Cells already in the
+// cache are free.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
@@ -248,6 +253,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.FaultCounts) == 0 {
 		req.FaultCounts = []int{0}
 	}
+	if len(req.Topologies) == 0 {
+		req.Topologies = []string{req.Spec.Topology}
+	}
 	if req.Runs > 0 {
 		req.Spec.Runs = req.Runs
 	}
@@ -264,27 +272,32 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var cells []cell
 	for _, model := range req.Models {
 		for _, faults := range req.FaultCounts {
-			spec := req.Spec
-			spec.Model = model
-			spec.NumFaults = faults
-			if faults > 0 && spec.FaultAtMs == 0 {
-				// The paper injects halfway through the run (500 ms of
-				// 1000), rounded down onto the sampling-window grid.
-				d := spec.DurationMs
-				if d == 0 {
-					d = 1000
+			for _, topo := range req.Topologies {
+				spec := req.Spec
+				spec.Model = model
+				spec.NumFaults = faults
+				spec.Topology = topo
+				if faults > 0 && spec.FaultAtMs == 0 {
+					// The paper injects halfway through the run (500 ms of
+					// 1000), rounded down onto the sampling-window grid.
+					d := spec.DurationMs
+					if d == 0 {
+						d = 1000
+					}
+					win := spec.WindowMs
+					if win == 0 {
+						win = 1
+					}
+					spec.FaultAtMs = d/2 - (d/2)%win
 				}
-				win := spec.WindowMs
-				if win == 0 {
-					win = 1
+				if err := spec.Canonicalize(); err != nil {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("cell %s/%d/%s: %w", model, faults, topo, err))
+					return
 				}
-				spec.FaultAtMs = d/2 - (d/2)%win
+				// The canonical topology (an empty axis entry defaults to
+				// "mesh") labels the row.
+				cells = append(cells, cell{row: SweepRow{Model: model, Faults: faults, Topology: spec.Topology}, spec: spec})
 			}
-			if err := spec.Canonicalize(); err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("cell %s/%d: %w", model, faults, err))
-				return
-			}
-			cells = append(cells, cell{row: SweepRow{Model: model, Faults: faults}, spec: spec})
 		}
 	}
 	for i := range cells {

@@ -359,3 +359,82 @@ func TestSweepDefaultsFaultTimeToMidRun(t *testing.T) {
 		resp.Body.Close()
 	}
 }
+
+// The sweep's topologies axis fans the grid over fabric shapes, each cell
+// getting its own canonical cache identity, and /healthz breaks the
+// platform-pool counters down by topology once those shapes have run.
+func TestSweepTopologiesAxis(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	req := `{
+		"spec": {"duration_ms": 40, "width": 8, "height": 4},
+		"models": ["ffw"],
+		"fault_counts": [0],
+		"topologies": ["mesh", "torus", "cmesh"],
+		"runs": 1
+	}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("topology sweep status %d: %s", resp.StatusCode, buf.String())
+	}
+	var sr SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (one per topology)", len(sr.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range sr.Rows {
+		seen[row.Topology] = true
+		if row.Aggregate.Runs != 1 {
+			t.Errorf("row %s aggregated %d runs, want 1", row.Topology, row.Aggregate.Runs)
+		}
+	}
+	for _, want := range []string{"mesh", "torus", "cmesh"} {
+		if !seen[want] {
+			t.Errorf("sweep rows missing topology %q (rows: %+v)", want, sr.Rows)
+		}
+	}
+
+	// A cmesh cell with odd dimensions is rejected before any cell runs.
+	bad := `{"spec": {"duration_ms": 40, "width": 7, "height": 4}, "models": ["none"], "fault_counts": [0], "topologies": ["cmesh"], "runs": 1}`
+	resp2, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("odd-dimension cmesh cell: code %d, want 400", resp2.StatusCode)
+	}
+
+	// /healthz now reports per-topology platform-pool counters for the
+	// shapes this sweep exercised.
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var h struct {
+		Pool experiments.PoolStatsSnapshot `json:"pool"`
+	}
+	if err := json.NewDecoder(hres.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mesh", "torus", "cmesh"} {
+		bt, ok := h.Pool.ByTopology[want]
+		if !ok {
+			t.Errorf("healthz pool stats missing topology %q: %+v", want, h.Pool.ByTopology)
+			continue
+		}
+		if bt.PlatformsCreated+bt.PlatformsReused == 0 {
+			t.Errorf("healthz pool stats for %q count no platforms", want)
+		}
+	}
+}

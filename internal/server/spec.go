@@ -16,6 +16,7 @@ import (
 
 	"centurion/internal/aim"
 	"centurion/internal/experiments"
+	"centurion/internal/noc"
 	"centurion/internal/sim"
 	"centurion/internal/taskgraph"
 	"centurion/internal/thermal"
@@ -103,9 +104,14 @@ type RunSpec struct {
 	DurationMs int `json:"duration_ms"`
 	// WindowMs is the metric sampling window (default 1).
 	WindowMs int `json:"window_ms"`
-	// Width, Height are the mesh dimensions (default 16×8, Centurion-V6).
+	// Width, Height are the node-grid dimensions (default 16×8,
+	// Centurion-V6).
 	Width  int `json:"width"`
 	Height int `json:"height"`
+	// Topology selects the fabric shape: "mesh", "torus" or "cmesh"
+	// (default "mesh"). cmesh concentrates 2×2 clusters of processing
+	// elements onto shared routers and therefore needs even dimensions.
+	Topology string `json:"topology"`
 	// Graph selects the workload: "forkjoin", "pipeline" or "diamond"
 	// (default "forkjoin", the paper's Figure 3 shape).
 	Graph string `json:"graph"`
@@ -209,7 +215,16 @@ func (s *RunSpec) Canonicalize() error {
 		s.Height = 8
 	}
 	if s.Width < 2 || s.Width > MaxMeshDim || s.Height < 2 || s.Height > MaxMeshDim {
-		return fmt.Errorf("mesh %dx%d out of range [2, %d] per side", s.Width, s.Height, MaxMeshDim)
+		return fmt.Errorf("grid %dx%d out of range [2, %d] per side", s.Width, s.Height, MaxMeshDim)
+	}
+	if s.Topology == "" {
+		s.Topology = noc.KindMesh
+	}
+	// The noc layer owns the topology rules (valid kinds, cmesh evenness);
+	// building the topology here is cheap and guarantees the worker can
+	// never hit a construction panic on a spec this validator admitted.
+	if _, err := noc.MakeTopology(s.Topology, s.Width, s.Height); err != nil {
+		return err
 	}
 	if s.NumFaults < 0 || s.NumFaults >= s.Width*s.Height {
 		return fmt.Errorf("num_faults %d out of range [0, %d)", s.NumFaults, s.Width*s.Height)
@@ -273,6 +288,7 @@ func (s RunSpec) toExperiment(i int) experiments.Spec {
 		NeighborSignals: s.NeighborSignals,
 		Width:           s.Width,
 		Height:          s.Height,
+		Topology:        s.Topology,
 		Graph:           graphs[s.Graph],
 	}
 	if s.NI != nil {

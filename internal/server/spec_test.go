@@ -16,7 +16,7 @@ func TestParseSpecDefaults(t *testing.T) {
 	}
 	want := RunSpec{
 		Model: "none", Seed: 1, Runs: 1, DurationMs: 1000, WindowMs: 1,
-		Width: 16, Height: 8, Graph: "forkjoin",
+		Width: 16, Height: 8, Topology: "mesh", Graph: "forkjoin",
 	}
 	if s != want {
 		t.Errorf("canonical defaults = %+v, want %+v", s, want)
@@ -44,6 +44,9 @@ func TestCanonicalizeRejections(t *testing.T) {
 		{"window not dividing duration", `{"duration_ms": 1000, "window_ms": 300}`},
 		{"mesh too small", `{"width": 1}`},
 		{"mesh too large", `{"height": 500}`},
+		{"unknown topology", `{"topology": "hypercube"}`},
+		{"cmesh odd width", `{"topology": "cmesh", "width": 15}`},
+		{"cmesh odd height", `{"topology": "cmesh", "height": 7}`},
 		{"too many faults", `{"num_faults": 128, "fault_at_ms": 500}`},
 		{"fault time missing", `{"num_faults": 4}`},
 		{"fault time at end", `{"num_faults": 4, "fault_at_ms": 1000}`},
@@ -93,6 +96,33 @@ func TestCanonicalKeyStability(t *testing.T) {
 	}
 	if plain.CanonicalKey() != withFFW.CanonicalKey() {
 		t.Error("model-irrelevant ffw override changed the canonical key")
+	}
+
+	// An explicit default topology and an omitted one are the same spec;
+	// each fabric shape gets its own canonical key.
+	meshDefault, _ := ParseSpec([]byte(`{"model": "ffw", "seed": 7}`))
+	meshExplicit, err := ParseSpec([]byte(`{"model": "ffw", "seed": 7, "topology": "mesh"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meshDefault.CanonicalKey() != meshExplicit.CanonicalKey() {
+		t.Error("explicit default topology changed the canonical key")
+	}
+	torus, err := ParseSpec([]byte(`{"model": "ffw", "seed": 7, "topology": "torus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmesh, err := ParseSpec([]byte(`{"model": "ffw", "seed": 7, "topology": "cmesh"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{
+		meshDefault.CanonicalKey(): true,
+		torus.CanonicalKey():       true,
+		cmesh.CanonicalKey():       true,
+	}
+	if len(keys) != 3 {
+		t.Error("topologies do not have distinct canonical keys")
 	}
 
 	// Degenerate and empty overrides normalize away entirely.

@@ -1,7 +1,10 @@
-// Package thermal models per-node die temperature for the Centurion mesh —
+// Package thermal models per-node die temperature for the Centurion fabric —
 // the "local temperature sensing" monitor of the paper's AIM interface — as
 // a discrete RC network: activity deposits heat, heat leaks to ambient, and
-// it diffuses to the four mesh neighbours.
+// it diffuses to the topology's lateral (die-adjacent) neighbours: the four
+// mesh neighbours on the reference fabric, wrap-around neighbours on a
+// folded torus, and plain grid neighbours on a concentrated mesh (cluster
+// members share a router but still sit next to each other on the die).
 //
 // Together with the node-frequency knob (noc.OpNodeFrequency) it closes the
 // paper's envisioned loop: "with the relevant knobs and monitors, such as
@@ -54,13 +57,17 @@ func DefaultParams() Params {
 	}
 }
 
-// Model is the mesh's thermal state.
+// Model is the fabric's thermal state.
 type Model struct {
 	topo noc.Topology
 	par  Params
 	temp []float64
 	next []float64
 	last []uint64
+	// lat memoizes each node's lateral neighbours in port order (N, E, S, W;
+	// noc.Invalid when absent) so the per-step conduction loop is indexed
+	// loads instead of four interface calls per node.
+	lat [][4]noc.NodeID
 }
 
 // New builds a model with every node at ambient temperature.
@@ -74,9 +81,17 @@ func New(topo noc.Topology, par Params) *Model {
 		temp: make([]float64, topo.Nodes()),
 		next: make([]float64, topo.Nodes()),
 		last: make([]uint64, topo.Nodes()),
+		lat:  make([][4]noc.NodeID, topo.Nodes()),
 	}
 	for i := range m.temp {
 		m.temp[i] = par.Ambient
+		for port := noc.North; port <= noc.West; port++ {
+			if nb, ok := topo.Lateral(noc.NodeID(i), port); ok {
+				m.lat[i][port] = nb
+			} else {
+				m.lat[i][port] = noc.Invalid
+			}
+		}
 	}
 	return m
 }
@@ -111,7 +126,7 @@ func (m *Model) Hottest() (noc.NodeID, float64) {
 	return best, bestT
 }
 
-// Mean returns the mesh's mean temperature.
+// Mean returns the fabric's mean temperature.
 func (m *Model) Mean() float64 {
 	sum := 0.0
 	for _, t := range m.temp {
@@ -132,10 +147,10 @@ func (m *Model) Step(workCounts []uint64) {
 		m.last[i] = workCounts[i]
 
 		t := m.temp[i]
-		// Lateral conduction with the mesh neighbours.
+		// Lateral conduction with the topology's die-adjacent neighbours.
 		lateral := 0.0
-		for port := noc.North; port <= noc.West; port++ {
-			if nb, ok := m.topo.Neighbor(noc.NodeID(i), port); ok {
+		for _, nb := range m.lat[i] {
+			if nb >= 0 {
 				lateral += p.Diffusion * (m.temp[nb] - t)
 			}
 		}
