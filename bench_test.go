@@ -233,6 +233,7 @@ func BenchmarkPlatformStep(b *testing.B) {
 			cfg.Topology = tc.topology
 			p := platform.New(cfg)
 			p.RunFor(sim.Ms(100), nil) // reach steady state
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p.Step()
@@ -260,31 +261,47 @@ func BenchmarkRunManyParallel(b *testing.B) {
 }
 
 // BenchmarkRouterTickLoaded measures the router datapath under traffic.
+// Packets cycle through the fabric's arena (delivered packets recycle on
+// the spot), so the loaded path is allocation-free at steady state.
 func BenchmarkRouterTickLoaded(b *testing.B) {
 	net := noc.NewNetwork(noc.NewTopology(16, 8), noc.DefaultConfig())
-	sinkAll := acceptAll{}
+	pool := net.Pool()
+	sinkAll := recycleSink{pool}
 	for id := 0; id < net.Topo.Nodes(); id++ {
 		net.Router(noc.NodeID(id)).SetSink(sinkAll)
 	}
 	rng := sim.NewRNG(1)
 	var clk sim.Clock
 	id := uint64(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%4 == 0 {
 			src := noc.NodeID(rng.Intn(net.Topo.Nodes()))
 			dst := noc.NodeID(rng.Intn(net.Topo.Nodes()))
 			id++
-			net.Inject(src, &noc.Packet{ID: id, Kind: noc.Data, Src: src, Dst: dst, Task: 2, Flits: 2}, clk.Now())
+			p := pool.Get()
+			p.ID = id
+			p.Kind = noc.Data
+			p.Src, p.Dst = src, dst
+			p.Task = 2
+			p.Flits = 2
+			if !net.Inject(src, p, clk.Now()) {
+				pool.Put(p) // back-pressured: recycle instead of leaking
+			}
 		}
 		net.Tick(clk.Now())
 		clk.Step()
 	}
 }
 
-type acceptAll struct{}
+// recycleSink consumes delivered packets straight back into the pool.
+type recycleSink struct{ pool *noc.PacketPool }
 
-func (acceptAll) Accept(*noc.Packet, sim.Tick) bool { return true }
+func (s recycleSink) Accept(p *noc.Packet, _ sim.Tick) bool {
+	s.pool.Put(p)
+	return true
+}
 
 // BenchmarkPicoblazeDecide measures one embedded decision pass.
 func BenchmarkPicoblazeDecide(b *testing.B) {
@@ -294,6 +311,7 @@ func BenchmarkPicoblazeDecide(b *testing.B) {
 		b.Fatal(err)
 	}
 	e.NoteTask(taskgraph.ForkSink)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.OnRouted(taskgraph.ForkWorker, sim.Tick(i))
@@ -317,6 +335,7 @@ func BenchmarkDirectoryNearest(b *testing.B) {
 	g := taskgraph.ForkJoin(taskgraph.DefaultForkJoinParams())
 	m := taskgraph.RandomMapper{}.Map(g, 16, 8, sim.NewRNG(1))
 	d := node.NewDirectory(topo, m)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Nearest(taskgraph.ForkWorker, noc.NodeID(i%128))

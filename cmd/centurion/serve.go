@@ -18,6 +18,7 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size")
 	queue := fs.Int("queue", server.DefaultQueueBound, "admission queue bound (excess submissions get 503)")
 	cache := fs.Int("cache", server.DefaultCacheSize, "LRU result-cache capacity (canonical specs)")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof (live CPU/heap profiling of the service)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -28,9 +29,13 @@ func cmdServe(args []string) error {
 	fmt.Fprintf(os.Stderr, "  GET  /v1/runs/{id}/events SSE time-series stream\n")
 	fmt.Fprintf(os.Stderr, "  POST /v1/sweep            model x fault-count grid, mean±CI\n")
 	fmt.Fprintf(os.Stderr, "  GET  /healthz             liveness + engine stats\n")
+	if *pprofOn {
+		fmt.Fprintf(os.Stderr, "  GET  /debug/pprof/        live profiling (pprof enabled)\n")
+	}
 	return centurion.Serve(*addr, centurion.ServeOptions{
-		Workers:    *workers,
-		QueueBound: *queue,
-		CacheSize:  *cache,
+		Workers:     *workers,
+		QueueBound:  *queue,
+		CacheSize:   *cache,
+		EnablePprof: *pprofOn,
 	})
 }

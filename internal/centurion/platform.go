@@ -121,7 +121,9 @@ type Platform struct {
 	// pool recycles every packet of this platform (DESIGN.md §9): PEs and the
 	// controller acquire through it, and delivery/drop/config-consumption
 	// return packets to it, so the steady-state hot loop never allocates.
-	pool noc.PacketPool
+	// It is the fabric's packet arena (DESIGN.md §11) — the network owns it,
+	// and every in-fabric packet is addressed by an arena handle.
+	pool *noc.PacketPool
 	// ctlRetry tracks config packets a back-pressured controller tap is
 	// retrying through the event queue; Reset reclaims them (their retry
 	// events are cleared with the queue, which would otherwise leak them).
@@ -187,7 +189,7 @@ func New(cfg Config) *Platform {
 		rng:   sim.NewRNG(cfg.Seed),
 	}
 	p.Net = noc.NewNetwork(p.Topo, cfg.NoC)
-	p.Net.Pool = &p.pool
+	p.pool = p.Net.Pool()
 	mapping := cfg.Mapper.Map(cfg.Graph, cfg.Width, cfg.Height, p.rng)
 	p.Dir = node.NewDirectory(p.Topo, mapping)
 
@@ -367,13 +369,19 @@ func (p *Platform) wirePE(id noc.NodeID, pe *node.PE, engine aim.Engine) {
 		// concentrated fabric every cluster member peeks the shared router's
 		// queues — they all forage from the same stream.
 		ffw.SetQueuePeek(func(now sim.Tick) (taskgraph.TaskID, bool) {
-			return r.QueuedHeadTaskFunc(now, func(pkt *noc.Packet) bool {
-				return !(p.Graph.IsSink(pkt.Task) && p.Graph.JoinWidth(pkt.Task) > 1)
+			return r.QueuedHeadTaskFunc(now, func(task taskgraph.TaskID) bool {
+				return !(p.Graph.IsSink(task) && p.Graph.JoinWidth(task) > 1)
 			})
 		})
 	}
+	// Queue space freeing at this node can unblock its (possibly shared)
+	// router's parked sink-delivery and absorption ports.
+	pe.OnDequeue = func() { p.Net.Stir(id) }
 	pe.OnSwitch = func(from, to taskgraph.TaskID, now sim.Tick) {
 		p.counters.TaskSwitches++
+		// The new task changes which passing packets this node absorbs;
+		// parked heads at the serving router must re-evaluate.
+		p.Net.Stir(id)
 		if p.Cfg.Trace != nil {
 			p.Cfg.Trace.Add(trace.Event{At: now, Kind: trace.KindSwitch, Node: id, Task: to, Info: uint64(from)})
 		}
@@ -415,18 +423,21 @@ func (p *Platform) wireRouter(r *noc.Router, members []noc.NodeID) {
 	}
 	// Task-addressed absorption: a member consumes any passing data packet
 	// of its own task (join-bound sink packets stay bound to their fork-time
-	// join node so branches converge).
+	// join node so branches converge). The handle is resolved only once a
+	// member actually wants the packet — the common mismatch never touches
+	// it.
 	mems := members
-	r.Absorb = func(pkt *noc.Packet, now sim.Tick) bool {
+	pool := p.pool
+	r.Absorb = func(id noc.PacketID, task taskgraph.TaskID, now sim.Tick) bool {
 		for _, m := range mems {
 			pe := p.pes[m]
-			if pkt.Task != pe.Task() {
+			if task != pe.Task() {
 				continue
 			}
-			if p.Graph.IsSink(pkt.Task) && p.Graph.JoinWidth(pkt.Task) > 1 {
+			if p.Graph.IsSink(task) && p.Graph.JoinWidth(task) > 1 {
 				return false
 			}
-			if pe.Accept(pkt, now) {
+			if pe.Accept(pool.Deref(id), now) {
 				return true
 			}
 		}
@@ -527,7 +538,7 @@ func (p *Platform) allocPacket() *noc.Packet {
 
 // PacketPool exposes the platform's packet recycler (stats, conservation
 // checks). Callers must not Get/Put concurrently with a running platform.
-func (p *Platform) PacketPool() *noc.PacketPool { return &p.pool }
+func (p *Platform) PacketPool() *noc.PacketPool { return p.pool }
 
 // trackRetry remembers a config packet held by a pending controller retry
 // (idempotent: a packet is tracked once however often the retry fires).

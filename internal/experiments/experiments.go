@@ -127,6 +127,26 @@ type Result struct {
 	Counters centurion.Counters
 }
 
+// Measurement-buffer recycling: every run needs three window series and a
+// per-node work snapshot; sweeps execute thousands of runs, so the buffers
+// come from shared pools and go back once the caller has reduced the series
+// to scalars (Result.Release).
+var (
+	runSeries   metrics.SeriesPool
+	workScratch = sync.Pool{New: func() any { return new([]uint64) }}
+)
+
+// Release recycles the result's series buffers for reuse by later runs. Call
+// it only when done with Throughput/NodesActive/Switches — the slices are
+// invalid afterwards (the summary scalars remain usable). Safe to call on
+// results that never had series (cancelled runs) and at most once.
+func (r *Result) Release() {
+	runSeries.Put(r.Throughput)
+	runSeries.Put(r.NodesActive)
+	runSeries.Put(r.Switches)
+	r.Throughput, r.NodesActive, r.Switches = nil, nil, nil
+}
+
 // engineFactory returns the AIM factory for the spec.
 func (s Spec) engineFactory() aim.Factory {
 	switch s.Model {
@@ -202,14 +222,22 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 	windows := spec.DurationMs / spec.WindowMs
 	res := Result{
 		Spec:        spec,
-		Throughput:  metrics.NewSeries(float64(spec.WindowMs), windows),
-		NodesActive: metrics.NewSeries(float64(spec.WindowMs), windows),
-		Switches:    metrics.NewSeries(float64(spec.WindowMs), windows),
+		Throughput:  runSeries.Get(float64(spec.WindowMs), windows),
+		NodesActive: runSeries.Get(float64(spec.WindowMs), windows),
+		Switches:    runSeries.Get(float64(spec.WindowMs), windows),
 	}
 
 	windowTicks := sim.Tick(spec.WindowMs) * sim.TicksPerMs
 	pes := p.PEs()
-	lastWork := make([]uint64, len(pes))
+	workBuf := workScratch.Get().(*[]uint64)
+	defer func() {
+		workScratch.Put(workBuf)
+	}()
+	if cap(*workBuf) < len(pes) {
+		*workBuf = make([]uint64, len(pes))
+	}
+	lastWork := (*workBuf)[:len(pes)]
+	clear(lastWork)
 	var lastCompleted, lastSwitches uint64
 	for w := 0; w < windows; w++ {
 		if err := ctx.Err(); err != nil {

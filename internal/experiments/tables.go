@@ -42,9 +42,10 @@ func Table1(runs int, seedBase uint64) Table1Result {
 		res := perModel[m]
 		settling := make([]float64, 0, len(res))
 		rel := make([]float64, 0, len(res))
-		for _, r := range res {
-			settling = append(settling, r.SettlingMs)
-			rel = append(rel, 100*r.SteadyRate/ref)
+		for i := range res {
+			settling = append(settling, res[i].SettlingMs)
+			rel = append(rel, 100*res[i].SteadyRate/ref)
+			res[i].Release() // series reduced to scalars; recycle the buffers
 		}
 		out.Rows = append(out.Rows, Table1Row{
 			Model:       m,
@@ -122,6 +123,9 @@ func Table2(runs int, seedBase uint64, faultCounts []int) Table2Result {
 	// Reference: No-Intelligence without faults.
 	refRuns := RunMany(DefaultSpec(ModelNone, 0), runs, seedBase)
 	out.ReferenceRate = referenceRate(refRuns)
+	for i := range refRuns {
+		refRuns[i].Release()
+	}
 
 	for _, m := range Models {
 		for _, k := range faultCounts {
@@ -137,11 +141,12 @@ func Table2(runs int, seedBase uint64, faultCounts []int) Table2Result {
 			}
 			rel := make([]float64, 0, runs)
 			rec := make([]float64, 0, runs)
-			for _, r := range res {
-				rel = append(rel, 100*r.PostFaultRate/out.ReferenceRate)
+			for i := range res {
+				rel = append(rel, 100*res[i].PostFaultRate/out.ReferenceRate)
 				if k > 0 {
-					rec = append(rec, r.RecoveryMs)
+					rec = append(rec, res[i].RecoveryMs)
 				}
+				res[i].Release()
 			}
 			row := Table2Row{Model: m, Faults: k, RelativePct: metrics.Quartiles(rel), Runs: runs}
 			if k > 0 {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Series is a fixed-window time series: Values[i] is the metric aggregated
@@ -19,6 +20,41 @@ type Series struct {
 // NewSeries allocates a series of n windows.
 func NewSeries(windowMs float64, n int) *Series {
 	return &Series{WindowMs: windowMs, Values: make([]float64, n)}
+}
+
+// SeriesPool recycles Series values between runs: a sweep executing
+// thousands of runs reuses a handful of window buffers instead of
+// allocating three per run. The zero value is ready to use; it is safe for
+// concurrent use (RunMany workers share one pool).
+type SeriesPool struct{ pool sync.Pool }
+
+// Get returns a zeroed series of n windows, reusing a recycled one's buffer
+// when capacity allows.
+func (sp *SeriesPool) Get(windowMs float64, n int) *Series {
+	v := sp.pool.Get()
+	if v == nil {
+		return NewSeries(windowMs, n)
+	}
+	s := v.(*Series)
+	s.WindowMs = windowMs
+	if cap(s.Values) < n {
+		s.Values = make([]float64, n)
+		return s
+	}
+	s.Values = s.Values[:n]
+	for i := range s.Values {
+		s.Values[i] = 0
+	}
+	return s
+}
+
+// Put recycles a series whose readers are done with it; the series (and its
+// Values slice) must not be used afterwards. nil is ignored.
+func (sp *SeriesPool) Put(s *Series) {
+	if s == nil {
+		return
+	}
+	sp.pool.Put(s)
 }
 
 // Len returns the number of windows.
@@ -51,12 +87,21 @@ func (s *Series) Smoothed(k int) []float64 {
 // MovingAverage returns the centred moving average of xs with half-width k
 // (window 2k+1, truncated at the edges).
 func MovingAverage(xs []float64, k int) []float64 {
+	return MovingAverageInto(nil, xs, k)
+}
+
+// MovingAverageInto is MovingAverage writing into dst (grown as needed and
+// returned), so callers with a reusable scratch buffer avoid the per-call
+// allocation. dst must not alias xs.
+func MovingAverageInto(dst, xs []float64, k int) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	out := dst[:len(xs)]
 	if k <= 0 {
-		out := make([]float64, len(xs))
 		copy(out, xs)
 		return out
 	}
-	out := make([]float64, len(xs))
 	for i := range xs {
 		lo, hi := i-k, i+k+1
 		if lo < 0 {

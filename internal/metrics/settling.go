@@ -1,5 +1,13 @@
 package metrics
 
+import "sync"
+
+// smoothScratch recycles the smoothing buffer SettlingTime needs per call:
+// the detector runs twice per experiment run (settling + recovery), so
+// sweeps with thousands of runs would otherwise allocate a window-sized
+// slice each time.
+var smoothScratch = sync.Pool{New: func() any { return new([]float64) }}
+
 // SettleParams tune the settling/recovery detector.
 type SettleParams struct {
 	// Smooth is the moving-average half-width applied before detection
@@ -43,7 +51,12 @@ func SettlingTime(s *Series, from, to int, par SettleParams) (ms float64, ok boo
 	if to-from < 2 {
 		return 0, false
 	}
-	smooth := MovingAverage(s.Values[from:to], par.Smooth)
+	scratch := smoothScratch.Get().(*[]float64)
+	defer func() {
+		smoothScratch.Put(scratch)
+	}()
+	smooth := MovingAverageInto(*scratch, s.Values[from:to], par.Smooth)
+	*scratch = smooth[:0]
 
 	// Steady-state level: mean of the tail of the segment.
 	tail := int(float64(len(smooth)) * par.SteadyFrac)

@@ -15,11 +15,11 @@ func TestAbsorptionConsumesEnRoute(t *testing.T) {
 	// Node 3 runs task 2 and absorbs passing task-2 packets.
 	absorbed := &collectSink{}
 	net.Router(3).SetSink(absorbed)
-	net.Router(3).Absorb = func(p *Packet, now sim.Tick) bool {
-		if p.Task != 2 {
+	net.Router(3).Absorb = func(id PacketID, task taskgraph.TaskID, now sim.Tick) bool {
+		if task != 2 {
 			return false
 		}
-		return absorbed.Accept(p, now)
+		return absorbed.Accept(net.Pool().Deref(id), now)
 	}
 	var internals int
 	net.Router(3).Monitors.InternalDelivery = func(task taskgraph.TaskID, now sim.Tick) {
@@ -51,7 +51,7 @@ func TestAbsorptionRespectsRejection(t *testing.T) {
 	final := &collectSink{}
 	net.Router(3).SetSink(final)
 	// Absorber with a full queue must not strand the packet.
-	net.Router(1).Absorb = func(p *Packet, now sim.Tick) bool { return false }
+	net.Router(1).Absorb = func(PacketID, taskgraph.TaskID, sim.Tick) bool { return false }
 	var clk sim.Clock
 	net.Inject(0, dataPacket(1, 0, 3, 2, 2), clk.Now())
 	run(net, &clk, 60)
@@ -62,8 +62,8 @@ func TestAbsorptionRespectsRejection(t *testing.T) {
 
 func TestAbsorptionSkipsConfigPackets(t *testing.T) {
 	net := testNet(4, 1, RouteAuto)
-	net.Router(1).Absorb = func(p *Packet, now sim.Tick) bool {
-		t.Errorf("absorb consulted for a %v packet", p.Kind)
+	net.Router(1).Absorb = func(id PacketID, task taskgraph.TaskID, now sim.Tick) bool {
+		t.Errorf("absorb consulted for a %v packet", net.Pool().Deref(id).Kind)
 		return true
 	}
 	var clk sim.Clock

@@ -2,94 +2,85 @@ package noc
 
 import "centurion/internal/sim"
 
-// buffer is a router input FIFO with flit-granular capacity, matching the
-// wormhole router's small per-channel buffers (the paper's router trades
-// buffer space for deadlock-recovery logic).
-type buffer struct {
-	pkts     []*Packet
-	head     int
-	capFlits int
-	usedFlit int
-	// readyAt[i] aligned with pkts: tick at which the packet has fully
-	// arrived (tail flit received) and may be forwarded.
-	readyAt []sim.Tick
+// The router input FIFOs of one network are fixed-capacity rings over a
+// single shared backing slice (DESIGN.md §11): port p of router r owns the
+// slot range [(r*NumPorts+p)*spp, +spp), so the whole fabric's buffered
+// traffic lives in one contiguous allocation and a head peek is a single
+// indexed load instead of a pointer chase through []*Packet.
+//
+// Capacity is flit-granular exactly like the wormhole router's small
+// per-channel buffers (capFlits per port), and because every packet occupies
+// at least one flit of accounting, a ring of capFlits slots can never
+// overflow on packet count. spp is capFlits rounded up to a power of two so
+// the wrap is a mask.
+
+// ringSlot caches the routing-hot view of one buffered packet: everything
+// the per-tick kernel needs to decide a head's fate (in transit? lapsed?
+// which output port? how long does the link stay busy?) without touching the
+// Packet itself. The arena handle is dereferenced only when the packet
+// leaves the fabric (delivery, absorption, recovery, drop) or carries rare
+// state (a pending requeue count, a firing deadline lapse).
+//
+// The hop counter travels in the slot — a forward is a slot copy, so the
+// increment is free — and is written back to the packet at every fabric
+// exit. dst/task/flits are narrowed to 16 bits (NewNetwork rejects grids
+// beyond the int16 node range; flit lengths clamp, which only matters for
+// absurd >32767-flit packets) to keep the slot at 32 bytes: two per cache
+// line.
+type ringSlot struct {
+	// ready is the tick the packet's tail flit has fully arrived; before it
+	// the head may not be forwarded (wormhole serialisation).
+	ready sim.Tick
+	// deadline mirrors Packet.Deadline (0 = none).
+	deadline sim.Tick
+	id       PacketID
+	dst      int16
+	task     int16
+	flits    int16
+	// hops is the in-fabric hop counter (mirrors Packet.Hops, which it
+	// overwrites on exit; wraps with the packet's own counter far beyond any
+	// realistic path length).
+	hops  uint16
+	kind  Kind
+	flags uint8
 }
 
-func newBuffer(capFlits int) *buffer {
-	return &buffer{capFlits: capFlits}
+const (
+	// slotLapsed mirrors Packet.lapsedSeen, so the once-per-lifetime
+	// deadline check never dereferences the packet.
+	slotLapsed uint8 = 1 << 0
+	// slotRequeued marks a packet with a non-zero deadlock-recovery requeue
+	// count: the packet field stays authoritative (exact int semantics) and
+	// the flag lets the forward path skip the reset for the common clean
+	// packet.
+	slotRequeued uint8 = 1 << 1
+)
+
+// ring is the per-port FIFO state. head is an absolute index into the
+// shared slot slice (so the hot head peek is one load); the port's base and
+// wrap mask are recomputed only on push/pop.
+type ring struct {
+	head uint32 // absolute slot index of the oldest entry
+	n    uint32 // entries queued
+	used uint32 // flits of capacity consumed
 }
 
-// Len returns the number of queued packets.
-func (b *buffer) Len() int { return len(b.pkts) - b.head }
-
-// FreeFlits returns the remaining flit capacity.
-func (b *buffer) FreeFlits() int { return b.capFlits - b.usedFlit }
-
-// CanAccept reports whether a packet of the given flit length fits.
-func (b *buffer) CanAccept(flits int) bool { return b.FreeFlits() >= flits }
-
-// Push enqueues a packet whose tail flit arrives at readyAt. It returns
-// false (and leaves the buffer unchanged) when capacity is insufficient.
-func (b *buffer) Push(p *Packet, readyAt sim.Tick) bool {
-	if !b.CanAccept(p.Flits) {
-		return false
+// ringFlits is the flit accounting of one slot: packets shorter than one
+// flit still occupy a slot, so they cost one flit of capacity (the same
+// clamp the link serialiser applies to their transfer time).
+func ringFlits(flits int16) uint32 {
+	if flits < 1 {
+		return 1
 	}
-	b.pkts = append(b.pkts, p)
-	b.readyAt = append(b.readyAt, readyAt)
-	b.usedFlit += p.Flits
-	return true
+	return uint32(flits)
 }
 
-// Head returns the oldest packet and its ready tick without removing it,
-// or nil when empty.
-func (b *buffer) Head() (*Packet, sim.Tick) {
-	if h := b.head; h < len(b.pkts) && h < len(b.readyAt) {
-		return b.pkts[h], b.readyAt[h]
+// slotsPerPort returns the ring length for the given flit capacity (next
+// power of two, so wrap-around is a mask).
+func slotsPerPort(capFlits int) int {
+	spp := 1
+	for spp < capFlits {
+		spp <<= 1
 	}
-	return nil, 0
-}
-
-// Pop removes and returns the oldest packet. It returns nil when empty.
-func (b *buffer) Pop() *Packet {
-	if b.Len() == 0 {
-		return nil
-	}
-	p := b.pkts[b.head]
-	b.pkts[b.head] = nil // allow GC
-	b.head++
-	b.usedFlit -= p.Flits
-	// Compact once the dead prefix dominates, to keep memory bounded.
-	if b.head > 32 && b.head*2 >= len(b.pkts) {
-		n := copy(b.pkts, b.pkts[b.head:])
-		copy(b.readyAt, b.readyAt[b.head:])
-		b.pkts = b.pkts[:n]
-		b.readyAt = b.readyAt[:n]
-		b.head = 0
-	}
-	return p
-}
-
-// Drain removes and returns all queued packets (used when a router fails:
-// its buffered traffic is lost and accounted as dropped).
-func (b *buffer) Drain() []*Packet {
-	var out []*Packet
-	for b.Len() > 0 {
-		out = append(out, b.Pop())
-	}
-	return out
-}
-
-// reset empties the buffer in place, retaining the slices' capacity, and
-// hands every queued packet to release (when non-nil) for recycling.
-func (b *buffer) reset(release func(*Packet)) {
-	for i := b.head; i < len(b.pkts); i++ {
-		if release != nil {
-			release(b.pkts[i])
-		}
-		b.pkts[i] = nil
-	}
-	b.pkts = b.pkts[:0]
-	b.readyAt = b.readyAt[:0]
-	b.head = 0
-	b.usedFlit = 0
+	return spp
 }

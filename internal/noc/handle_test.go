@@ -1,0 +1,124 @@
+package noc
+
+// Lifecycle tests for the generation-tagged packet handles (DESIGN.md §11):
+// a handle is valid for exactly one packet lifetime — recycling the packet
+// advances its slot's generation, and any retained handle must panic on
+// dereference instead of silently aliasing the slot's next occupant.
+
+import (
+	"testing"
+
+	"centurion/internal/sim"
+)
+
+// expectPanic runs fn and reports whether it panicked.
+func expectPanic(fn func()) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	fn()
+	return false
+}
+
+func TestPacketHandleRoundTrip(t *testing.T) {
+	var pp PacketPool
+	p := pp.Get()
+	h := p.Handle()
+	if !h.Valid() {
+		t.Fatalf("fresh packet has invalid handle %v", h)
+	}
+	if got := pp.Deref(h); got != p {
+		t.Fatalf("Deref(%v) = %p, want %p", h, got, p)
+	}
+}
+
+func TestPacketHandleStaleUsePanics(t *testing.T) {
+	// Property test: over many randomized acquire/recycle rounds, every
+	// retained handle dereferences while its packet is live and panics once
+	// the packet was recycled — including after its slot was re-issued to a
+	// new lifetime (the ABA case the generation tag exists for).
+	var pp PacketPool
+	rng := sim.NewRNG(0x5eed)
+
+	type lease struct {
+		p *Packet
+		h PacketID
+	}
+	var live []lease
+	var stale []PacketID
+	for round := 0; round < 200; round++ {
+		// Acquire a random batch.
+		for k := rng.Intn(8); k > 0; k-- {
+			p := pp.Get()
+			live = append(live, lease{p: p, h: p.Handle()})
+		}
+		// Recycle a random subset; their handles become stale.
+		for k := rng.Intn(6); k > 0 && len(live) > 0; k-- {
+			i := rng.Intn(len(live))
+			l := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			pp.Put(l.p)
+			stale = append(stale, l.h)
+		}
+		// Every live handle must resolve to its own packet...
+		for _, l := range live {
+			if got := pp.Deref(l.h); got != l.p {
+				t.Fatalf("round %d: live handle %v resolved to the wrong packet", round, l.h)
+			}
+		}
+		// ...and every stale one must panic, even though many of their
+		// slots now host recycled lifetimes.
+		for _, h := range stale {
+			if !expectPanic(func() { pp.Deref(h) }) {
+				t.Fatalf("round %d: stale handle %v dereferenced without panic", round, h)
+			}
+		}
+	}
+
+	// The books must balance: everything still live plus the free list
+	// covers every slot ever bound.
+	st := pp.Stats()
+	if st.Live != len(live) {
+		t.Errorf("pool reports %d live packets, test holds %d", st.Live, len(live))
+	}
+	if st.Live+st.FreeListLen != st.Slots {
+		t.Errorf("books unbalanced: %d live + %d free != %d slots", st.Live, st.FreeListLen, st.Slots)
+	}
+}
+
+func TestPacketHandleInvalidPanics(t *testing.T) {
+	var pp PacketPool
+	pp.Get() // bind at least one slot
+	if !expectPanic(func() { pp.Deref(0) }) {
+		t.Error("Deref of the zero handle did not panic")
+	}
+	if !expectPanic(func() { pp.Deref(pidValid | PacketID(pidIndexMask)) }) {
+		t.Error("Deref of an out-of-range handle did not panic")
+	}
+}
+
+func TestPacketHandleSurvivesRecycledReuse(t *testing.T) {
+	// A slot binding is permanent: the same backing packet cycles through
+	// lifetimes, each with a distinct handle.
+	var pp PacketPool
+	p := pp.Get()
+	h1 := p.Handle()
+	pp.Put(p)
+	q := pp.Get()
+	if q != p {
+		t.Fatalf("free list did not reuse the slot's packet")
+	}
+	h2 := q.Handle()
+	if h1 == h2 {
+		t.Fatalf("recycled lifetime reused handle %v", h1)
+	}
+	if got := pp.Deref(h2); got != q {
+		t.Fatalf("new-lifetime handle does not resolve")
+	}
+	if !expectPanic(func() { pp.Deref(h1) }) {
+		t.Error("old-lifetime handle still dereferences after recycle")
+	}
+}

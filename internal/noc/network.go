@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"centurion/internal/sim"
 )
@@ -70,7 +71,62 @@ type NetworkStats struct {
 	Rescued   uint64 // recovery-path packets re-admitted by the handler
 }
 
+// routerState is one router's per-tick hot state: everything the fused
+// network kernel reads or writes while servicing the router, packed into a
+// single 192-byte record (three cache lines, naturally aligned in the
+// state slice) so one router's tick stays within a handful of lines instead
+// of chasing a *Router heap object. The records live in Network.state, a
+// flat slice indexed by router NodeID — together with the shared ring-slot
+// slice this is the data-oriented core of DESIGN.md §11.
+type routerState struct {
+	// quiet is a pure fast-forward: when the last scan found every occupied
+	// port waiting on an in-transit head (wormhole tail flit not yet
+	// arrived) and serviced nothing, it records the earliest head arrival;
+	// scans before that tick would observably do nothing except advance the
+	// round-robin pointer, so tickRouter does exactly that and returns. Any
+	// push resets it — a new packet may be ready sooner.
+	quiet sim.Tick
+	// hop is this router's row of the active next-hop table (XY while the
+	// fabric is healthy, fault-aware tables otherwise), narrowed to one
+	// byte per destination so a 128-node row is two cache lines instead of
+	// sixteen. The network rewrites it whenever the routing state changes,
+	// so forwarding is one indexed load. -1 encodes PortInvalid.
+	hop []int8
+	// queued is the packet count across all input rings, maintained on
+	// every push/pop so the idle check and the active-router set are O(1).
+	queued int32
+	// occ mirrors it per port (bit p set = port p non-empty) so the scan
+	// services only occupied ports; rr is the round-robin start of the next
+	// scan; disabled has bit p set when port p is administratively down.
+	occ      uint8
+	rr       uint8
+	disabled uint8
+	faulty   bool
+	// nbr is the neighbouring router's ID out of each cardinal port
+	// (-1 = no link).
+	nbr [NumPorts]int16
+	// refused has bit p set when a push into ring p was refused for
+	// capacity since its last pop — the precise condition under which the
+	// upstream router may have parked on this ring and a pop must stir it.
+	refused uint8
+	_       [1]byte
+	// rings are the per-port input FIFOs over the network's shared slot
+	// slice; linkBusy is the tick until which each output link is
+	// serialising a transfer; blockedAt is when each port's head packet
+	// first blocked (0 = not blocked).
+	rings     [NumPorts]ring
+	linkBusy  [NumPorts]sim.Tick
+	blockedAt [NumPorts]sim.Tick
+}
+
 // Network is the fabric: topology, routers, links and routing state.
+//
+// Since the data-oriented core (DESIGN.md §11) the per-tick state of every
+// router lives here — flat routerState records indexed by router ID plus
+// one shared ring-slot slice — and Tick is a fused kernel sweeping the
+// active set over those arrays. The *Router values remain as identity +
+// cold state (stats, monitor taps, sinks, recovery settings); they carry no
+// buffered traffic of their own.
 type Network struct {
 	Topo  Topology
 	cfg   Params
@@ -83,9 +139,24 @@ type Network struct {
 	uniq    []*Router
 
 	// active tracks routers with queued packets. A router enrolls on any
-	// buffer push and retires once drained, so Tick sweeps only the part of
+	// ring push and retires once drained, so Tick sweeps only the part of
 	// the fabric actually carrying traffic instead of every router.
 	active *sim.ActiveSet
+
+	// pool is the packet arena every handle in the rings resolves against.
+	// The platform shares it (Env.NewPacket draws from it), so fabric and
+	// processing elements recycle through one set of books.
+	pool PacketPool
+
+	// state holds the per-router hot records (indexed by router NodeID;
+	// entries whose node is served by another router stay unused), and
+	// slots is the shared ring backing: ring r*NumPorts+p owns slots
+	// [(r*NumPorts+p)*spp, +spp).
+	state    []routerState
+	slots    []ringSlot
+	spp      int
+	sppMask  uint32
+	capFlits uint32
 
 	tables *routeTables
 	// healthy caches the fault-free route tables so Reset can restore them
@@ -98,19 +169,17 @@ type Network struct {
 	haveFaults bool
 	faultyCnt  int
 
-	// Pool, when non-nil, receives packets whose fabric lifecycle ended at a
-	// router: applied config payloads and dropped packets (released after the
-	// DropHandler has observed them). Packets delivered to a sink are owned by
-	// the sink from then on. May be nil (un-pooled fabrics just let the GC
-	// collect dead packets).
-	Pool *PacketPool
-
-	// DropHandler observes every dropped packet (may be nil).
+	// DropHandler observes every dropped packet (may be nil). The handler is
+	// the packet's last reader: the fabric recycles it into the pool right
+	// after.
 	DropHandler func(at NodeID, p *Packet, reason DropReason)
 	// RecoveryHandler may rescue a packet ejected by deadlock recovery or
 	// unreachable-destination handling, e.g. by retargeting and re-injecting
 	// it. Return true when the packet was taken over. May be nil.
 	RecoveryHandler func(at NodeID, p *Packet, now sim.Tick) bool
+
+	// drainBuf is reusable scratch for draining a failed router's rings.
+	drainBuf []*Packet
 
 	stats NetworkStats
 }
@@ -122,22 +191,46 @@ func NewNetwork(topo Topology, cfg Params) *Network {
 		cfg.BufferFlits = DefaultConfig().BufferFlits
 	}
 	nodes := topo.Nodes()
+	if nodes > 1<<15-1 {
+		// Ring slots and neighbour links store node IDs in 16 bits; the
+		// paper's grids are 128 nodes, so this only guards against
+		// degenerate constructions.
+		panic("noc: topology exceeds the 32767-node limit of the ring layout")
+	}
 	n := &Network{Topo: topo, cfg: cfg, nodes: nodes, active: sim.NewActiveSet(nodes)}
 	n.routers = make([]*Router, nodes)
 	for id := 0; id < nodes; id++ {
 		rid := topo.RouterOf(NodeID(id))
 		if n.routers[rid] == nil {
-			r := newRouter(rid, n, cfg.BufferFlits, cfg.DeadlockLimit, cfg.RequeueLimit)
+			r := newRouter(rid, n, cfg.DeadlockLimit, cfg.RequeueLimit)
 			n.routers[rid] = r
 			n.uniq = append(n.uniq, r)
 		}
 		n.routers[id] = n.routers[rid]
 	}
-	// Wire the fabric links between routers.
-	for _, r := range n.uniq {
+
+	n.spp = slotsPerPort(cfg.BufferFlits)
+	n.sppMask = uint32(n.spp - 1)
+	n.capFlits = uint32(cfg.BufferFlits)
+	n.state = make([]routerState, nodes)
+	n.slots = make([]ringSlot, nodes*int(NumPorts)*n.spp)
+	for id := range n.state {
+		st := &n.state[id]
+		for p := range st.nbr {
+			st.nbr[p] = -1
+		}
+		for p := 0; p < int(NumPorts); p++ {
+			st.rings[p].head = uint32((id*int(NumPorts) + p) * n.spp)
+		}
+	}
+	// Wire the fabric links between routers and carve each physical
+	// router's byte-narrow next-hop row out of one contiguous backing.
+	hopBacking := make([]int8, len(n.uniq)*nodes)
+	for i, r := range n.uniq {
+		n.state[r.ID].hop = hopBacking[i*nodes : (i+1)*nodes : (i+1)*nodes]
 		for p := North; p <= West; p++ {
 			if nb, ok := topo.Neighbor(r.ID, p); ok {
-				r.neighbor[p] = n.routers[nb]
+				n.state[r.ID].nbr[p] = int16(topo.RouterOf(nb))
 			}
 		}
 	}
@@ -167,6 +260,11 @@ func NewNetwork(topo Topology, cfg Params) *Network {
 	return n
 }
 
+// Pool returns the fabric's packet arena. Every packet that enters the
+// fabric is (or becomes) registered here; platforms draw their packets from
+// it so the whole system shares one recycler.
+func (n *Network) Pool() *PacketPool { return &n.pool }
+
 // applyRoutingRows rebinds every router's next-hop row to the table the
 // current routing state selects (dimension-order on a healthy fabric,
 // shortest-path tables otherwise). Called whenever mode-relevant state
@@ -174,12 +272,20 @@ func NewNetwork(topo Topology, cfg Params) *Network {
 func (n *Network) applyRoutingRows() {
 	useXY := n.cfg.Mode == RouteXY || (n.cfg.Mode == RouteAuto && !n.haveFaults)
 	for _, r := range n.uniq {
+		var row []Port
 		if useXY {
-			r.hop = n.xy[r.ID]
+			row = n.xy[r.ID]
 		} else {
-			r.hop = n.tables.next[r.ID]
+			row = n.tables.next[r.ID]
+		}
+		dst := n.state[r.ID].hop
+		for i, p := range row {
+			dst[i] = int8(p)
 		}
 	}
+	// New rows can change any parked head's fate (fresh detour, newly
+	// unreachable destination): wake everything holding traffic.
+	n.stirAll()
 }
 
 // Router returns the router serving the given node (shared by the whole
@@ -197,16 +303,17 @@ func (n *Network) UniqueRouters() []*Router { return n.uniq }
 // Stats returns the fabric-wide counters.
 func (n *Network) Stats() NetworkStats { return n.stats }
 
-// Tick advances the fabric by one cycle, servicing only routers with queued
-// packets. The sweep runs in ascending node-ID order — the same order as the
-// dense full scan — so results are bit-identical to TickDense: a router with
-// no queued packets is a no-op tick either way (its round-robin pointer only
-// advances while traffic is buffered).
+// Tick advances the fabric by one cycle. It is the fused network kernel:
+// one pass over the active set, servicing each enrolled router's occupied
+// ports directly against the flat state records, in ascending node-ID order
+// — the same order as the dense full scan — so results are bit-identical to
+// TickDense (a router with no queued packets is a no-op tick either way;
+// its round-robin pointer only advances while traffic is buffered).
 func (n *Network) Tick(now sim.Tick) {
 	n.active.Sweep(func(id int) bool {
-		r := n.routers[id]
-		r.Tick(now)
-		return r.queued > 0 && !r.faulty
+		st := &n.state[id]
+		n.tickRouter(id, st, now)
+		return st.queued > 0 && !st.faulty
 	})
 }
 
@@ -214,15 +321,488 @@ func (n *Network) Tick(now sim.Tick) {
 // pre-active-set reference scan kept for the stepping-equivalence tests.
 func (n *Network) TickDense(now sim.Tick) {
 	for _, r := range n.uniq {
-		r.Tick(now)
+		n.tickRouter(int(r.ID), &n.state[r.ID], now)
 	}
+}
+
+// tickRouter advances one router by one cycle.
+//
+// Service discipline: each tick the router scans its input ports starting
+// from a rotating offset (round-robin fairness) and tries to advance each
+// head packet one hop. An output link stays busy for the packet's flit count
+// once a transfer starts, which serialises long packets exactly like a
+// wormhole channel. A head packet blocked for longer than the deadlock limit
+// is ejected through the recovery path — the paper's "basic deadlock
+// recovery mechanism".
+func (n *Network) tickRouter(id int, st *routerState, now sim.Tick) {
+	// Fast path: idle routers do nothing, which keeps 100-run sweeps cheap.
+	// (The active-set sweep normally skips them before this check; direct
+	// callers get the same answer from the O(1) counter.)
+	if st.faulty || st.queued == 0 {
+		return
+	}
+
+	start := int(st.rr)
+	if start+1 >= int(NumPorts) {
+		st.rr = 0
+	} else {
+		st.rr = uint8(start + 1)
+	}
+	// All heads in transit and nothing to service: the full scan would be a
+	// no-op (the pointer advance above is all the dense scan would mutate).
+	if now < st.quiet {
+		return
+	}
+	// quiet collects the earliest tick any occupied port could observably
+	// act — an in-transit head's arrival, a busy link freeing, a deadlock
+	// recovery or deadline lapse falling due. It survives to st.quiet only
+	// when no port was serviced (a serviced port's state may unblock a
+	// neighbour this very tick, so any activity forces a rescan next tick).
+	// Unblock causes that are not time-predictable (a neighbour ring or
+	// local sink freeing space, a task switch changing absorption, routes
+	// or ports reconfigured) wake the router through stirs instead — see
+	// Stir and its call sites.
+	quiet := tickNever
+	allQuiet := true
+	// Visit occupied ports in round-robin order by iterating set bits of the
+	// occupancy mask rotated so bit order equals rotation order from start.
+	// The mask is re-derived from the live occ after every service — a port
+	// can become occupied mid-scan (a rescued packet re-injected locally),
+	// and the cursor makes it serviced this tick exactly when its rotation
+	// position is still ahead, just as testing each port in turn would.
+	for cursor := 0; cursor < int(NumPorts); {
+		rot := uint(occRot[start][st.occ])
+		rot &= ^uint(0) << cursor
+		if rot == 0 {
+			break
+		}
+		b := bits.TrailingZeros(rot)
+		cursor = b + 1
+		port := Port(b + start)
+		if port >= NumPorts {
+			port -= NumPorts
+		}
+		if at, ok := n.servicePort(id, st, port, now); ok {
+			if at < quiet {
+				quiet = at
+			}
+		} else {
+			allQuiet = false
+		}
+	}
+	if allQuiet {
+		st.quiet = quiet
+	}
+}
+
+// tickNever parks a port (and its router) until a stir: no time-driven
+// event will change what its scan observes.
+const tickNever = sim.Tick(1) << 62
+
+// occRot[start][occ] is the 5-bit occupancy mask occ rotated right by start,
+// so bit order equals round-robin rotation order — a table lookup instead of
+// a double shift per scan step.
+var occRot = func() (t [NumPorts][1 << NumPorts]uint8) {
+	for start := 0; start < int(NumPorts); start++ {
+		for occ := 0; occ < 1<<NumPorts; occ++ {
+			t[start][occ] = uint8((occ>>start | occ<<(int(NumPorts)-start)) & (1<<NumPorts - 1))
+		}
+	}
+	return
+}()
+
+// headSlot returns the slot of the oldest entry of one port's ring.
+func (n *Network) headSlot(st *routerState, port Port) *ringSlot {
+	return &n.slots[st.rings[port].head]
+}
+
+// servicePort advances one input port. It reports (arrival, true) when the
+// port provably cannot act before arrival — its head packet's tail flit is
+// still in transit — and (0, false) whenever it did or might have done
+// observable work this tick.
+func (n *Network) servicePort(id int, st *routerState, port Port, now sim.Tick) (sim.Tick, bool) {
+	rm := &st.rings[port]
+	if rm.n == 0 {
+		return 0, false
+	}
+	s := &n.slots[rm.head]
+	if s.ready > now {
+		return s.ready, true
+	}
+	r := n.routers[id]
+	if s.kind == Data && s.deadline != 0 && s.flags&slotLapsed == 0 && now > s.deadline {
+		// The lapse latch fires at most once per packet lifetime; write it
+		// through to the packet so the mirror survives delivery and rescue.
+		s.flags |= slotLapsed
+		n.pool.Deref(s.id).lapsedSeen = true
+		r.Stats.LapsesSeen++
+		if r.Monitors.DeadlineLapse != nil {
+			r.Monitors.DeadlineLapse(taskID(s.task), now)
+		}
+	}
+
+	// The next-hop row decides the packet's fate: Local means "this router
+	// serves the destination" — the destination node itself, or a cluster
+	// member on concentrated topologies — and delivers through the sink.
+	out := PortInvalid
+	if hop := st.hop; uint(int(s.dst)) < uint(len(hop)) {
+		out = Port(hop[s.dst])
+	}
+	if out == Local {
+		return n.deliverLocal(id, st, port, s, now)
+	}
+
+	// Task-addressed absorption: an en-route owner of the packet's task may
+	// sink it locally instead of forwarding. The absorber sees the handle
+	// and task (enough to turn down a mismatched packet without touching
+	// it); Absorb transfers ownership on true. The packet's exit state is
+	// written back before the call — an absorber that derefs (or even
+	// recycles) the packet synchronously must observe it current, exactly
+	// like a sink in deliverLocal; a false return leaves the slot
+	// authoritative as before.
+	if s.kind == Data && r.Absorb != nil {
+		task := taskID(s.task)
+		n.pool.Deref(s.id).Hops = int(s.hops)
+		if r.Absorb(s.id, task, now) {
+			n.popIn(id, st, port)
+			r.Stats.Delivered++
+			if r.Monitors.InternalDelivery != nil {
+				r.Monitors.InternalDelivery(task, now)
+			}
+			n.stats.Delivered++
+			return 0, false
+		}
+	}
+
+	if out == PortInvalid {
+		// Unreachable destination (e.g. partitioned by faults): hand the
+		// packet to the recovery path so the platform can retarget it.
+		pkt := n.pool.Deref(s.id)
+		pkt.Hops = int(s.hops)
+		n.popIn(id, st, port)
+		n.recoverAt(id, pkt, now)
+		return 0, false
+	}
+	if n.tryForward(id, st, port, out, s, now) {
+		return 0, false
+	}
+	// Head is blocked: track for deadlock recovery. BlockedTicks counts
+	// blocked service visits; parked ticks are provably identical no-ops
+	// and are not revisited, so the counter is a lower bound under the
+	// activity-tracked core. (This bookkeeping stays inline — mirrored in
+	// deliverLocal's sink-blocked tail — because the blocked path is hot
+	// under congestion; only the wake computation is shared.)
+	r.Stats.BlockedTicks++
+	if st.blockedAt[port] == 0 {
+		st.blockedAt[port] = now
+	} else if r.deadlockLimit > 0 && now-st.blockedAt[port] >= r.deadlockLimit {
+		n.recoverBlocked(id, st, port, s, now)
+		return 0, false
+	}
+	return blockedWake(st.blockedAt[port], r.deadlockLimit, s, st.linkBusy[out], now), true
+}
+
+// blockedWake is the earliest tick a blocked head could act on its own: its
+// output link freeing (linkBusy, 0 for sink-blocked heads), deadlock
+// recovery falling due, or a pending deadline lapse — the park bound of the
+// forward-blocked and sink-blocked paths. Everything else that could
+// unblock the head (neighbour ring or sink space, absorption eligibility,
+// routing or port reconfiguration) stirs the router explicitly.
+func blockedWake(blockedAt, limit sim.Tick, s *ringSlot, linkBusy, now sim.Tick) sim.Tick {
+	wake := tickNever
+	if linkBusy > now {
+		wake = linkBusy
+	}
+	if limit > 0 {
+		if w := blockedAt + limit; w < wake {
+			wake = w
+		}
+	}
+	if s.kind == Data && s.deadline != 0 && s.flags&slotLapsed == 0 {
+		if w := s.deadline + 1; w < wake {
+			wake = w
+		}
+	}
+	return wake
+}
+
+// pushPacket enqueues a packet whose authoritative state lives in the
+// arena (injection and recovery-rotation entry points — tryForward is the
+// other ring-push site, copying slot to slot in place), building its ring
+// slot from the packet fields. Capacity is checked before anything else: a
+// back-pressured injection (the common case for a stalled outbox retrying
+// every tick) costs one compare, not a slot construction.
+func (n *Network) pushPacket(id int, port Port, p *Packet, readyAt sim.Tick) bool {
+	st := &n.state[id]
+	rm := &st.rings[port]
+	flits := p.Flits
+	if flits > 1<<15-1 {
+		flits = 1<<15 - 1
+	}
+	f := ringFlits(int16(flits))
+	if rm.used+f > n.capFlits {
+		st.refused |= 1 << port
+		return false
+	}
+	if int(int16(p.Task)) != int(p.Task) {
+		// Tasks narrow to 16 bits in the ring slot, mirroring the node
+		// limit NewNetwork enforces: fail loudly rather than alias.
+		panic("noc: task ID exceeds the 16-bit ring layout")
+	}
+	dst := p.Dst
+	if int(int16(dst)) != int(dst) {
+		// A destination outside the 16-bit range cannot be a real node;
+		// map it to Invalid so it takes the unreachable/recovery path the
+		// un-narrowed code took, instead of aliasing a valid node.
+		dst = Invalid
+	}
+	var flags uint8
+	if p.lapsedSeen {
+		flags = slotLapsed
+	}
+	if p.requeues != 0 {
+		flags |= slotRequeued
+	}
+	base := uint32((id*int(NumPorts) + int(port)) * n.spp)
+	n.slots[base+((rm.head-base+rm.n)&n.sppMask)] = ringSlot{
+		ready:    readyAt,
+		deadline: p.Deadline,
+		id:       n.pool.handleFor(p),
+		dst:      int16(dst),
+		task:     int16(p.Task),
+		flits:    int16(flits),
+		hops:     uint16(p.Hops),
+		kind:     p.Kind,
+		flags:    flags,
+	}
+	rm.n++
+	rm.used += f
+	st.queued++
+	st.occ |= 1 << port
+	st.quiet = 0
+	n.active.Add(id)
+	return true
+}
+
+// popIn dequeues the head of an input ring, maintaining the counters. All
+// ring pops go through here. Removing a head always clears the port's
+// blocked-since timestamp: whatever happens to the packet next (forward,
+// deliver, recover, drop), the successor head starts a fresh deadlock
+// countdown.
+func (n *Network) popIn(id int, st *routerState, port Port) {
+	rm := &st.rings[port]
+	s := &n.slots[rm.head]
+	rm.used -= ringFlits(s.flits)
+	s.id = 0 // a stale read past this point must fail loudly
+	base := uint32((id*int(NumPorts) + int(port)) * n.spp)
+	rm.head = base + ((rm.head - base + 1) & n.sppMask)
+	rm.n--
+	st.queued--
+	st.blockedAt[port] = 0
+	if rm.n == 0 {
+		st.occ &^= 1 << port
+	}
+	// The freed capacity may unblock the router feeding this ring — but
+	// only if a push was actually refused since the last pop (links are
+	// symmetric, so the upstream router is this port's neighbour); wake it
+	// from a blocked park. Stirring mid-sweep follows the active set's
+	// cursor rule, which reproduces the dense scan's same-tick ordering
+	// exactly.
+	if st.refused&(1<<port) != 0 {
+		st.refused &^= 1 << port
+		if up := st.nbr[port]; up >= 0 {
+			n.stirRouter(int(up))
+		}
+	}
+}
+
+// stirRouter wakes a router whose parked state may have been invalidated by
+// an event outside its own time-predictable horizon.
+func (n *Network) stirRouter(id int) {
+	st := &n.state[id]
+	if st.queued > 0 && !st.faulty {
+		st.quiet = 0
+		n.active.Add(id)
+	}
+}
+
+// stirAll wakes every router holding traffic. Called on events that can
+// change what any parked scan would observe: route-table rebinds, port
+// enable/disable, faults.
+func (n *Network) stirAll() {
+	for _, r := range n.uniq {
+		n.stirRouter(int(r.ID))
+	}
+}
+
+// Stir notifies the fabric that node-side state affecting packet admission
+// at the given node changed — its sink gained queue space, or its task
+// changed what it absorbs. The platform wires PE dequeues and task switches
+// here so the serving router's parked ports re-evaluate on the same tick
+// the dense scan would have reacted. Spurious stirs are harmless (an extra
+// scan of a parked router is the no-op the dense scan executes every tick).
+func (n *Network) Stir(id NodeID) {
+	n.stirRouter(int(n.routers[id].ID))
+}
+
+// tryForward moves a head packet one hop out of port out. The ring slot is
+// copied to the neighbour's ring — the packet itself is not touched (its
+// hop counter travels in the slot; a pending requeue count is the rare
+// exception) — the output link goes busy for the packet's flit count, and
+// the transfer is reported to the routing monitor.
+func (n *Network) tryForward(id int, st *routerState, inPort, out Port, s *ringSlot, now sim.Tick) bool {
+	if st.disabled&(1<<out) != 0 {
+		return false
+	}
+	if st.linkBusy[out] > now {
+		return false
+	}
+	next := st.nbr[out]
+	if next < 0 {
+		return false
+	}
+	nst := &n.state[next]
+	if nst.faulty {
+		return false
+	}
+	inSide := out.Opposite()
+	if nst.disabled&(1<<inSide) != 0 {
+		return false
+	}
+	dur := sim.Tick(s.flits)
+	if dur < 1 {
+		dur = 1
+	}
+	// Push into the neighbour's ring in place (one slot copy, not a
+	// stack round trip through pushSlot), applying the transfer edits on
+	// the destination slot.
+	rm := &nst.rings[inSide]
+	f := ringFlits(s.flits)
+	if rm.used+f > n.capFlits {
+		nst.refused |= 1 << inSide
+		return false
+	}
+	base := uint32((int(next)*int(NumPorts) + int(inSide)) * n.spp)
+	dst := &n.slots[base+((rm.head-base+rm.n)&n.sppMask)]
+	*dst = *s
+	dst.ready = now + dur
+	dst.hops++
+	requeued := dst.flags&slotRequeued != 0
+	dst.flags &^= slotRequeued
+	rm.n++
+	rm.used += f
+	nst.queued++
+	nst.occ |= 1 << inSide
+	nst.quiet = 0
+	n.active.Add(int(next))
+
+	n.popIn(id, st, inPort)
+	st.linkBusy[out] = now + dur
+	if requeued {
+		// A successful forward ends the consecutive-requeue streak.
+		n.pool.Deref(dst.id).requeues = 0
+	}
+	r := n.routers[id]
+	r.Stats.Forwarded++
+	if dst.kind == Data && r.Monitors.RoutedTask != nil {
+		r.Monitors.RoutedTask(taskID(dst.task), now)
+	}
+	return true
+}
+
+// recoverBlocked applies the deadlock-recovery action to the blocked head of
+// an input port. The first recoveries rotate the packet to the ring tail,
+// releasing head-of-line blocking without losing traffic; after requeueLimit
+// consecutive rotations without a successful forward, the packet is ejected
+// through the recovery path (retarget or drop) — the "release deadlocked
+// packets" behaviour of the paper's router, which is explicitly not
+// guaranteed to resolve every deadlock.
+func (n *Network) recoverBlocked(id int, st *routerState, port Port, s *ringSlot, now sim.Tick) {
+	pkt := n.pool.Deref(s.id)
+	pkt.Hops = int(s.hops)
+	n.popIn(id, st, port)
+	r := n.routers[id]
+	r.Stats.Recovered++
+	if r.Monitors.Recovery != nil {
+		r.Monitors.Recovery(pkt, now)
+	}
+	pkt.requeues++
+	if pkt.requeues <= r.requeueLimit {
+		// Rotate to the tail: capacity freed by the pop guarantees the push.
+		n.pushPacket(id, port, pkt, now)
+		return
+	}
+	pkt.requeues = 0
+	n.recoverAt(id, pkt, now)
+}
+
+// deliverLocal hands a head packet whose next hop is Local to its consumer:
+// the RCAP machinery for config packets, the local sink for data and debug.
+// Like servicePort, it reports (wake, true) when the port provably cannot
+// act before wake (the sink is full and only a stir or a due recovery/lapse
+// can change that) and (0, false) on any activity.
+func (n *Network) deliverLocal(id int, st *routerState, port Port, s *ringSlot, now sim.Tick) (sim.Tick, bool) {
+	r := n.routers[id]
+	switch s.kind {
+	case Config:
+		pkt := n.pool.Deref(s.id)
+		n.popIn(id, st, port)
+		r.applyConfig(pkt, now)
+		n.stats.ConfigOps++
+		// The payload has been applied; the packet's lifecycle ends here.
+		n.pool.Put(pkt)
+	case Debug, Data:
+		pkt := n.pool.Deref(s.id)
+		pkt.Hops = int(s.hops)
+		if r.sink == nil {
+			n.popIn(id, st, port)
+			r.Stats.Dropped++
+			n.handleDrop(NodeID(id), pkt, DropNoSink)
+			return 0, false
+		}
+		// A successful Accept transfers ownership to the sink (which may
+		// consume and recycle the packet immediately): read what the monitor
+		// needs before handing it over.
+		isData, task := s.kind == Data, taskID(s.task)
+		if r.sink.Accept(pkt, now) {
+			n.popIn(id, st, port)
+			r.Stats.Delivered++
+			if isData && r.Monitors.InternalDelivery != nil {
+				r.Monitors.InternalDelivery(task, now)
+			}
+			n.stats.Delivered++
+			return 0, false
+		}
+		// Local sink full: same blocking rules as a busy link (the blocked
+		// bookkeeping mirrors servicePort's forward-blocked tail). The sink
+		// freeing space stirs the router (the platform wires PE dequeues to
+		// Stir), so between now and the wake every scan of this port is a
+		// provable no-op.
+		r.Stats.BlockedTicks++
+		if st.blockedAt[port] == 0 {
+			st.blockedAt[port] = now
+		} else if r.deadlockLimit > 0 && now-st.blockedAt[port] >= r.deadlockLimit {
+			n.recoverBlocked(id, st, port, s, now)
+			return 0, false
+		}
+		return blockedWake(st.blockedAt[port], r.deadlockLimit, s, 0, now), true
+	}
+	return 0, false
+}
+
+// recoverAt hands a packet that cannot make progress to the network's
+// recovery handler; unrescued packets are dropped.
+func (n *Network) recoverAt(id int, pkt *Packet, now sim.Tick) {
+	if n.RecoveryHandler != nil && n.RecoveryHandler(NodeID(id), pkt, now) {
+		n.stats.Rescued++
+		return
+	}
+	n.routers[id].Stats.Dropped++
+	n.handleDrop(NodeID(id), pkt, DropRecoveryFailed)
 }
 
 // ActiveRouters returns the number of routers currently holding traffic.
 func (n *Network) ActiveRouters() int { return n.active.Len() }
-
-// activate enrolls a router in the active sweep (called on buffer push).
-func (n *Network) activate(id NodeID) { n.active.Add(int(id)) }
 
 // Inject enqueues a packet at the source node's Local input channel.
 // It returns false (without consuming the packet) under back-pressure.
@@ -254,7 +834,7 @@ func (n *Network) NextHop(from, dst NodeID) Port {
 }
 
 // Alive reports whether the node's router is functioning.
-func (n *Network) Alive(id NodeID) bool { return !n.routers[id].faulty }
+func (n *Network) Alive(id NodeID) bool { return !n.state[n.routers[id].ID].faulty }
 
 // FaultyCount returns the number of failed routers.
 func (n *Network) FaultyCount() int { return n.faultyCnt }
@@ -266,25 +846,52 @@ func (n *Network) FaultyCount() int { return n.faultyCnt }
 // router is a no-op.
 func (n *Network) Fail(id NodeID, now sim.Tick) {
 	r := n.routers[id]
-	if r.faulty {
+	rid := int(r.ID)
+	st := &n.state[rid]
+	if st.faulty {
 		return
 	}
-	lost := r.fail()
-	n.active.Remove(int(r.ID))
-	n.faultyCnt++
-	for _, p := range lost {
-		n.handleDrop(r.ID, p, DropRouterFailed)
+	// Drain the rings first (collecting the lost packets in FIFO port
+	// order), then account the drops, exactly like the pre-SoA router did.
+	// The scratch buffer is detached while the user-visible DropHandler
+	// runs: a handler that re-enters Fail gets a fresh buffer instead of
+	// aliasing this loop's backing array.
+	st.faulty = true
+	lost := n.drainBuf[:0]
+	n.drainBuf = nil
+	for p := Port(0); p < NumPorts; p++ {
+		for st.rings[p].n > 0 {
+			s := n.headSlot(st, p)
+			pkt := n.pool.Deref(s.id)
+			pkt.Hops = int(s.hops)
+			lost = append(lost, pkt)
+			n.popIn(rid, st, p)
+		}
+		st.blockedAt[p] = 0
 	}
+	st.refused = 0
+	r.Stats.Dropped += uint64(len(lost))
+	n.active.Remove(rid)
+	n.faultyCnt++
+	for i, p := range lost {
+		n.handleDrop(r.ID, p, DropRouterFailed)
+		lost[i] = nil
+	}
+	n.drainBuf = lost[:0]
 	n.haveFaults = true
 	if n.cfg.Mode != RouteXY {
-		n.RecomputeRoutes()
+		n.RecomputeRoutes() // stirs every parked router via applyRoutingRows
+	} else {
+		// No route recomputation under pure XY, but parked neighbours must
+		// still re-evaluate heads steering into the dead router.
+		n.stirAll()
 	}
 	_ = now
 }
 
 // RecomputeRoutes rebuilds the fault-aware shortest-path tables.
 func (n *Network) RecomputeRoutes() {
-	n.tables = computeTables(n.Topo, func(id NodeID) bool { return !n.routers[id].faulty })
+	n.tables = computeTables(n.Topo, func(id NodeID) bool { return !n.state[n.routers[id].ID].faulty })
 	if !n.haveFaults && n.healthy == nil {
 		n.healthy = n.tables
 	}
@@ -292,11 +899,29 @@ func (n *Network) RecomputeRoutes() {
 }
 
 // Reset restores the fabric to its as-constructed state in place: routers
-// revive with empty buffers and default settings, counters clear, and the
+// revive with empty rings and default settings, counters clear, and the
 // fault-free route tables are restored. Buffered packets are recycled into
 // the pool without drop accounting — a reset ends the run they belonged to.
 func (n *Network) Reset() {
 	for _, r := range n.uniq {
+		rid := int(r.ID)
+		st := &n.state[rid]
+		for p := Port(0); p < NumPorts; p++ {
+			for st.rings[p].n > 0 {
+				pkt := n.pool.Deref(n.headSlot(st, p).id)
+				n.popIn(rid, st, p)
+				n.pool.Put(pkt)
+			}
+			st.linkBusy[p] = 0
+			st.blockedAt[p] = 0
+		}
+		st.occ = 0
+		st.rr = 0
+		st.disabled = 0
+		st.refused = 0
+		st.faulty = false
+		st.queued = 0
+		st.quiet = 0
 		r.reset(n.cfg)
 	}
 	n.active.Clear()
@@ -305,13 +930,6 @@ func (n *Network) Reset() {
 	n.stats = NetworkStats{}
 	n.tables = n.healthy
 	n.applyRoutingRows()
-}
-
-// release recycles a packet whose fabric lifecycle ended.
-func (n *Network) release(p *Packet) {
-	if n.Pool != nil {
-		n.Pool.Put(p)
-	}
 }
 
 // Reachable reports whether dst can be reached from src under the current
@@ -333,7 +951,7 @@ func (n *Network) Reachable(src, dst NodeID) bool {
 func (n *Network) InFlight() int {
 	total := 0
 	for _, r := range n.uniq {
-		total += r.QueuedPackets()
+		total += int(n.state[r.ID].queued)
 	}
 	return total
 }
@@ -344,19 +962,8 @@ func (n *Network) handleDrop(at NodeID, p *Packet, reason DropReason) {
 		n.DropHandler(at, p, reason)
 	}
 	// The handler was the last reader: the packet's lifecycle ends here.
-	n.release(p)
+	n.pool.Put(p)
 }
-
-func (n *Network) handleRecovery(at NodeID, p *Packet, now sim.Tick) bool {
-	if n.RecoveryHandler != nil && n.RecoveryHandler(at, p, now) {
-		n.stats.Rescued++
-		return true
-	}
-	return false
-}
-
-func (n *Network) noteDelivered() { n.stats.Delivered++ }
-func (n *Network) noteConfig()    { n.stats.ConfigOps++ }
 
 // String summarises the fabric state.
 func (n *Network) String() string {

@@ -7,6 +7,39 @@ import (
 	"centurion/internal/taskgraph"
 )
 
+// PacketID is a dense generation-tagged handle into a PacketPool's arena —
+// what the router rings carry instead of *Packet pointers (DESIGN.md §11).
+// The low bits index the arena slot, the middle bits tag the packet's
+// lifetime generation (PacketPool.Put advances it), and a marker bit
+// distinguishes real handles from the zero value. Dereferencing a handle
+// whose generation no longer matches the slot panics: the packet it named
+// was recycled.
+type PacketID int32
+
+const (
+	// 18 index bits address 262k simultaneously-bound packets (two orders
+	// of magnitude above any platform's peak live set — slots track peak,
+	// not cumulative traffic), leaving 12 generation bits: a retained stale
+	// handle is detected unless its slot cycles through exactly a multiple
+	// of 4096 lifetimes while it is held, ample for the
+	// use-after-recycle bugs the tag exists to catch.
+	pidIndexBits = 18
+	pidIndexMask = 1<<pidIndexBits - 1
+	pidGenShift  = pidIndexBits
+	pidGenMask   = 1<<12 - 1
+	// pidValid marks a real handle; the PacketID zero value is never valid.
+	pidValid PacketID = 1 << 30
+)
+
+// makePacketID packs an arena index and generation into a handle.
+func makePacketID(idx int32, gen uint32) PacketID {
+	return pidValid | PacketID(gen&pidGenMask)<<pidGenShift | PacketID(idx&pidIndexMask)
+}
+
+// Valid reports whether the handle names a slot at all (it may still be
+// stale; Deref checks the generation).
+func (h PacketID) Valid() bool { return h&pidValid != 0 }
+
 // Kind discriminates packet classes on the fabric.
 type Kind uint8
 
@@ -107,7 +140,15 @@ type Packet struct {
 	// pooled marks a packet currently resting in a PacketPool free list; the
 	// pool uses it to catch double-recycles.
 	pooled bool
+	// h is the packet's arena handle, stamped by PacketPool.Get (or on first
+	// fabric contact for packets created outside the pool). It is only
+	// meaningful against the pool that issued it.
+	h PacketID
 }
+
+// Handle returns the packet's generation-tagged arena handle (zero when the
+// packet has never touched a pool).
+func (p *Packet) Handle() PacketID { return p.h }
 
 // Lapsed reports whether the packet is past its deadline at tick now, firing
 // at most once per packet (the monitor impulse a router raises when it

@@ -1,29 +1,53 @@
 package noc
 
-// PacketPool is a free-list recycler for Packet values — the allocation side
-// of the zero-allocation steady state (DESIGN.md §9). One pool belongs to one
-// platform (it is not safe for concurrent use, exactly like the rest of a
-// platform), and every packet of a pooled platform is acquired through Get
-// and returned through Put when its lifecycle ends: processed by a PE,
-// consumed as a config/debug payload, or dropped.
+// PacketPool is the packet arena of one fabric — the allocation side of the
+// zero-allocation steady state (DESIGN.md §9) and, since the data-oriented
+// core (DESIGN.md §11), the owner of every packet's identity: packets are
+// heap-allocated in contiguous slabs and addressed by dense generation-tagged
+// PacketID handles, which is what the router rings store instead of pointers.
+//
+// One pool belongs to one network/platform (it is not safe for concurrent
+// use, exactly like the rest of a platform). Every packet of a pooled
+// platform is acquired through Get and returned through Put when its
+// lifecycle ends: processed by a PE, consumed as a config/debug payload, or
+// dropped.
 //
 // Ownership is linear: at any instant a packet is owned by exactly one of a
-// PE (outbox, receive queue, in-progress slot), a router input buffer, a
+// PE (outbox, receive queue, in-progress slot), a router input ring, a
 // pending controller retry, or the pool. Put zeroes the packet — including
 // the once-per-lifetime latches (lapsedSeen, requeues, Retargets, Hops) — so
 // a recycled packet is indistinguishable from a freshly allocated one, which
-// is what keeps pooled runs bit-identical to unpooled ones. Double-recycling
-// panics immediately rather than corrupting a later run.
+// is what keeps pooled runs bit-identical to unpooled ones. Put also bumps
+// the slot's generation, so any handle still referring to the old lifetime
+// panics on dereference instead of silently aliasing the new one.
+// Double-recycling panics immediately rather than corrupting a later run.
 type PacketPool struct {
-	free []*Packet
+	// slots binds each arena index to its packet. The binding is permanent:
+	// an index always resolves to the same *Packet; only the generation tag
+	// decides whether a given handle may still see it.
+	slots []*Packet
+	// gen is the current generation per slot; Put advances it (mod 2^12,
+	// the handle's generation width — see the PacketID layout in packet.go).
+	gen []uint32
+	// free lists the indices whose packets are resting in the pool.
+	free []int32
+	// slab is the tail of the current allocation slab; Get carves packets
+	// from it so arena packets are contiguous in memory.
+	slab []Packet
+
 	news uint64 // packets allocated because the free list was empty
 	gets uint64
 	puts uint64
 }
 
+// slabSize is how many packets one arena slab holds. 256 packets ≈ 34 KB —
+// large enough that slab refills are rare, small enough that a 4×4 test mesh
+// does not pay for a 128-node platform's working set.
+const slabSize = 256
+
 // PacketPoolStats is a point-in-time snapshot of a pool's accounting.
 type PacketPoolStats struct {
-	// Allocated is how many packets were newly heap-allocated.
+	// Allocated is how many packets were newly carved from an arena slab.
 	Allocated uint64
 	// Recycled is how many packets were returned for reuse.
 	Recycled uint64
@@ -32,36 +56,121 @@ type PacketPoolStats struct {
 	Live int
 	// FreeListLen is the current free-list depth.
 	FreeListLen int
+	// Slots is the total number of arena slots ever bound (live + free).
+	Slots int
 }
 
 // Get returns a zeroed packet, recycling a free one when available. The
 // caller owns the packet until it hands it to Put (or to a component that
-// takes ownership, such as a router buffer accepting an injection).
+// takes ownership, such as a router ring accepting an injection). The
+// packet carries a fresh generation-tagged handle (Packet.Handle).
 func (pp *PacketPool) Get() *Packet {
 	pp.gets++
 	if n := len(pp.free); n > 0 {
-		p := pp.free[n-1]
-		pp.free[n-1] = nil
+		idx := pp.free[n-1]
 		pp.free = pp.free[:n-1]
+		p := pp.slots[idx]
 		p.pooled = false
+		p.h = makePacketID(idx, pp.gen[idx])
 		return p
 	}
 	pp.news++
-	return &Packet{}
+	if len(pp.slab) == 0 {
+		pp.slab = make([]Packet, slabSize)
+	}
+	p := &pp.slab[0]
+	pp.slab = pp.slab[1:]
+	idx := pp.bind(p)
+	p.h = makePacketID(idx, pp.gen[idx])
+	return p
+}
+
+// bind assigns the next arena index to p.
+func (pp *PacketPool) bind(p *Packet) int32 {
+	idx := len(pp.slots)
+	if idx > pidIndexMask {
+		panic("noc: packet arena exhausted")
+	}
+	pp.slots = append(pp.slots, p)
+	pp.gen = append(pp.gen, 0)
+	return int32(idx)
+}
+
+// slotOf resolves the arena index a packet is bound to in this pool.
+func (pp *PacketPool) slotOf(p *Packet) (int32, bool) {
+	h := p.h
+	if h&pidValid == 0 {
+		return 0, false
+	}
+	idx := int32(h) & pidIndexMask
+	if int(idx) >= len(pp.slots) || pp.slots[idx] != p {
+		return 0, false
+	}
+	return idx, true
+}
+
+// handleFor returns the packet's current handle, binding packets created
+// outside the pool (tests, benches, external drivers) to a fresh slot on
+// first contact with the fabric. Adoption counts as an implicit
+// acquisition so the books (Live = gets − puts) stay balanced when the
+// foreign packet's lifecycle later ends in a Put.
+func (pp *PacketPool) handleFor(p *Packet) PacketID {
+	if p.pooled {
+		panic("noc: handle requested for a recycled packet")
+	}
+	if idx, ok := pp.slotOf(p); ok {
+		return makePacketID(idx, pp.gen[idx])
+	}
+	pp.gets++
+	pp.news++
+	idx := pp.bind(p)
+	p.h = makePacketID(idx, pp.gen[idx])
+	return p.h
+}
+
+// Deref resolves a handle to its packet. It panics when the handle is
+// invalid or stale — the slot's packet was recycled (Put advanced the
+// generation) since the handle was issued. Stale dereference is always a
+// caller bug (a retained handle outliving the packet's lifecycle), and
+// panicking here catches it at the use site instead of corrupting a run.
+func (pp *PacketPool) Deref(h PacketID) *Packet {
+	if h&pidValid == 0 {
+		panic("noc: invalid packet handle")
+	}
+	idx := int32(h) & pidIndexMask
+	if int(idx) >= len(pp.slots) {
+		panic("noc: packet handle out of range")
+	}
+	if pp.gen[idx] != uint32(h>>pidGenShift)&pidGenMask {
+		panic("noc: stale packet handle (packet was recycled)")
+	}
+	return pp.slots[idx]
 }
 
 // Put returns a packet whose lifecycle ended. The packet is cleared in full —
 // the single point where recycled-packet state (lapsedSeen, requeues,
-// Retargets, Hops and every payload field) is wiped. Putting a packet twice
-// without an intervening Get panics: a double-recycle means two owners, which
-// would silently corrupt a later run.
+// Retargets, Hops and every payload field) is wiped — and its slot's
+// generation advances, invalidating every outstanding handle. Packets
+// created outside the pool are adopted: they get a slot and join the free
+// list like arena packets. Putting a packet twice without an intervening Get
+// panics: a double-recycle means two owners, which would silently corrupt a
+// later run.
 func (pp *PacketPool) Put(p *Packet) {
 	if p.pooled {
 		panic("noc: packet double-recycled")
 	}
 	pp.puts++
+	idx, ok := pp.slotOf(p)
+	if !ok {
+		// Adopting an unregistered foreign packet: count the implicit
+		// acquisition its creator performed, keeping Live non-negative.
+		pp.gets++
+		pp.news++
+		idx = pp.bind(p)
+	}
+	pp.gen[idx] = (pp.gen[idx] + 1) & pidGenMask
 	*p = Packet{pooled: true}
-	pp.free = append(pp.free, p)
+	pp.free = append(pp.free, idx)
 }
 
 // Stats snapshots the pool accounting.
@@ -71,5 +180,6 @@ func (pp *PacketPool) Stats() PacketPoolStats {
 		Recycled:    pp.puts,
 		Live:        int(pp.gets - pp.puts),
 		FreeListLen: len(pp.free),
+		Slots:       len(pp.slots),
 	}
 }

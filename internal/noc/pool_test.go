@@ -24,8 +24,11 @@ func TestPacketPoolRecyclesZeroed(t *testing.T) {
 	if q != p {
 		t.Fatalf("free list did not recycle the packet")
 	}
-	if *q != (Packet{}) {
+	if want := (Packet{h: q.h}); *q != want {
 		t.Errorf("recycled packet not zeroed: %+v", *q)
+	}
+	if !q.h.Valid() {
+		t.Errorf("recycled packet carries no valid handle: %v", q.h)
 	}
 	if q.Lapsed(sim.Tick(10)) {
 		t.Error("zeroed packet with no deadline reported a lapse")

@@ -1,11 +1,12 @@
 package noc
 
 import (
-	"math/bits"
-
 	"centurion/internal/sim"
 	"centurion/internal/taskgraph"
 )
+
+// taskID converts a ring slot's packed task back to the graph's type.
+func taskID(t int16) taskgraph.TaskID { return taskgraph.TaskID(t) }
 
 // Sink receives packets delivered through a router's internal (Local output)
 // port — the processing element's receive interface. Accept returns false
@@ -55,48 +56,16 @@ type ConfigSink interface {
 	ApplyConfig(dst NodeID, op ConfigOp, arg, arg2 int, now sim.Tick)
 }
 
-// Router is one five-port wormhole router of the mesh.
-//
-// Service discipline: each tick the router scans its input ports starting
-// from a rotating offset (round-robin fairness) and tries to advance each
-// head packet one hop. An output link stays busy for the packet's flit count
-// once a transfer starts, which serialises long packets exactly like a
-// wormhole channel. A head packet blocked for longer than the deadlock limit
-// is ejected through the recovery path — the paper's "basic deadlock
-// recovery mechanism".
+// Router is one five-port wormhole router's identity and cold state: its
+// sinks, monitor taps, recovery settings and cumulative counters. The
+// per-tick hot state — input rings, occupancy, link timers, next-hop row —
+// lives in the owning Network's SoA arrays (DESIGN.md §11), indexed by the
+// router's ID; the Network.Tick kernel services it there, and the methods
+// here are views over that state.
 type Router struct {
 	ID  NodeID
 	net *Network
 
-	// in holds the five input FIFOs inline (no per-buffer indirection: the
-	// port scan is the hottest loop in the simulator).
-	in            [NumPorts]buffer
-	neighbor      [NumPorts]*Router
-	linkBusyUntil [NumPorts]sim.Tick
-	blockedSince  [NumPorts]sim.Tick
-	portDisabled  [NumPorts]bool
-	rr            int
-	// queued is the packet count across all input buffers, maintained on
-	// every push/pop so the idle check and the network's active-router set
-	// are O(1) instead of a per-tick occupancy scan. occ mirrors it per
-	// port (bit p set = port p non-empty) so Tick services only occupied
-	// ports.
-	queued int
-	occ    uint8
-	// quietUntil is a pure fast-forward: when the last scan found every
-	// occupied port waiting on an in-transit head (wormhole tail flit not
-	// yet arrived) and serviced nothing, it records the earliest head
-	// arrival; scans before that tick would observably do nothing except
-	// advance the round-robin pointer, so Tick does exactly that and
-	// returns. Any push resets it — a new packet may be ready sooner.
-	quietUntil sim.Tick
-
-	// hop is this router's row of the active next-hop table (XY while the
-	// mesh is healthy, fault-aware tables otherwise); the network rebinds it
-	// whenever the routing state changes, so forwarding is one indexed load.
-	hop []Port
-
-	faulty        bool
 	deadlockLimit sim.Tick
 	requeueLimit  int
 
@@ -110,7 +79,13 @@ type Router struct {
 	// Foraging-for-Work rule ("switch to the task of the next packet in the
 	// routing queue in order to sink and process it locally") meaningful,
 	// and it is the fabric's natural load balancer.
-	Absorb func(p *Packet, now sim.Tick) bool
+	//
+	// The absorber receives the packet's arena handle and destination task:
+	// enough to turn down a mismatched packet without dereferencing it
+	// (absorption is consulted for every passing data head, so the common
+	// miss must stay cheap). Resolve the handle through the network's Pool
+	// only on a match; returning true transfers ownership.
+	Absorb func(id PacketID, task taskgraph.TaskID, now sim.Tick) bool
 
 	// Monitors are the AIM sense taps for this router.
 	Monitors Monitors
@@ -118,12 +93,8 @@ type Router struct {
 	Stats RouterStats
 }
 
-func newRouter(id NodeID, net *Network, bufFlits int, deadlockLimit sim.Tick, requeueLimit int) *Router {
-	r := &Router{ID: id, net: net, deadlockLimit: deadlockLimit, requeueLimit: requeueLimit}
-	for p := Port(0); p < NumPorts; p++ {
-		r.in[p] = buffer{capFlits: bufFlits}
-	}
-	return r
+func newRouter(id NodeID, net *Network, deadlockLimit sim.Tick, requeueLimit int) *Router {
+	return &Router{ID: id, net: net, deadlockLimit: deadlockLimit, requeueLimit: requeueLimit}
 }
 
 // SetSink attaches the processing element's receive interface.
@@ -133,41 +104,13 @@ func (r *Router) SetSink(s Sink) { r.sink = s }
 func (r *Router) SetConfigSink(s ConfigSink) { r.configSink = s }
 
 // Faulty reports whether the router has failed.
-func (r *Router) Faulty() bool { return r.faulty }
+func (r *Router) Faulty() bool { return r.net.state[r.ID].faulty }
 
-// QueuedPackets returns the number of packets across all input buffers.
-func (r *Router) QueuedPackets() int { return r.queued }
+// PortDisabled reports whether a port is administratively down (RCAP knob).
+func (r *Router) PortDisabled(p Port) bool { return r.net.state[r.ID].disabled&(1<<p) != 0 }
 
-// pushIn enqueues a packet on an input buffer, maintaining the queued
-// counter and enrolling the router in the network's active set. All buffer
-// pushes go through here.
-func (r *Router) pushIn(port Port, p *Packet, readyAt sim.Tick) bool {
-	if !r.in[port].Push(p, readyAt) {
-		return false
-	}
-	r.queued++
-	r.occ |= 1 << port
-	r.quietUntil = 0
-	r.net.activate(r.ID)
-	return true
-}
-
-// popIn dequeues the head packet of an input buffer, maintaining the queued
-// counter. All buffer pops go through here. Removing a head always clears
-// the port's blocked-since timestamp: whatever happens to the packet next
-// (forward, deliver, recover, drop), the successor head starts a fresh
-// deadlock countdown.
-func (r *Router) popIn(port Port) *Packet {
-	p := r.in[port].Pop()
-	if p != nil {
-		r.queued--
-		r.blockedSince[port] = 0
-		if r.in[port].Len() == 0 {
-			r.occ &^= 1 << port
-		}
-	}
-	return p
-}
+// QueuedPackets returns the number of packets across all input rings.
+func (r *Router) QueuedPackets() int { return int(r.net.state[r.ID].queued) }
 
 // QueuedHeadTask returns the destination task of the oldest ready head
 // packet across the cardinal input ports — the "next packet in the routing
@@ -177,26 +120,34 @@ func (r *Router) QueuedHeadTask(now sim.Tick) (taskgraph.TaskID, bool) {
 	return r.QueuedHeadTaskFunc(now, nil)
 }
 
-// QueuedHeadTaskFunc is QueuedHeadTask restricted to packets the accept
+// QueuedHeadTaskFunc is QueuedHeadTask restricted to tasks the accept
 // filter admits. The platform uses it to limit Foraging-for-Work adoption to
 // tasks the node could actually sink locally: a join-bound packet is owned
-// by its fork-time join node, so adopting its task cannot serve it.
-func (r *Router) QueuedHeadTaskFunc(now sim.Tick, accept func(*Packet) bool) (taskgraph.TaskID, bool) {
+// by its fork-time join node, so adopting its task cannot serve it. The
+// filter sees the queued packet's destination task only — everything the
+// adoption rule needs, without dereferencing the packet.
+func (r *Router) QueuedHeadTaskFunc(now sim.Tick, accept func(task taskgraph.TaskID) bool) (taskgraph.TaskID, bool) {
+	n := r.net
+	st := &n.state[r.ID]
 	bestTask := taskgraph.None
 	var bestCreated sim.Tick
 	found := false
 	for p := Port(0); p < NumPorts; p++ {
-		pkt, readyAt := r.in[p].Head()
-		if pkt == nil || pkt.Kind != Data || readyAt > now {
+		if st.rings[p].n == 0 {
 			continue
 		}
-		if accept != nil && !accept(pkt) {
+		s := n.headSlot(st, p)
+		if s.kind != Data || s.ready > now {
 			continue
 		}
-		if !found || pkt.Created < bestCreated {
+		if accept != nil && !accept(taskID(s.task)) {
+			continue
+		}
+		created := n.pool.Deref(s.id).Created
+		if !found || created < bestCreated {
 			found = true
-			bestTask = pkt.Task
-			bestCreated = pkt.Created
+			bestTask = taskID(s.task)
+			bestCreated = created
 		}
 	}
 	return bestTask, found
@@ -206,254 +157,38 @@ func (r *Router) QueuedHeadTaskFunc(now sim.Tick, accept func(*Packet) bool) (ta
 // Local input channel. It returns false when the channel is full — the
 // back-pressure that stalls generation under congestion.
 func (r *Router) Inject(p *Packet, now sim.Tick) bool {
-	if r.faulty || r.portDisabled[Local] {
+	n := r.net
+	st := &n.state[r.ID]
+	if st.faulty || st.disabled&(1<<Local) != 0 {
 		return false
 	}
-	return r.pushIn(Local, p, now)
+	return n.pushPacket(int(r.ID), Local, p, now)
 }
 
-// Tick advances the router by one cycle.
-func (r *Router) Tick(now sim.Tick) {
-	// Fast path: idle routers do nothing, which keeps 100-run sweeps cheap.
-	// (The active-set sweep normally skips them before this check; direct
-	// callers get the same answer from the O(1) counter.)
-	if r.faulty || r.queued == 0 {
-		return
-	}
-
-	start := r.rr
-	r.rr++
-	if r.rr >= int(NumPorts) {
-		r.rr = 0
-	}
-	// All heads in transit and nothing to service: the full scan would be a
-	// no-op (the pointer advance above is all the dense scan would mutate).
-	if now < r.quietUntil {
-		return
-	}
-	// quiet collects the earliest in-transit head arrival; it survives to
-	// quietUntil only when every occupied port is waiting on one and no port
-	// was serviced (a serviced port's state may unblock a neighbour this
-	// very tick, so any activity forces a rescan next tick).
-	quiet := sim.Tick(1) << 62
-	allQuiet := true
-	// Visit occupied ports in round-robin order by iterating set bits of the
-	// occupancy mask rotated so bit order equals rotation order from start.
-	// The mask is re-derived from the live occ after every service — a port
-	// can become occupied mid-scan (a rescued packet re-injected locally),
-	// and the cursor makes it serviced this tick exactly when its rotation
-	// position is still ahead, just as testing each port in turn would.
-	for cursor := 0; cursor < int(NumPorts); {
-		rot := (uint(r.occ)>>start | uint(r.occ)<<(uint(NumPorts)-uint(start))) & (1<<NumPorts - 1)
-		rot &= ^uint(0) << cursor
-		if rot == 0 {
-			break
-		}
-		b := bits.TrailingZeros(rot)
-		cursor = b + 1
-		port := Port(b + start)
-		if port >= NumPorts {
-			port -= NumPorts
-		}
-		if at, ok := r.servicePort(port, now); ok {
-			if at < quiet {
-				quiet = at
-			}
-		} else {
-			allQuiet = false
-		}
-	}
-	if allQuiet {
-		r.quietUntil = quiet
-	}
-}
-
-// servicePort advances one input port. It reports (arrival, true) when the
-// port provably cannot act before arrival — its head packet's tail flit is
-// still in transit — and (0, false) whenever it did or might have done
-// observable work this tick.
-func (r *Router) servicePort(port Port, now sim.Tick) (sim.Tick, bool) {
-	b := &r.in[port]
-	pkt, readyAt := b.Head()
-	if pkt == nil {
-		return 0, false
-	}
-	if readyAt > now {
-		return readyAt, true
-	}
-	if pkt.Kind == Data && pkt.Lapsed(now) {
-		r.Stats.LapsesSeen++
-		if r.Monitors.DeadlineLapse != nil {
-			r.Monitors.DeadlineLapse(pkt.Task, now)
-		}
-	}
-
-	// The next-hop row decides the packet's fate: Local means "this router
-	// serves the destination" — the destination node itself, or a cluster
-	// member on concentrated topologies — and delivers through the sink.
-	out := PortInvalid
-	if uint(pkt.Dst) < uint(len(r.hop)) {
-		out = r.hop[pkt.Dst]
-	}
-	if out == Local {
-		r.deliverLocal(port, pkt, now)
-		return 0, false
-	}
-
-	// Task-addressed absorption: an en-route owner of the packet's task may
-	// sink it locally instead of forwarding. Absorb transfers ownership on
-	// true, so the task is read before the hand-over.
-	if pkt.Kind == Data && r.Absorb != nil {
-		task := pkt.Task
-		if r.Absorb(pkt, now) {
-			r.popIn(port)
-			r.Stats.Delivered++
-			if r.Monitors.InternalDelivery != nil {
-				r.Monitors.InternalDelivery(task, now)
-			}
-			r.net.noteDelivered()
-			return 0, false
-		}
-	}
-
-	if out == PortInvalid {
-		// Unreachable destination (e.g. partitioned by faults): hand the
-		// packet to the recovery path so the platform can retarget it.
-		r.popIn(port)
-		r.recover(pkt, now)
-		return 0, false
-	}
-	if r.tryForward(port, out, pkt, now) {
-		return 0, false
-	}
-	// Head is blocked: track for deadlock recovery.
-	r.Stats.BlockedTicks++
-	if r.blockedSince[port] == 0 {
-		r.blockedSince[port] = now
-		return 0, false
-	}
-	if r.deadlockLimit > 0 && now-r.blockedSince[port] >= r.deadlockLimit {
-		r.recoverBlocked(port, pkt, now)
-	}
-	return 0, false
-}
-
-// recoverBlocked applies the deadlock-recovery action to the blocked head of
-// an input port. The first recoveries rotate the packet to the buffer tail,
-// releasing head-of-line blocking without losing traffic; after requeueLimit
-// consecutive rotations without a successful forward, the packet is ejected
-// through the recovery path (retarget or drop) — the "release deadlocked
-// packets" behaviour of the paper's router, which is explicitly not
-// guaranteed to resolve every deadlock.
-func (r *Router) recoverBlocked(port Port, pkt *Packet, now sim.Tick) {
-	r.popIn(port)
-	r.Stats.Recovered++
-	if r.Monitors.Recovery != nil {
-		r.Monitors.Recovery(pkt, now)
-	}
-	pkt.requeues++
-	if pkt.requeues <= r.requeueLimit {
-		// Rotate to the tail: capacity freed by the pop guarantees the push.
-		r.pushIn(port, pkt, now)
-		return
-	}
-	pkt.requeues = 0
-	r.recover(pkt, now)
-}
-
-func (r *Router) deliverLocal(port Port, pkt *Packet, now sim.Tick) {
-	switch pkt.Kind {
-	case Config:
-		r.popIn(port)
-		r.applyConfig(pkt, now)
-		r.net.noteConfig()
-		// The payload has been applied; the packet's lifecycle ends here.
-		r.net.release(pkt)
-	case Debug, Data:
-		if r.sink == nil {
-			r.popIn(port)
-			r.Stats.Dropped++
-			r.net.handleDrop(r.ID, pkt, DropNoSink)
-			return
-		}
-		// A successful Accept transfers ownership to the sink (which may
-		// consume and recycle the packet immediately): read what the monitor
-		// needs before handing it over.
-		isData, task := pkt.Kind == Data, pkt.Task
-		if r.sink.Accept(pkt, now) {
-			r.popIn(port)
-			r.Stats.Delivered++
-			if isData && r.Monitors.InternalDelivery != nil {
-				r.Monitors.InternalDelivery(task, now)
-			}
-			r.net.noteDelivered()
-			return
-		}
-		// Local sink full: same blocking rules as a busy link.
-		r.Stats.BlockedTicks++
-		if r.blockedSince[port] == 0 {
-			r.blockedSince[port] = now
-		} else if r.deadlockLimit > 0 && now-r.blockedSince[port] >= r.deadlockLimit {
-			r.recoverBlocked(port, pkt, now)
-		}
-	}
-}
-
-func (r *Router) tryForward(inPort, out Port, pkt *Packet, now sim.Tick) bool {
-	if r.portDisabled[out] {
-		return false
-	}
-	if r.linkBusyUntil[out] > now {
-		return false
-	}
-	next := r.neighbor[out]
-	if next == nil || next.faulty {
-		return false
-	}
-	inSide := out.Opposite()
-	if next.portDisabled[inSide] {
-		return false
-	}
-	dur := sim.Tick(pkt.Flits)
-	if dur < 1 {
-		dur = 1
-	}
-	if !next.pushIn(inSide, pkt, now+dur) {
-		return false
-	}
-	r.popIn(inPort)
-	r.linkBusyUntil[out] = now + dur
-	pkt.Hops++
-	pkt.requeues = 0
-	r.Stats.Forwarded++
-	if pkt.Kind == Data && r.Monitors.RoutedTask != nil {
-		r.Monitors.RoutedTask(pkt.Task, now)
-	}
-	return true
-}
-
-// recover hands a packet that cannot make progress to the network's recovery
-// handler; unrescued packets are dropped.
-func (r *Router) recover(pkt *Packet, now sim.Tick) {
-	if r.net.handleRecovery(r.ID, pkt, now) {
-		return
-	}
-	r.Stats.Dropped++
-	r.net.handleDrop(r.ID, pkt, DropRecoveryFailed)
-}
+// Tick advances the router by one cycle (a single-router view of the fused
+// network kernel; Network.Tick sweeps the active set instead of calling
+// this per router).
+func (r *Router) Tick(now sim.Tick) { r.net.tickRouter(int(r.ID), &r.net.state[r.ID], now) }
 
 func (r *Router) applyConfig(pkt *Packet, now sim.Tick) {
 	r.Stats.ConfigOps++
 	switch pkt.Op {
 	case OpSetDeadlockLimit:
 		r.deadlockLimit = sim.Tick(pkt.Arg)
+		// Parked blocked ports computed their recovery wake under the old
+		// limit; make them re-evaluate.
+		r.net.stirRouter(int(r.ID))
 	case OpEnablePort:
 		if pkt.Arg >= 0 && pkt.Arg < int(NumPorts) {
-			r.portDisabled[Port(pkt.Arg)] = false
+			r.net.state[r.ID].disabled &^= 1 << Port(pkt.Arg)
+			// A re-enabled channel can unblock this router's own heads and
+			// any parked neighbour forwarding into it.
+			r.net.stirAll()
 		}
 	case OpDisablePort:
 		if pkt.Arg >= 0 && pkt.Arg < int(NumPorts) {
-			r.portDisabled[Port(pkt.Arg)] = true
+			r.net.state[r.ID].disabled |= 1 << Port(pkt.Arg)
+			r.net.stirAll()
 		}
 	default:
 		if r.configSink != nil {
@@ -462,38 +197,10 @@ func (r *Router) applyConfig(pkt *Packet, now sim.Tick) {
 	}
 }
 
-// reset restores the router to its as-constructed state in place: buffers
-// empty (their packets recycled), ports enabled, fault cleared, counters
-// zeroed, and the deadlock settings back at the fabric defaults. Slice and
-// buffer capacity is retained so a reused router re-runs without reallocating.
+// reset restores the router's cold state to its as-constructed form; the
+// owning network clears the SoA hot state alongside (Network.Reset).
 func (r *Router) reset(cfg Params) {
-	for p := Port(0); p < NumPorts; p++ {
-		r.in[p].reset(r.net.release)
-		r.linkBusyUntil[p] = 0
-		r.blockedSince[p] = 0
-		r.portDisabled[p] = false
-	}
-	r.rr = 0
-	r.queued = 0
-	r.occ = 0
-	r.quietUntil = 0
-	r.faulty = false
 	r.deadlockLimit = cfg.DeadlockLimit
 	r.requeueLimit = cfg.RequeueLimit
 	r.Stats = RouterStats{}
-}
-
-// fail marks the router dead and drains its buffers, returning the lost
-// packets so the network can account for them.
-func (r *Router) fail() []*Packet {
-	r.faulty = true
-	var lost []*Packet
-	for p := Port(0); p < NumPorts; p++ {
-		lost = append(lost, r.in[p].Drain()...)
-		r.blockedSince[p] = 0
-	}
-	r.queued = 0
-	r.occ = 0
-	r.Stats.Dropped += uint64(len(lost))
-	return lost
 }

@@ -236,12 +236,12 @@ func TestConfigPortDisableEnable(t *testing.T) {
 	// Disable router 1's East output; traffic 0->3 must block and recover.
 	net.Inject(0, &Packet{ID: 1, Kind: Config, Src: 0, Dst: 1, Flits: 1, Op: OpDisablePort, Arg: int(East)}, clk.Now())
 	run(net, &clk, 20)
-	if !net.Router(1).portDisabled[East] {
+	if !net.Router(1).PortDisabled(East) {
 		t.Fatal("East port not disabled")
 	}
 	net.Inject(0, &Packet{ID: 2, Kind: Config, Src: 0, Dst: 1, Flits: 1, Op: OpEnablePort, Arg: int(East)}, clk.Now())
 	run(net, &clk, 20)
-	if net.Router(1).portDisabled[East] {
+	if net.Router(1).PortDisabled(East) {
 		t.Fatal("East port not re-enabled")
 	}
 }

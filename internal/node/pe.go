@@ -109,6 +109,13 @@ func pickTargets(d *Directory, task taskgraph.TaskID, from noc.NodeID, n int, sa
 	return out
 }
 
+// outstandingInst is one un-acknowledged instance in a source's
+// flow-control window.
+type outstandingInst struct {
+	inst uint64
+	born sim.Tick
+}
+
 // joinState tracks one in-flight join instance at a sink node.
 type joinState struct {
 	seen      int
@@ -135,11 +142,18 @@ type PE struct {
 	nextGen sim.Tick
 	outbox  []*noc.Packet
 
-	joins       map[uint64]joinState
-	outstanding map[uint64]sim.Tick // un-acked instances (flow control)
-	nextJoin    sim.Tick            // next join GC sweep
-	workCount   uint64              // monotonically increasing "useful work" events
-	targetBuf   []noc.NodeID        // pickTargets scratch, reused across emissions
+	joins map[uint64]joinState
+	// outstanding tracks un-acked instances (flow control). It is bounded
+	// by the window (8 by default), so a flat slice with linear scans beats
+	// a map on the per-tick generate/ack/wake paths.
+	outstanding []outstandingInst
+	// admitRefused latches a queue-full admission rejection; the next
+	// dequeue fires OnDequeue exactly when someone is actually waiting on
+	// the freed space.
+	admitRefused bool
+	nextJoin     sim.Tick     // next join GC sweep
+	workCount    uint64       // monotonically increasing "useful work" events
+	targetBuf    []noc.NodeID // pickTargets scratch, reused across emissions
 
 	// OnGenerate, when set, fires on every generated work item — the AIM's
 	// generation stimulus (a busy source is doing work).
@@ -152,6 +166,12 @@ type PE struct {
 	// re-enroll a parked PE; spurious stirs are harmless (an extra Tick on an
 	// idle PE is the no-op the dense scan would have executed anyway).
 	OnStir func()
+	// OnDequeue, when set, fires whenever receive-queue space frees (a
+	// packet popped for processing, held packets released). The platform
+	// wires it to the serving router's Stir so parked sink-blocked and
+	// absorption-eligible ports re-evaluate on the same tick the dense scan
+	// would have delivered.
+	OnDequeue func()
 
 	Stats Stats
 }
@@ -171,7 +191,6 @@ func NewPE(id noc.NodeID, env Env, par Params, task taskgraph.TaskID, genPhase s
 		freqDiv: 1,
 		joins:   make(map[uint64]joinState),
 	}
-	pe.outstanding = make(map[uint64]sim.Tick)
 	pe.nextGen = genPhase
 	return pe
 }
@@ -204,7 +223,14 @@ func (pe *PE) PendingPackets() int {
 // instance this node generated, freeing its flow-control window slot.
 // Unknown instance IDs are ignored, so duplicate acknowledgements are safe.
 func (pe *PE) AckInstance(inst uint64) {
-	delete(pe.outstanding, inst)
+	for i := range pe.outstanding {
+		if pe.outstanding[i].inst == inst {
+			last := len(pe.outstanding) - 1
+			pe.outstanding[i] = pe.outstanding[last]
+			pe.outstanding = pe.outstanding[:last]
+			break
+		}
+	}
 	pe.stir()
 }
 
@@ -230,11 +256,16 @@ func (pe *PE) releaseAllPackets(now sim.Tick, account bool) {
 		}
 		pe.env.FreePacket(p)
 	}
+	freed := len(pe.queue) > 0
 	for i, p := range pe.queue {
 		release(p)
 		pe.queue[i] = nil
 	}
 	pe.queue = pe.queue[:0]
+	if freed && pe.admitRefused && pe.OnDequeue != nil {
+		pe.admitRefused = false
+		pe.OnDequeue()
+	}
 	if pe.current != nil {
 		release(pe.current)
 		pe.current = nil
@@ -280,7 +311,8 @@ func (pe *PE) Restart(task taskgraph.TaskID, genPhase sim.Tick) {
 	pe.busyEnd = 0
 	pe.nextGen = genPhase
 	clear(pe.joins)
-	clear(pe.outstanding)
+	pe.outstanding = pe.outstanding[:0]
+	pe.admitRefused = false
 	pe.nextJoin = 0
 	pe.workCount = 0
 	pe.Stats = Stats{}
@@ -341,6 +373,7 @@ func (pe *PE) Accept(p *noc.Packet, now sim.Tick) bool {
 		return true
 	}
 	if len(pe.queue) >= pe.par.QueueCap {
+		pe.admitRefused = true
 		return false
 	}
 	pe.queue = append(pe.queue, p)
@@ -400,8 +433,8 @@ func (pe *PE) NextWake(now sim.Tick) (wake sim.Tick, hasWake, parkable bool) {
 			// means generate ran and found the window full): the next
 			// self-driven change is the earliest outstanding-instance
 			// reclaim. An acknowledgement arriving sooner stirs the PE.
-			for _, born := range pe.outstanding {
-				closer(born + pe.par.InstanceTimeout + 1)
+			for _, o := range pe.outstanding {
+				closer(o.born + pe.par.InstanceTimeout + 1)
 			}
 		}
 	}
@@ -438,10 +471,14 @@ func (pe *PE) generate(now sim.Tick) {
 	}
 	if pe.par.Window > 0 {
 		// Reclaim slots of instances whose acknowledgement never arrived.
-		for inst, born := range pe.outstanding {
-			if pe.par.InstanceTimeout > 0 && now-born > pe.par.InstanceTimeout {
-				delete(pe.outstanding, inst)
+		if pe.par.InstanceTimeout > 0 {
+			kept := pe.outstanding[:0]
+			for _, o := range pe.outstanding {
+				if now-o.born <= pe.par.InstanceTimeout {
+					kept = append(kept, o)
+				}
 			}
+			pe.outstanding = kept
 		}
 		if len(pe.outstanding) >= pe.par.Window {
 			// Flow control: downstream has not kept up; do not flood the
@@ -508,7 +545,7 @@ func (pe *PE) generate(now sim.Tick) {
 		return
 	}
 	if pe.par.Window > 0 {
-		pe.outstanding[inst] = now
+		pe.outstanding = append(pe.outstanding, outstandingInst{inst: inst, born: now})
 	}
 	pe.Stats.Generated++
 	pe.workCount++
@@ -539,6 +576,10 @@ func (pe *PE) process(now sim.Tick) {
 	n := copy(pe.queue, pe.queue[1:])
 	pe.queue[n] = nil
 	pe.queue = pe.queue[:n]
+	if pe.admitRefused && pe.OnDequeue != nil {
+		pe.admitRefused = false
+		pe.OnDequeue()
+	}
 
 	if p.Task != pe.task {
 		pe.retarget(p, now)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -23,6 +24,11 @@ type Options struct {
 	// CacheSize is the LRU result-cache capacity in entries (default
 	// DefaultCacheSize).
 	CacheSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ so hot-path
+	// regressions can be profiled on a live service (`go tool pprof
+	// http://host/debug/pprof/profile`). Off by default: the profiling
+	// surface is for operators, not tenants.
+	EnablePprof bool
 }
 
 // withDefaults fills unset options.
@@ -60,6 +66,13 @@ func New(opts Options) *Server {
 		started: time.Now(),
 	}
 	s.routes(s.mux)
+	if opts.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

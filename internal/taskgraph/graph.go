@@ -69,6 +69,7 @@ type graphMemo struct {
 	joinW    []int // packets of one instance a join waits for (min 1)
 	arrivals []int // raw per-instance arrival counts
 	ids      []TaskID
+	byID     []*Task // dense TaskID → *Task (nil for unregistered IDs)
 	sources  []TaskID
 	sinks    []TaskID
 }
@@ -105,8 +106,12 @@ func (g *Graph) memoized() *graphMemo {
 		sort.Slice(m.succ[id], func(i, j int) bool { return m.succ[id][i].To < m.succ[id][j].To })
 		sort.Slice(m.pred[id], func(i, j int) bool { return m.pred[id][i].From < m.pred[id][j].From })
 	}
-	for id := range g.tasks {
+	m.byID = make([]*Task, n)
+	for id, t := range g.tasks {
 		m.ids = append(m.ids, id)
+		if uint(int(id)) < uint(n) {
+			m.byID[id] = t
+		}
 	}
 	sort.Slice(m.ids, func(i, j int) bool { return m.ids[i] < m.ids[j] })
 	for _, id := range m.ids {
@@ -191,7 +196,15 @@ func (g *Graph) AddEdge(from, to TaskID, width int) *Graph {
 }
 
 // Task returns the task with the given ID, or nil when absent.
-func (g *Graph) Task(id TaskID) *Task { return g.tasks[id] }
+func (g *Graph) Task(id TaskID) *Task {
+	// Dense memoized lookup: Task sits on the simulator's per-tick paths
+	// (every generation and processing decision), where the map probe was
+	// measurable.
+	if m := g.memoized(); uint(int(id)) < uint(len(m.byID)) {
+		return m.byID[id]
+	}
+	return nil
+}
 
 // Tasks returns all task classes sorted by ID.
 func (g *Graph) Tasks() []*Task {
