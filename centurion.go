@@ -383,5 +383,13 @@ func NewServiceHandler(opts ServeOptions) *Service {
 // (blocking). Zero options select the defaults: GOMAXPROCS workers, a
 // 256-entry admission queue and a 128-entry LRU result cache.
 func Serve(addr string, opts ServeOptions) error {
-	return server.New(opts).ListenAndServe(addr)
+	return ServeContext(context.Background(), addr, opts)
+}
+
+// ServeContext is Serve with lifecycle control: cancelling ctx drains the
+// service gracefully — the listener stops accepting, in-flight jobs finish
+// (or their worker leases lapse), and the durable result store is closed
+// cleanly.
+func ServeContext(ctx context.Context, addr string, opts ServeOptions) error {
+	return server.New(opts).ListenAndServeContext(ctx, addr)
 }

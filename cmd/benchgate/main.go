@@ -32,6 +32,11 @@ type baselineEntry struct {
 	SPerOp      *float64 `json:"s_per_op"`
 	BPerOp      *float64 `json:"b_per_op"`
 	AllocsPerOp *float64 `json:"allocs_per_op"`
+	// SpecsPerS is a throughput floor (sweep specs per second, reported by
+	// the distributed-sweep benchmark via b.ReportMetric): unlike the ns/op
+	// ceiling, the gate fails when the measurement falls BELOW the snapshot
+	// by more than the tolerance.
+	SpecsPerS *float64 `json:"specs_per_s"`
 }
 
 // baselineFile is the subset of BENCH_platform.json the gate reads.
@@ -44,6 +49,7 @@ type measurement struct {
 	nsPerOp     float64
 	bPerOp      float64
 	allocsPerOp float64
+	specsPerS   float64
 	hasMem      bool
 }
 
@@ -79,6 +85,8 @@ func parseBench(lines []string) map[string]measurement {
 			case "allocs/op":
 				meas.allocsPerOp = v
 				meas.hasMem = true
+			case "specs/s":
+				meas.specsPerS = v
 			}
 		}
 		if seen {
@@ -104,20 +112,34 @@ func gate(meas map[string]measurement, base map[string]baselineEntry, tol float6
 			want = *b.NsPerOp
 		case b.SPerOp != nil:
 			want = *b.SPerOp * 1e9
-		default:
-			continue
 		}
-		gated[name] = true
-		limit := want * (1 + tol)
-		switch {
-		case got.nsPerOp > limit:
-			failures = append(failures, fmt.Sprintf(
-				"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%% (limit %.0f)",
-				name, got.nsPerOp, want, tol*100, limit))
-		case got.nsPerOp < want/(1+tol):
-			notes = append(notes, fmt.Sprintf(
-				"%s: %.0f ns/op is >%.0f%% faster than baseline %.0f — consider refreshing BENCH_platform.json",
-				name, got.nsPerOp, tol*100, want))
+		if want > 0 {
+			gated[name] = true
+			limit := want * (1 + tol)
+			switch {
+			case got.nsPerOp > limit:
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%% (limit %.0f)",
+					name, got.nsPerOp, want, tol*100, limit))
+			case got.nsPerOp < want/(1+tol):
+				notes = append(notes, fmt.Sprintf(
+					"%s: %.0f ns/op is >%.0f%% faster than baseline %.0f — consider refreshing BENCH_platform.json",
+					name, got.nsPerOp, tol*100, want))
+			}
+		}
+		if b.SpecsPerS != nil && got.specsPerS > 0 {
+			gated[name] = true
+			floor := *b.SpecsPerS / (1 + tol)
+			switch {
+			case got.specsPerS < floor:
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.1f specs/s falls below baseline %.1f specs/s by more than %.0f%% (floor %.1f)",
+					name, got.specsPerS, *b.SpecsPerS, tol*100, floor))
+			case got.specsPerS > *b.SpecsPerS*(1+tol):
+				notes = append(notes, fmt.Sprintf(
+					"%s: %.1f specs/s is >%.0f%% faster than baseline %.1f — consider refreshing BENCH_platform.json",
+					name, got.specsPerS, tol*100, *b.SpecsPerS))
+			}
 		}
 		if got.hasMem && b.AllocsPerOp != nil {
 			// Allow a couple of allocations of warm-up slack, exactly like

@@ -9,7 +9,8 @@
 //	centurion fig4   [-faults 5] [-seed S] [-csv out.csv]
 //	centurion run    [-model none|ni|ffw|ni-pb] [-topology mesh|torus|cmesh]
 //	                 [-seed S] [-ms 1000] [-faults N] [-fault-at MS] [-map]
-//	centurion serve  [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	centurion serve  [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR]
+//	centurion worker [-coordinator URL] [-name NAME] [-slots N]
 //	centurion asm    [-o out.txt] file.psm
 package main
 
@@ -44,6 +45,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "asm":
 		err = cmdAsm(os.Args[2:])
 	case "-h", "--help", "help":
@@ -67,7 +70,8 @@ subcommands:
   table2   recovery time + relative performance after faults (paper Table II)
   fig4     time series for one fault scenario                (paper Figure 4)
   run      one interactive run with a chosen model
-  serve    run the simulation service (REST API + job engine)
+  serve    run the simulation service (REST API + job engine + dispatch coordinator)
+  worker   run a sweep-execution daemon leasing jobs from a coordinator
   asm      assemble a PicoBlaze AIM program
 `)
 }

@@ -1,0 +1,602 @@
+// Package dispatch turns the simulation service into a horizontally
+// scalable control plane, in the shape of coder's provisionerd protocol: a
+// Coordinator owns a queue of opaque jobs, `centurion worker` daemons
+// register and lease jobs over long-poll HTTP, heartbeat to keep their
+// leases alive, stream progress back, and post results. A lease that
+// outlives its TTL — a worker died, hung or partitioned — is deterministically
+// requeued at the front of the queue for the next healthy worker, up to an
+// attempt cap.
+//
+// The package is payload-agnostic: jobs and results are byte slices, keyed
+// by the caller's content-addressed spec keys, so the server layer stays the
+// only place that knows what a run spec is.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	DefaultLeaseTTL    = 15 * time.Second
+	DefaultPollWait    = 20 * time.Second
+	DefaultMaxAttempts = 3
+)
+
+// Config tunes the coordinator. Zero values select the defaults.
+type Config struct {
+	// LeaseTTL is how long a leased job may go without a heartbeat before
+	// it is declared abandoned and requeued.
+	LeaseTTL time.Duration
+	// PollWait bounds how long a worker's lease long-poll blocks before
+	// returning empty-handed.
+	PollWait time.Duration
+	// MaxAttempts caps how many times a job may be leased before the
+	// coordinator gives up on remote execution and fails it (the server
+	// layer then falls back to running it locally).
+	MaxAttempts int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = DefaultLeaseTTL
+	}
+	if c.PollWait <= 0 {
+		c.PollWait = DefaultPollWait
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	return c
+}
+
+// ErrNoWorkers reports that no live worker is registered: the caller should
+// execute locally instead of queueing a job nobody will lease.
+var ErrNoWorkers = errors.New("dispatch: no live workers registered")
+
+// ErrAttemptsExhausted reports that a job was leased MaxAttempts times
+// without a completion — every worker that took it died or lost its lease.
+var ErrAttemptsExhausted = errors.New("dispatch: lease attempts exhausted")
+
+// ErrClosed reports an Execute on a closed or draining coordinator.
+var ErrClosed = errors.New("dispatch: coordinator closed")
+
+// RemoteError is an error the executing worker reported: the job ran and
+// failed, so it must not be retried (remotely or locally) — the failure is
+// deterministic.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "dispatch: remote execution failed: " + e.Msg }
+
+// jobState is a dispatch job's position in the lease lifecycle.
+type jobState int
+
+const (
+	statePending jobState = iota // queued, waiting for a lease
+	stateLeased                  // held by a worker under a live lease
+	stateDone                    // completed or failed; waiter notified
+)
+
+// job is one unit of remote work.
+type job struct {
+	id      string
+	key     string
+	payload []byte
+
+	state    jobState
+	workerID string    // leaseholder while stateLeased
+	attempt  int       // incremented at each lease
+	deadline time.Time // lease expiry while stateLeased
+	requeues int       // completed expiry→pending transitions
+
+	onProgress func([]byte)
+
+	done   chan struct{}
+	result []byte
+	err    error
+}
+
+// workerState tracks one registered worker daemon.
+type workerState struct {
+	id       string
+	name     string
+	slots    int
+	seen     time.Time // last register/lease/heartbeat/progress/complete
+	leased   int       // currently held leases
+	leasedOK uint64    // lifetime completions
+}
+
+// Lease is the worker-facing view of a leased job.
+type Lease struct {
+	JobID   string `json:"job_id"`
+	Key     string `json:"key"`
+	Payload []byte `json:"payload"`
+	Attempt int    `json:"attempt"`
+}
+
+// Stats is the coordinator snapshot surfaced by /healthz.
+type Stats struct {
+	WorkersRegistered int `json:"workers_registered"`
+	WorkersLive       int `json:"workers_live"`
+	Pending           int `json:"pending"`
+	Leased            int `json:"leased"`
+
+	LeasesGranted uint64 `json:"leases_granted"`
+	Expired       uint64 `json:"expired"`
+	Requeued      uint64 `json:"requeued"`
+	Completed     uint64 `json:"completed"`
+	Failed        uint64 `json:"failed"`
+	StaleRejected uint64 `json:"stale_rejected"`
+}
+
+// Coordinator owns the dispatch queue, worker registry and lease clock.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	wake    chan struct{} // closed+replaced whenever pending work or state changes
+	pending []*job        // FIFO; expired jobs requeue at the front
+	byID    map[string]*job
+	workers map[string]*workerState
+	nextJob uint64
+	nextWkr uint64
+	closed  bool
+
+	leasesGranted uint64
+	expired       uint64
+	requeued      uint64
+	completed     uint64
+	failed        uint64
+	staleRejected uint64
+
+	stopExpiry chan struct{}
+	expiryDone chan struct{}
+	closeOnce  sync.Once
+}
+
+// NewCoordinator starts a coordinator and its lease-expiry clock.
+func NewCoordinator(cfg Config) *Coordinator {
+	c := &Coordinator{
+		cfg:        cfg.withDefaults(),
+		wake:       make(chan struct{}),
+		byID:       make(map[string]*job),
+		workers:    make(map[string]*workerState),
+		stopExpiry: make(chan struct{}),
+		expiryDone: make(chan struct{}),
+	}
+	go c.expiryLoop()
+	return c
+}
+
+// broadcast wakes every long-poller and waiter. Callers hold c.mu.
+func (c *Coordinator) broadcast() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// livenessWindow is how long a silent worker still counts as live: it must
+// cover a full idle long-poll plus scheduling slack.
+func (c *Coordinator) livenessWindow() time.Duration {
+	return 2 * (c.cfg.PollWait + c.cfg.LeaseTTL)
+}
+
+// liveWorkersLocked counts workers seen within the liveness window.
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, w := range c.workers {
+		if now.Sub(w.seen) <= c.livenessWindow() {
+			n++
+		}
+	}
+	return n
+}
+
+// Register adds (or re-adds) a worker daemon and returns its ID plus the
+// lease timing contract it must honour.
+func (c *Coordinator) Register(name string, slots int) (id string, leaseTTL, pollWait time.Duration, err error) {
+	if slots < 1 {
+		slots = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", 0, 0, ErrClosed
+	}
+	c.nextWkr++
+	id = fmt.Sprintf("w-%d", c.nextWkr)
+	c.workers[id] = &workerState{id: id, name: name, slots: slots, seen: time.Now()}
+	c.broadcast() // an Execute blocked on ErrNoWorkers re-checks… (callers poll, see Execute)
+	return id, c.cfg.LeaseTTL, c.cfg.PollWait, nil
+}
+
+// Deregister removes a worker that is shutting down gracefully, so pending
+// jobs stop waiting for it immediately instead of until its liveness window
+// lapses. Leases the worker still holds (it drains them before calling
+// this) stay valid: completion is keyed on the (job, worker, attempt)
+// triple, not registry membership.
+func (c *Coordinator) Deregister(workerID string) {
+	c.mu.Lock()
+	delete(c.workers, workerID)
+	c.mu.Unlock()
+	// Wake the expiry loop's no-worker sweep promptly rather than waiting
+	// for its next tick: fail still-pending jobs over to local fallback.
+	c.expireOverdue(time.Now())
+}
+
+// Execute queues one job for remote execution and blocks until a worker
+// completes it, the attempt cap trips, or ctx is cancelled. onProgress (may
+// be nil) receives raw progress payloads as workers post them.
+//
+// With no live worker registered it fails fast with ErrNoWorkers so the
+// caller can run the job in-process instead — that is what lets a
+// serve-only deployment behave exactly as before this subsystem existed.
+func (c *Coordinator) Execute(ctx context.Context, key string, payload []byte, onProgress func([]byte)) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.liveWorkersLocked(time.Now()) == 0 {
+		c.mu.Unlock()
+		return nil, ErrNoWorkers
+	}
+	c.nextJob++
+	j := &job{
+		id:         fmt.Sprintf("dj-%d", c.nextJob),
+		key:        key,
+		payload:    payload,
+		onProgress: onProgress,
+		done:       make(chan struct{}),
+	}
+	c.byID[j.id] = j
+	c.pending = append(c.pending, j)
+	c.broadcast()
+	c.mu.Unlock()
+
+	select {
+	case <-j.done:
+		return j.result, j.err
+	case <-ctx.Done():
+		c.abandon(j)
+		return nil, ctx.Err()
+	}
+}
+
+// abandon withdraws a job whose waiter gave up: a pending job is removed
+// outright; a leased one is left to finish (its result is discarded on
+// completion because the job is no longer in byID's waiting set).
+func (c *Coordinator) abandon(j *job) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-j.done:
+		return // completed in the race window
+	default:
+	}
+	delete(c.byID, j.id)
+	for i, p := range c.pending {
+		if p == j {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
+		}
+	}
+	j.err = context.Canceled
+	close(j.done)
+}
+
+// Lease blocks up to wait (capped by the configured PollWait) for a pending
+// job and leases it to worker id. ok=false means the poll timed out empty —
+// the worker should immediately poll again.
+func (c *Coordinator) Lease(ctx context.Context, workerID string, wait time.Duration) (Lease, bool, error) {
+	if wait <= 0 || wait > c.cfg.PollWait {
+		wait = c.cfg.PollWait
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return Lease{}, false, ErrClosed
+		}
+		w, ok := c.workers[workerID]
+		if !ok {
+			c.mu.Unlock()
+			return Lease{}, false, fmt.Errorf("dispatch: unknown worker %q", workerID)
+		}
+		now := time.Now()
+		w.seen = now
+		if len(c.pending) > 0 && w.leased < w.slots {
+			j := c.pending[0]
+			c.pending = c.pending[1:]
+			j.state = stateLeased
+			j.workerID = workerID
+			j.attempt++
+			j.deadline = now.Add(c.cfg.LeaseTTL)
+			w.leased++
+			c.leasesGranted++
+			lease := Lease{JobID: j.id, Key: j.key, Payload: j.payload, Attempt: j.attempt}
+			c.mu.Unlock()
+			return lease, true, nil
+		}
+		wakeCh := c.wake
+		c.mu.Unlock()
+		select {
+		case <-wakeCh:
+		case <-timer.C:
+			return Lease{}, false, nil
+		case <-ctx.Done():
+			return Lease{}, false, ctx.Err()
+		}
+	}
+}
+
+// leaseHolder validates that worker id still holds job jobID at the given
+// attempt. Callers hold c.mu. The attempt check is what makes a worker that
+// lost its lease (expiry requeued the job, possibly to someone else) unable
+// to interfere: its messages carry a stale attempt.
+func (c *Coordinator) leaseHolder(jobID, workerID string, attempt int) (*job, error) {
+	j, ok := c.byID[jobID]
+	if !ok {
+		// A finished job is deleted from byID, so a worker that lost its
+		// lease and posts after the replacement completed lands here.
+		c.staleRejected++
+		return nil, fmt.Errorf("dispatch: unknown job %q", jobID)
+	}
+	if j.state != stateLeased || j.workerID != workerID || j.attempt != attempt {
+		c.staleRejected++
+		return nil, fmt.Errorf("dispatch: job %s is not leased to %s at attempt %d", jobID, workerID, attempt)
+	}
+	return j, nil
+}
+
+// Heartbeat extends the lease on jobID. A worker whose heartbeat is
+// rejected must abandon the job: its lease expired and the job belongs to
+// the queue (or another worker) now.
+func (c *Coordinator) Heartbeat(jobID, workerID string, attempt int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, err := c.leaseHolder(jobID, workerID, attempt)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	j.deadline = now.Add(c.cfg.LeaseTTL)
+	if w, ok := c.workers[workerID]; ok {
+		w.seen = now
+	}
+	return nil
+}
+
+// Progress forwards a raw progress payload to the job's waiter. Stale
+// leases are rejected exactly like heartbeats.
+func (c *Coordinator) Progress(jobID, workerID string, attempt int, payload []byte) error {
+	c.mu.Lock()
+	j, err := c.leaseHolder(jobID, workerID, attempt)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	now := time.Now()
+	j.deadline = now.Add(c.cfg.LeaseTTL) // progress is proof of life
+	if w, ok := c.workers[workerID]; ok {
+		w.seen = now
+	}
+	onProgress := j.onProgress
+	c.mu.Unlock()
+	// Fan out without the coordinator lock: the server's stream publisher
+	// has its own locking and must not serialise the whole control plane.
+	if onProgress != nil {
+		onProgress(payload)
+	}
+	return nil
+}
+
+// Complete finishes jobID with a result payload or a worker-reported
+// execution error. A duplicate or post-expiry Complete is rejected (the
+// lease-holder check fails) so exactly one attempt's result is delivered.
+func (c *Coordinator) Complete(jobID, workerID string, attempt int, result []byte, execErr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, err := c.leaseHolder(jobID, workerID, attempt)
+	if err != nil {
+		return err
+	}
+	if w, ok := c.workers[workerID]; ok {
+		w.seen = time.Now()
+		w.leased--
+		w.leasedOK++
+	}
+	j.state = stateDone
+	if execErr != "" {
+		j.err = &RemoteError{Msg: execErr}
+		c.failed++
+	} else {
+		j.result = result
+		c.completed++
+	}
+	delete(c.byID, j.id)
+	close(j.done)
+	c.broadcast()
+	return nil
+}
+
+// expiryLoop is the lease clock: it scans for overdue leases and requeues
+// (or fails) them. The scan interval tracks the TTL so tests with
+// millisecond leases expire promptly without a hot loop in production.
+func (c *Coordinator) expiryLoop() {
+	defer close(c.expiryDone)
+	interval := c.cfg.LeaseTTL / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopExpiry:
+			return
+		case <-ticker.C:
+			c.expireOverdue(time.Now())
+		}
+	}
+}
+
+// expireOverdue requeues every lease whose deadline passed. Expired jobs
+// rejoin the queue at the front, ordered by (deadline, id) so recovery
+// order is deterministic; a job out of attempts fails instead, and a job
+// with no live worker left to retry it fails with ErrNoWorkers so its
+// waiter can fall back to local execution rather than wait forever.
+func (c *Coordinator) expireOverdue(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := c.liveWorkersLocked(now)
+	// A queue with nobody left to serve it must not strand its waiters:
+	// fail pending jobs with ErrNoWorkers so they run locally instead.
+	if live == 0 && len(c.pending) > 0 {
+		for _, j := range c.pending {
+			j.state = stateDone
+			j.err = ErrNoWorkers
+			c.failed++
+			delete(c.byID, j.id)
+			close(j.done)
+		}
+		c.pending = c.pending[:0]
+		c.broadcast()
+	}
+	var overdue []*job
+	for _, j := range c.byID {
+		if j.state == stateLeased && now.After(j.deadline) {
+			overdue = append(overdue, j)
+		}
+	}
+	if len(overdue) == 0 {
+		return
+	}
+	sort.Slice(overdue, func(a, b int) bool {
+		if !overdue[a].deadline.Equal(overdue[b].deadline) {
+			return overdue[a].deadline.Before(overdue[b].deadline)
+		}
+		return overdue[a].id < overdue[b].id
+	})
+	for i := len(overdue) - 1; i >= 0; i-- { // reverse: front-push preserves sorted order
+		j := overdue[i]
+		c.expired++
+		if w, ok := c.workers[j.workerID]; ok {
+			w.leased--
+		}
+		j.workerID = ""
+		switch {
+		case j.attempt >= c.cfg.MaxAttempts:
+			j.state = stateDone
+			j.err = fmt.Errorf("%w (%d leases lost)", ErrAttemptsExhausted, j.attempt)
+			c.failed++
+			delete(c.byID, j.id)
+			close(j.done)
+		case live == 0:
+			j.state = stateDone
+			j.err = ErrNoWorkers
+			c.failed++
+			delete(c.byID, j.id)
+			close(j.done)
+		default:
+			j.state = statePending
+			j.requeues++
+			c.requeued++
+			c.pending = append([]*job{j}, c.pending...)
+		}
+	}
+	c.broadcast()
+}
+
+// Stats snapshots the coordinator.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	leased := 0
+	for _, j := range c.byID {
+		if j.state == stateLeased {
+			leased++
+		}
+	}
+	return Stats{
+		WorkersRegistered: len(c.workers),
+		WorkersLive:       c.liveWorkersLocked(time.Now()),
+		Pending:           len(c.pending),
+		Leased:            leased,
+		LeasesGranted:     c.leasesGranted,
+		Expired:           c.expired,
+		Requeued:          c.requeued,
+		Completed:         c.completed,
+		Failed:            c.failed,
+		StaleRejected:     c.staleRejected,
+	}
+}
+
+// Drain stops admitting new jobs and waits (until ctx expires) for leased
+// and pending jobs to finish; whatever remains is failed so no waiter stays
+// blocked. Always followed by Close.
+func (c *Coordinator) Drain(ctx context.Context) {
+	c.mu.Lock()
+	c.closed = true
+	c.broadcast()
+	c.mu.Unlock()
+
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		c.mu.Lock()
+		n := len(c.byID)
+		c.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			c.failRemaining()
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// failRemaining fails every job still tracked — drain gave up waiting.
+func (c *Coordinator) failRemaining() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, j := range c.byID {
+		j.state = stateDone
+		j.err = ErrClosed
+		c.failed++
+		delete(c.byID, id)
+		close(j.done)
+	}
+	c.pending = nil
+	c.broadcast()
+}
+
+// Close stops the expiry clock and fails any jobs still in flight. Safe to
+// call more than once.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		// Drain (or a prior Close) already sealed admission.
+		c.mu.Unlock()
+	} else {
+		c.closed = true
+		c.broadcast()
+		c.mu.Unlock()
+	}
+	c.closeOnce.Do(func() { close(c.stopExpiry) })
+	<-c.expiryDone
+	c.failRemaining()
+}

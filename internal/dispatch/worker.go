@@ -1,0 +1,360 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ExecuteFunc runs one leased job's payload and returns the result payload,
+// or a non-empty errMsg when the job itself failed deterministically.
+// progress may be called with intermediate sample batches; ctx is cancelled
+// when the lease is lost or the worker is hard-stopped, at which point the
+// function should return promptly (its result will be discarded).
+type ExecuteFunc func(ctx context.Context, key string, payload []byte, progress func(samples []byte)) (result []byte, errMsg string)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// Name labels the worker in the coordinator's registry.
+	Name string
+	// Slots is how many jobs the worker leases concurrently (default 1).
+	Slots int
+	// Execute runs one job. Required.
+	Execute ExecuteFunc
+	// Client is the HTTP client (default a fresh one; it must not set a
+	// global timeout, long-polls outlive typical timeouts).
+	Client *http.Client
+	// Logf receives operational messages (default: discarded).
+	Logf func(format string, args ...any)
+	// HardStop, when closed, aborts everything immediately: in-flight jobs
+	// are abandoned without completion, so their leases expire at the
+	// coordinator and the work is requeued — the crash path, used by tests
+	// to kill a worker mid-job. Graceful shutdown is the ctx instead:
+	// cancelling RunWorker's ctx stops leasing but drains in-flight jobs.
+	HardStop <-chan struct{}
+	// MaxBackoff caps the retry backoff on coordinator loss (default 5s).
+	MaxBackoff time.Duration
+}
+
+// registration is the identity the coordinator handed us.
+type registration struct {
+	id   string
+	ttl  time.Duration
+	poll time.Duration
+	gen  uint64 // bumped on every (re-)registration
+}
+
+// worker is the daemon's run state.
+type worker struct {
+	o      WorkerOptions
+	client *http.Client
+	logf   func(string, ...any)
+
+	mu  sync.Mutex
+	reg registration
+}
+
+// RunWorker registers against the coordinator and executes leased jobs
+// until ctx is cancelled (drain: stop leasing, finish in-flight jobs) or
+// HardStop is closed (abandon everything). It retries with capped
+// exponential backoff across coordinator restarts and network loss, and
+// re-registers when the coordinator no longer knows it. It returns nil on a
+// clean drain.
+func RunWorker(ctx context.Context, o WorkerOptions) error {
+	if o.Execute == nil {
+		return fmt.Errorf("dispatch: WorkerOptions.Execute is required")
+	}
+	if o.Slots < 1 {
+		o.Slots = 1
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	w := &worker{o: o, client: o.Client, logf: o.Logf}
+	if w.client == nil {
+		w.client = &http.Client{}
+	}
+	if w.logf == nil {
+		w.logf = func(string, ...any) {}
+	}
+
+	// hardCtx dies on HardStop only; leaseCtx dies on either signal.
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+	leaseCtx, leaseCancel := context.WithCancel(ctx)
+	defer leaseCancel()
+	if o.HardStop != nil {
+		go func() {
+			select {
+			case <-o.HardStop:
+				hardCancel()
+				leaseCancel()
+			case <-hardCtx.Done():
+			}
+		}()
+	}
+
+	if err := w.register(leaseCtx); err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < o.Slots; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			w.slotLoop(leaseCtx, hardCtx, slot)
+		}(i)
+	}
+	wg.Wait()
+	// Graceful drain (not a hard stop): tell the coordinator we are gone so
+	// queued jobs stop waiting on our liveness window and fail over to local
+	// execution immediately. Best-effort — the window covers a lost goodbye.
+	if hardCtx.Err() == nil {
+		w.mu.Lock()
+		id := w.reg.id
+		w.mu.Unlock()
+		byeCtx, byeCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, _ = w.post(byeCtx, "/v1/workers/"+id+"/deregister", struct{}{}, nil)
+		byeCancel()
+		w.logf("deregistered %s", id)
+	}
+	return nil
+}
+
+// register obtains a worker ID, retrying with backoff until ctx dies.
+func (w *worker) register(ctx context.Context) error {
+	backoff := 50 * time.Millisecond
+	for {
+		var resp registerResponse
+		status, err := w.post(ctx, "/v1/workers/register", registerRequest{Name: w.o.Name, Slots: w.o.Slots}, &resp)
+		if err == nil && status == http.StatusOK && resp.WorkerID != "" {
+			w.mu.Lock()
+			w.reg = registration{
+				id:   resp.WorkerID,
+				ttl:  time.Duration(resp.LeaseTTLMs) * time.Millisecond,
+				poll: time.Duration(resp.PollWaitMs) * time.Millisecond,
+				gen:  w.reg.gen + 1,
+			}
+			w.mu.Unlock()
+			w.logf("registered as %s (lease ttl %s)", resp.WorkerID, time.Duration(resp.LeaseTTLMs)*time.Millisecond)
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("register returned status %d", status)
+		}
+		w.logf("registration failed (%v); retrying in %s", err, backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > w.o.MaxBackoff {
+			backoff = w.o.MaxBackoff
+		}
+	}
+}
+
+// reRegister refreshes a registration the coordinator lost (it restarted).
+// Only the first slot to notice re-registers; the rest reuse the new
+// identity.
+func (w *worker) reRegister(ctx context.Context, seenGen uint64) error {
+	w.mu.Lock()
+	current := w.reg.gen
+	w.mu.Unlock()
+	if current != seenGen {
+		return nil // someone else already re-registered
+	}
+	return w.register(ctx)
+}
+
+// slotLoop is one lease slot: long-poll for a job, run it, repeat.
+func (w *worker) slotLoop(leaseCtx, hardCtx context.Context, slot int) {
+	backoff := 50 * time.Millisecond
+	for {
+		if leaseCtx.Err() != nil {
+			return
+		}
+		w.mu.Lock()
+		reg := w.reg
+		w.mu.Unlock()
+
+		var lease Lease
+		// The poll's own timeout bounds a coordinator that accepted the
+		// connection but never answers.
+		pollCtx, pollCancel := context.WithTimeout(leaseCtx, reg.poll+10*time.Second)
+		status, err := w.post(pollCtx, "/v1/workers/"+reg.id+"/lease", leaseRequest{WaitMs: reg.poll.Milliseconds()}, &lease)
+		pollCancel()
+		switch {
+		case leaseCtx.Err() != nil:
+			return
+		case err != nil || status == http.StatusServiceUnavailable:
+			// Coordinator down or draining: back off, then try to
+			// re-register (it may have restarted with an empty registry).
+			w.logf("lease poll failed (status %d, err %v); backing off %s", status, err, backoff)
+			select {
+			case <-leaseCtx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > w.o.MaxBackoff {
+				backoff = w.o.MaxBackoff
+			}
+			if err := w.reRegister(leaseCtx, reg.gen); err != nil {
+				return
+			}
+			continue
+		case status == http.StatusNotFound:
+			// The coordinator does not know us any more: re-register.
+			if err := w.reRegister(leaseCtx, reg.gen); err != nil {
+				return
+			}
+			continue
+		case status == http.StatusNoContent:
+			backoff = 50 * time.Millisecond
+			continue
+		case status != http.StatusOK:
+			w.logf("unexpected lease status %d; backing off %s", status, backoff)
+			select {
+			case <-leaseCtx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > w.o.MaxBackoff {
+				backoff = w.o.MaxBackoff
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		w.runJob(hardCtx, reg, lease, slot)
+	}
+}
+
+// runJob executes one leased job end to end: heartbeats at TTL/3, progress
+// forwarding, completion with retry. Jobs run under hardCtx so a graceful
+// drain (leaseCtx cancelled) still finishes them, while a hard stop
+// abandons them mid-flight — the lease then expires and the coordinator
+// requeues the work.
+func (w *worker) runJob(hardCtx context.Context, reg registration, lease Lease, slot int) {
+	jobCtx, cancel := context.WithCancel(hardCtx)
+	defer cancel()
+
+	w.logf("slot %d: leased %s (attempt %d, key %.12s…)", slot, lease.JobID, lease.Attempt, lease.Key)
+	base := "/v1/jobs/" + lease.JobID
+	auth := jobPost{WorkerID: reg.id, Attempt: lease.Attempt}
+
+	// Heartbeat at a third of the TTL: two beats may be lost before the
+	// lease dies. A stale rejection means the lease is gone — stop working.
+	var leaseLost atomic.Bool
+	hbInterval := reg.ttl / 3
+	if hbInterval < 5*time.Millisecond {
+		hbInterval = 5 * time.Millisecond
+	}
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		ticker := time.NewTicker(hbInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-jobCtx.Done():
+				return
+			case <-ticker.C:
+				status, err := w.post(jobCtx, base+"/heartbeat", auth, nil)
+				if err == nil && (status == http.StatusConflict || status == http.StatusNotFound) {
+					w.logf("slot %d: lease on %s lost; abandoning", slot, lease.JobID)
+					leaseLost.Store(true)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	progress := func(samples []byte) {
+		p := auth
+		p.Samples = samples
+		status, err := w.post(jobCtx, base+"/progress", p, nil)
+		if err == nil && (status == http.StatusConflict || status == http.StatusNotFound) {
+			leaseLost.Store(true)
+			cancel() // lease lost mid-run
+		}
+	}
+
+	result, execErr := w.o.Execute(jobCtx, lease.Key, lease.Payload, progress)
+	cancel()
+	hbWG.Wait()
+
+	if hardCtx.Err() != nil {
+		// Hard-stopped: abandon without completing (the crash path).
+		return
+	}
+	if leaseLost.Load() {
+		// The lease was lost mid-run; any completion would be rejected as
+		// stale. Skip the round trip.
+		return
+	}
+
+	done := auth
+	done.Result = result
+	done.Error = execErr
+	// Completion retries ride out a brief coordinator blip; if the lease
+	// expires meanwhile the 409 tells us the work was requeued elsewhere.
+	backoff := 50 * time.Millisecond
+	for attempt := 0; attempt < 5; attempt++ {
+		status, err := w.post(context.Background(), base+"/complete", done, nil)
+		switch {
+		case err == nil && status == http.StatusNoContent:
+			w.logf("slot %d: completed %s", slot, lease.JobID)
+			return
+		case err == nil && (status == http.StatusConflict || status == http.StatusNotFound):
+			w.logf("slot %d: completion of %s rejected as stale", slot, lease.JobID)
+			return
+		}
+		select {
+		case <-hardCtx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > w.o.MaxBackoff {
+			backoff = w.o.MaxBackoff
+		}
+	}
+	w.logf("slot %d: could not report completion of %s; lease will expire", slot, lease.JobID)
+}
+
+// post sends one JSON POST to the coordinator and decodes a JSON response
+// into out (when non-nil and the status is 200).
+func (w *worker) post(ctx context.Context, path string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.o.Coordinator+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxDispatchBody)).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	return resp.StatusCode, nil
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"centurion/internal/dispatch"
 )
 
 // benchPost submits one spec with ?wait=1 and fails the benchmark on any
@@ -71,6 +75,80 @@ func benchServe(b *testing.B, distinct int) {
 // BenchmarkServeCached is the hot-cache regime: every request after warm-up
 // is answered from the LRU without re-simulating.
 func BenchmarkServeCached(b *testing.B) { benchServe(b, 8) }
+
+// benchDistributedSweep drives 32-cell sweep grids (every cell a distinct
+// canonical spec, so nothing is answered from the caches) through a service
+// with `workers` in-process leased daemons attached — 0 means the dispatch
+// executor falls back to purely local execution, the 1-process baseline —
+// and reports sweep-spec throughput.
+func benchDistributedSweep(b *testing.B, workers int) {
+	s := New(Options{Workers: runtime.GOMAXPROCS(0), QueueBound: 4096, CacheSize: 16})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			_ = dispatch.RunWorker(ctx, dispatch.WorkerOptions{
+				Coordinator: ts.URL,
+				Name:        fmt.Sprintf("bench-%d", i),
+				Slots:       2,
+				Execute:     DispatchExecute,
+			})
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Coordinator().Stats().WorkersLive < workers {
+		if time.Now().After(deadline) {
+			b.Fatal("bench workers never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	const cellsPerSweep = 32 // 2 models x 8 fault counts x 2 topologies
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh base seed per iteration keeps every cell a cache miss.
+		req := fmt.Sprintf(`{
+			"spec": {"duration_ms": 20, "width": 8, "height": 4, "seed": %d},
+			"models": ["none", "ffw"],
+			"fault_counts": [0,1,2,3,4,5,6,7],
+			"topologies": ["mesh", "torus"],
+			"runs": 1
+		}`, i*cellsPerSweep+1)
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(req))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sr SweepResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(sr.Rows) != cellsPerSweep {
+			b.Fatalf("sweep status %d, %d rows", resp.StatusCode, len(sr.Rows))
+		}
+	}
+	b.StopTimer()
+	st := s.Coordinator().Stats()
+	if workers > 0 && st.Completed == 0 {
+		b.Fatal("no cell executed through the dispatch fabric")
+	}
+	b.ReportMetric(float64(b.N*cellsPerSweep)/b.Elapsed().Seconds(), "specs/s")
+	b.ReportMetric(float64(st.Requeued), "requeues")
+}
+
+// BenchmarkDistributedSweep is the gated configuration (3 leased workers);
+// its specs/s metric is held to a throughput floor by cmd/benchgate. The
+// Local and OneWorker variants exist for the scaling table in
+// EXPERIMENTS.md and are not gated.
+func BenchmarkDistributedSweep(b *testing.B)          { benchDistributedSweep(b, 3) }
+func BenchmarkDistributedSweepLocal(b *testing.B)     { benchDistributedSweep(b, 0) }
+func BenchmarkDistributedSweepOneWorker(b *testing.B) { benchDistributedSweep(b, 1) }
 
 // BenchmarkServeColdMiss is the all-miss regime: every request simulates.
 // Each iteration uses a fresh seed, so the cache never hits.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -86,11 +87,15 @@ type RunResult struct {
 
 // Job tracks one submitted spec through the engine.
 type Job struct {
-	ID       string    `json:"id"`
-	Key      string    `json:"key"`
-	State    JobState  `json:"state"`
-	Error    string    `json:"error,omitempty"`
-	CacheHit bool      `json:"cache_hit"`
+	ID       string   `json:"id"`
+	Key      string   `json:"key"`
+	State    JobState `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	CacheHit bool     `json:"cache_hit"`
+	// StoreHit marks a job answered from the durable result store — a
+	// result computed by an earlier process lifetime (or another worker)
+	// and replayed without re-execution.
+	StoreHit bool      `json:"store_hit,omitempty"`
 	Created  time.Time `json:"created"`
 
 	spec   RunSpec
@@ -144,11 +149,17 @@ func (st *stream) finish() {
 
 // EngineStats is a point-in-time snapshot of the engine.
 type EngineStats struct {
-	Workers   int        `json:"workers"`
-	Queued    int        `json:"queued"`
-	Running   int        `json:"running"`
-	Completed uint64     `json:"completed"`
-	Failed    uint64     `json:"failed"`
+	Workers   int    `json:"workers"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	// StoreHits counts submissions answered from the durable result store
+	// (LRU misses that an earlier process lifetime had already computed).
+	StoreHits uint64 `json:"store_hits,omitempty"`
+	// MeanJobMs is the exponentially weighted mean wall time of executed
+	// (non-cached) jobs — the figure Retry-After advice is derived from.
+	MeanJobMs float64    `json:"mean_job_ms"`
 	Cache     CacheStats `json:"cache"`
 }
 
@@ -173,24 +184,29 @@ type Engine struct {
 	cache   *Cache
 	workers int
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
-	queue  chan *Job
+	ctx       context.Context
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	queue     chan *Job
+	closeOnce sync.Once
 
 	mu       sync.Mutex
+	exec     Executor    // how workers run a job (default: in-process Execute)
+	store    ResultStore // durable layer under the LRU; nil = none
 	jobs     map[string]*Job
 	inflight map[string]*Job // canonical key → queued/running job (coalescing)
 	// Terminal job IDs, oldest first (pruning order). Cache-hit jobs have
 	// their own list so high-rate cached traffic cannot churn freshly
 	// computed jobs out of queryable history.
-	history    []string
-	hitHistory []string
-	closed     bool
-	nextID     uint64
-	running    int
-	completed  uint64
-	failed     uint64
+	history     []string
+	hitHistory  []string
+	closed      bool
+	nextID      uint64
+	running     int
+	completed   uint64
+	failed      uint64
+	storeHits   uint64
+	meanLatency time.Duration // EWMA of executed-job wall time
 }
 
 // NewEngine starts an engine with the given worker count (min 1), queue
@@ -209,6 +225,7 @@ func NewEngine(workers, queueBound, cacheSize int) *Engine {
 		ctx:      ctx,
 		cancel:   cancel,
 		queue:    make(chan *Job, queueBound),
+		exec:     Execute,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
@@ -219,17 +236,64 @@ func NewEngine(workers, queueBound, cacheSize int) *Engine {
 	return e
 }
 
+// SetExecutor replaces how the engine's workers run a job. Call before any
+// submissions (the server wires this during assembly).
+func (e *Engine) SetExecutor(exec Executor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if exec != nil {
+		e.exec = exec
+	}
+}
+
+// SetResultStore layers a durable content-addressed store under the LRU:
+// submissions that miss the LRU are answered from the store without
+// re-execution, and freshly computed results are persisted to it.
+func (e *Engine) SetResultStore(s ResultStore) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store = s
+}
+
 // Close rejects further submissions, cancels running jobs, waits for the
 // workers to exit, and fails any jobs still queued so that no waiter is
 // left blocked on an abandoned job.
 func (e *Engine) Close() {
 	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return
-	}
 	e.closed = true
 	e.mu.Unlock()
+	e.closeOnce.Do(e.stopWorkers)
+}
+
+// Drain is the graceful Close: stop admitting, let queued and running jobs
+// finish, then stop the workers. When ctx expires first the remaining jobs
+// are cancelled exactly as in Close, so shutdown is bounded either way.
+func (e *Engine) Drain(ctx context.Context) {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+wait:
+	for {
+		e.mu.Lock()
+		idle := len(e.queue) == 0 && e.running == 0
+		e.mu.Unlock()
+		if idle {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			break wait
+		case <-ticker.C:
+		}
+	}
+	e.closeOnce.Do(e.stopWorkers)
+}
+
+// stopWorkers cancels execution, waits the pool out, and fails whatever is
+// still queued. Run exactly once, via closeOnce.
+func (e *Engine) stopWorkers() {
 	e.cancel()
 	e.wg.Wait()
 	for {
@@ -301,6 +365,29 @@ func (e *Engine) Submit(spec RunSpec) (*Job, error) {
 		e.completed++
 		e.retire(j.ID, j.CacheHit)
 		return j, nil
+	}
+
+	// The durable store holds results computed in earlier process lifetimes
+	// (or by other workers of the fleet): an LRU miss that hits the store
+	// completes without re-execution, and re-warms the LRU. Store errors
+	// degrade to a miss — a broken disk must not take submissions down.
+	if e.store != nil {
+		if raw, ok, err := e.store.Get(key); err == nil && ok {
+			res := new(RunResult)
+			if json.Unmarshal(raw, res) == nil {
+				e.cache.Put(key, res)
+				j.State = JobDone
+				j.StoreHit = true
+				j.result = res
+				j.stream.finished = true
+				close(j.done)
+				e.jobs[j.ID] = j
+				e.completed++
+				e.storeHits++
+				e.retire(j.ID, true)
+				return j, nil
+			}
+		}
 	}
 
 	select {
@@ -398,8 +485,40 @@ func (e *Engine) Stats() EngineStats {
 		Running:   e.running,
 		Completed: e.completed,
 		Failed:    e.failed,
+		StoreHits: e.storeHits,
+		MeanJobMs: float64(e.meanLatency) / float64(time.Millisecond),
 		Cache:     e.cache.Stats(),
 	}
+}
+
+// retryAfterFloor/Ceil clamp the backoff advice: sub-second advice churns
+// clients pointlessly, multi-minute advice outlives most queue spikes.
+const (
+	retryAfterFloor = time.Second
+	retryAfterCeil  = 2 * time.Minute
+)
+
+// RetryAfter estimates when a rejected submission is worth retrying: the
+// queue depth in worker-waves times the mean executed-job latency. It is
+// surfaced as the Retry-After header on 503 responses.
+func (e *Engine) RetryAfter() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	depth := len(e.queue) + e.running
+	mean := e.meanLatency
+	if mean <= 0 {
+		// No job has executed yet; assume a sub-second spec.
+		mean = 250 * time.Millisecond
+	}
+	waves := depth/e.workers + 1
+	ra := time.Duration(waves) * mean
+	if ra < retryAfterFloor {
+		ra = retryAfterFloor
+	}
+	if ra > retryAfterCeil {
+		ra = retryAfterCeil
+	}
+	return ra
 }
 
 // work is one worker's loop: pull, run, publish.
@@ -469,21 +588,40 @@ func Execute(ctx context.Context, spec RunSpec, progress func(Sample)) (*RunResu
 	return res, nil
 }
 
-// run executes the job's batch through the shared experiment runner,
-// streaming per-window samples to subscribers as they land.
+// run executes the job's batch through the engine's executor (in-process
+// or dispatched to a leased remote worker), streaming per-window samples to
+// subscribers as they land and persisting the result durably.
 func (e *Engine) run(j *Job) {
 	e.mu.Lock()
 	j.State = JobRunning
 	e.running++
+	exec := e.exec
+	st := e.store
 	e.mu.Unlock()
 
-	res, err := Execute(e.ctx, j.spec, j.stream.publish)
+	start := time.Now()
+	res, err := exec(e.ctx, j.spec, j.stream.publish)
+	elapsed := time.Since(start)
 	if err == nil {
 		e.cache.Put(j.Key, res)
+		if st != nil {
+			// A store failure must not fail the job: the result is correct,
+			// it just will not survive a restart.
+			if raw, merr := json.Marshal(res); merr == nil {
+				_ = st.Put(j.Key, raw)
+			}
+		}
 	}
 
 	e.mu.Lock()
 	e.running--
+	// EWMA (α=1/5) of executed-job wall time: the figure queue-full
+	// Retry-After advice is derived from.
+	if e.meanLatency == 0 {
+		e.meanLatency = elapsed
+	} else {
+		e.meanLatency += (elapsed - e.meanLatency) / 5
+	}
 	delete(e.inflight, j.Key)
 	if err != nil {
 		j.State = JobFailed

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"centurion/internal/dispatch"
+)
+
+// Executor runs one canonicalized spec's batch. The engine's workers call
+// it for every job that missed the caches; plugging a different Executor is
+// how local in-process execution and remote leased workers coexist behind
+// one job engine.
+type Executor func(ctx context.Context, spec RunSpec, progress func(Sample)) (*RunResult, error)
+
+// ResultStore is the durable content-addressed backend the engine layers
+// under its LRU: canonical spec key → encoded RunResult. Implemented by
+// internal/store; a minimal interface here keeps the engine testable with
+// fakes and open to external backends.
+type ResultStore interface {
+	Get(key string) (val []byte, ok bool, err error)
+	Put(key string, val []byte) error
+}
+
+// NewDispatchExecutor returns the routing Executor: jobs go to remote
+// leased workers through the coordinator when any are alive, and fall back
+// to in-process execution when dispatch cannot help (no workers registered,
+// every lease attempt lost, coordinator shutting down). A serve-only
+// deployment therefore behaves exactly like the pre-dispatch engine, while
+// attaching `centurion worker` daemons scales the same queue horizontally.
+func NewDispatchExecutor(coord *dispatch.Coordinator) Executor {
+	return func(ctx context.Context, spec RunSpec, progress func(Sample)) (*RunResult, error) {
+		payload, err := json.Marshal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("server: encoding spec for dispatch: %w", err)
+		}
+		res, err := coord.Execute(ctx, spec.CanonicalKey(), payload, func(b []byte) {
+			if progress == nil || len(b) == 0 {
+				return
+			}
+			var samples []Sample
+			if json.Unmarshal(b, &samples) == nil {
+				for _, s := range samples {
+					progress(s)
+				}
+			}
+		})
+		switch {
+		case err == nil:
+			var rr RunResult
+			if uerr := json.Unmarshal(res, &rr); uerr != nil {
+				return nil, fmt.Errorf("server: decoding remote result: %w", uerr)
+			}
+			return &rr, nil
+		case errors.Is(err, dispatch.ErrNoWorkers),
+			errors.Is(err, dispatch.ErrAttemptsExhausted),
+			errors.Is(err, dispatch.ErrClosed):
+			return Execute(ctx, spec, progress)
+		default:
+			var re *dispatch.RemoteError
+			if errors.As(err, &re) {
+				// The spec ran remotely and failed deterministically;
+				// retrying locally would fail identically.
+				return nil, errors.New(re.Msg)
+			}
+			return nil, err
+		}
+	}
+}
+
+// progressFlushAt is how many samples a worker batches per progress post: a
+// 1000-window run becomes ~16 round trips instead of 1000.
+const progressFlushAt = 64
+
+// DispatchExecute is the worker daemon's dispatch.ExecuteFunc: decode a
+// leased run-spec payload, execute the batch through the same path the
+// local engine uses, stream sample batches back, and return the encoded
+// result.
+func DispatchExecute(ctx context.Context, key string, payload []byte, post func(samples []byte)) (result []byte, errMsg string) {
+	spec, err := ParseSpec(payload)
+	if err != nil {
+		return nil, err.Error()
+	}
+	var buf []Sample
+	flush := func() {
+		if len(buf) == 0 || post == nil {
+			return
+		}
+		if b, err := json.Marshal(buf); err == nil {
+			post(b)
+		}
+		buf = buf[:0]
+	}
+	res, err := Execute(ctx, spec, func(s Sample) {
+		buf = append(buf, s)
+		if len(buf) >= progressFlushAt {
+			flush()
+		}
+	})
+	flush()
+	if err != nil {
+		return nil, err.Error()
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return nil, err.Error()
+	}
+	return b, ""
+}

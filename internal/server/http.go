@@ -11,7 +11,9 @@ import (
 	"strconv"
 	"time"
 
+	"centurion/internal/dispatch"
 	"centurion/internal/experiments"
+	"centurion/internal/store"
 )
 
 // maxBodyBytes bounds request bodies; a run spec is a few hundred bytes.
@@ -25,6 +27,7 @@ type JobStatus struct {
 	State    JobState   `json:"state"`
 	Error    string     `json:"error,omitempty"`
 	CacheHit bool       `json:"cache_hit"`
+	StoreHit bool       `json:"store_hit,omitempty"`
 	Created  time.Time  `json:"created"`
 	Result   *RunResult `json:"result,omitempty"`
 }
@@ -48,6 +51,7 @@ type SweepRow struct {
 	Faults    int       `json:"faults"`
 	Topology  string    `json:"topology"`
 	CacheHit  bool      `json:"cache_hit"`
+	StoreHit  bool      `json:"store_hit,omitempty"`
 	Aggregate Aggregate `json:"aggregate"`
 }
 
@@ -86,9 +90,20 @@ func (s *Server) status(j *Job) JobStatus {
 		State:    snap.State,
 		Error:    snap.Error,
 		CacheHit: snap.CacheHit,
+		StoreHit: snap.StoreHit,
 		Created:  snap.Created,
 		Result:   result,
 	}
+}
+
+// writeUnavailable emits the 503 for a full queue (or closing engine) with
+// Retry-After advice derived from the queue depth and the mean executed-job
+// latency, so backpressure tells clients *when* to come back instead of
+// inviting an immediate stampede.
+func (s *Server) writeUnavailable(w http.ResponseWriter, err error) {
+	secs := int((s.engine.RetryAfter() + time.Second - 1) / time.Second) // round up
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusServiceUnavailable, err)
 }
 
 // GCStats is the allocator/GC view surfaced by /healthz: with pooled
@@ -124,13 +139,26 @@ func (s *Server) gcStats() GCStats {
 	return s.gcSnap
 }
 
-// handleHealth reports liveness plus engine, cache, platform-pool and GC
-// statistics for capacity monitoring.
+// dispatchHealth is the /healthz "dispatch" section: the coordinator's
+// worker/lease counters plus, when durability is on, the result store.
+type dispatchHealth struct {
+	dispatch.Stats
+	Store *store.Stats `json:"store,omitempty"`
+}
+
+// handleHealth reports liveness plus engine, cache, dispatch, store,
+// platform-pool and GC statistics for capacity monitoring.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	dh := dispatchHealth{Stats: s.coord.Stats()}
+	if s.store != nil {
+		st := s.store.Stats()
+		dh.Store = &st
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"engine":         s.engine.Stats(),
+		"dispatch":       dh,
 		"pool":           experiments.PoolStats(),
 		"gc":             s.gcStats(),
 	})
@@ -153,7 +181,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.engine.Submit(spec)
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
-			writeError(w, http.StatusServiceUnavailable, err)
+			s.writeUnavailable(w, err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, err)
@@ -303,11 +331,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i := range cells {
 		j, err := s.engine.Submit(cells[i].spec)
 		if err != nil {
-			code := http.StatusInternalServerError
+			cellErr := fmt.Errorf("cell %s/%d: %w", cells[i].row.Model, cells[i].row.Faults, err)
 			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
-				code = http.StatusServiceUnavailable
+				s.writeUnavailable(w, cellErr)
+				return
 			}
-			writeError(w, code, fmt.Errorf("cell %s/%d: %w", cells[i].row.Model, cells[i].row.Faults, err))
+			writeError(w, http.StatusInternalServerError, cellErr)
 			return
 		}
 		cells[i].job = j
@@ -326,6 +355,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		c.row.CacheHit = snap.CacheHit
+		c.row.StoreHit = snap.StoreHit
 		c.row.Aggregate = result.Aggregate
 		resp.Rows = append(resp.Rows, c.row)
 	}

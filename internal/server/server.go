@@ -1,11 +1,15 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
+
+	"centurion/internal/dispatch"
+	"centurion/internal/store"
 )
 
 // Service sizing defaults (applied for zero Options fields).
@@ -17,6 +21,10 @@ const (
 // Options sizes the service. Zero values select the defaults.
 type Options struct {
 	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	// With remote `centurion worker` daemons attached it also bounds how
+	// many dispatch jobs can be outstanding at once — workers blocked on a
+	// lease cost a goroutine, not a core, so raise it freely for
+	// dispatch-heavy deployments.
 	Workers int
 	// QueueBound is the admission queue capacity; submissions beyond it
 	// are rejected with 503 (default DefaultQueueBound).
@@ -24,6 +32,12 @@ type Options struct {
 	// CacheSize is the LRU result-cache capacity in entries (default
 	// DefaultCacheSize).
 	CacheSize int
+	// Store is the durable content-addressed result store layered under
+	// the LRU (nil = none: results die with the process). The server owns
+	// the store once passed and closes it on shutdown.
+	Store store.Store
+	// Dispatch tunes the lease coordinator (zero values = defaults).
+	Dispatch dispatch.Config
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ so hot-path
 	// regressions can be profiled on a live service (`go tool pprof
 	// http://host/debug/pprof/profile`). Off by default: the profiling
@@ -45,9 +59,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server is the simulation service: the job engine plus its REST API.
+// Server is the simulation service: the job engine plus its REST API, and
+// — since the dispatch subsystem — the coordinator that `centurion worker`
+// daemons lease jobs from.
 type Server struct {
 	engine  *Engine
+	coord   *dispatch.Coordinator
+	store   store.Store // nil when running without durability
 	mux     *http.ServeMux
 	started time.Time
 
@@ -57,15 +75,24 @@ type Server struct {
 	gcSnap GCStats
 }
 
-// New assembles a service and starts its worker pool.
+// New assembles a service and starts its worker pool and lease coordinator.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		engine:  NewEngine(opts.Workers, opts.QueueBound, opts.CacheSize),
+		coord:   dispatch.NewCoordinator(opts.Dispatch),
+		store:   opts.Store,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	// Every job engine worker routes through dispatch: remote when leased
+	// workers are alive, in-process otherwise.
+	s.engine.SetExecutor(NewDispatchExecutor(s.coord))
+	if s.store != nil {
+		s.engine.SetResultStore(s.store)
+	}
 	s.routes(s.mux)
+	s.coord.Routes(s.mux)
 	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -84,18 +111,68 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Engine exposes the job engine (direct submissions without HTTP).
 func (s *Server) Engine() *Engine { return s.engine }
 
-// Close stops the worker pool, cancelling any running jobs.
-func (s *Server) Close() { s.engine.Close() }
+// Coordinator exposes the dispatch coordinator (stats, in-process workers).
+func (s *Server) Coordinator() *dispatch.Coordinator { return s.coord }
+
+// Close stops the worker pool and coordinator immediately, cancelling any
+// running jobs, and closes the durable store.
+func (s *Server) Close() {
+	s.engine.Close()
+	s.coord.Close()
+	if s.store != nil {
+		_ = s.store.Close()
+	}
+}
+
+// Shutdown is the graceful Close: admission stops at once, in-flight jobs
+// drain (workers finish or their leases lapse) until ctx expires, then
+// everything is torn down and the store closed cleanly.
+func (s *Server) Shutdown(ctx context.Context) {
+	// Engine first: its workers are the coordinator's waiters, so a drained
+	// engine leaves the coordinator with nothing in flight.
+	s.engine.Drain(ctx)
+	s.coord.Drain(ctx)
+	s.coord.Close()
+	if s.store != nil {
+		_ = s.store.Close()
+	}
+}
 
 // ListenAndServe runs the service on addr until the listener fails. The
 // header timeout guards against slow-header connection exhaustion; no
 // write timeout is set because the SSE endpoint streams indefinitely.
 func (s *Server) ListenAndServe(addr string) error {
-	defer s.Close()
+	return s.ListenAndServeContext(context.Background(), addr)
+}
+
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests and jobs before cutting them off.
+const shutdownGrace = 30 * time.Second
+
+// ListenAndServeContext runs the service on addr until the listener fails
+// or ctx is cancelled. Cancellation triggers a graceful drain: the listener
+// stops accepting, in-flight HTTP requests and jobs get shutdownGrace to
+// finish, and the store is closed cleanly.
+func (s *Server) ListenAndServeContext(ctx context.Context, addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.ListenAndServe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+		grace, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		// Stop accepting and wait for in-flight handlers (blocked sweep
+		// waiters finish because the engine is still running), then drain
+		// the engine and coordinator.
+		_ = srv.Shutdown(grace)
+		s.Shutdown(grace)
+		return nil
+	}
 }

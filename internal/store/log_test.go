@@ -1,0 +1,252 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testKey builds a realistic content-addressed key (hex SHA-256, like the
+// server's canonical spec keys).
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("spec-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func openTestLog(t *testing.T, path string) *LogStore {
+	t.Helper()
+	s, err := OpenLog(path)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	return s
+}
+
+func TestLogStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openTestLog(t, path)
+	defer s.Close()
+
+	vals := map[string][]byte{}
+	for i := 0; i < 32; i++ {
+		key := testKey(i)
+		val := bytes.Repeat([]byte{byte(i)}, 10+i*7)
+		vals[key] = val
+		if err := s.Put(key, val); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	for key, want := range vals {
+		got, ok, err := s.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s): ok=%v err=%v", key[:8], ok, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Get(%s): value mismatch", key[:8])
+		}
+	}
+	if _, ok, _ := s.Get(testKey(999)); ok {
+		t.Fatal("Get of unknown key reported ok")
+	}
+	st := s.Stats()
+	if st.Entries != 32 || st.Puts != 32 || st.Hits != 32 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLogStoreReplayAfterReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openTestLog(t, path)
+	for i := 0; i < 16; i++ {
+		if err := s.Put(testKey(i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Supersede a key: replay must keep the latest record.
+	if err := s.Put(testKey(3), []byte("value-3-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestLog(t, path)
+	defer s2.Close()
+	if st := s2.Stats(); st.Entries != 16 || st.TruncatedTail {
+		t.Fatalf("replayed stats = %+v", st)
+	}
+	got, ok, err := s2.Get(testKey(3))
+	if err != nil || !ok || string(got) != "value-3-v2" {
+		t.Fatalf("superseded key after replay: %q ok=%v err=%v", got, ok, err)
+	}
+	if st := s2.Stats(); st.DeadBytes == 0 {
+		t.Fatal("superseded record not accounted as dead bytes after replay")
+	}
+}
+
+// TestLogStoreCrashRecovery is the satellite edge case: a crash mid-append
+// leaves a truncated tail record; reopening must discard exactly that torn
+// record and recover every committed result bit-identically.
+func TestLogStoreCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openTestLog(t, path)
+	committed := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		key := testKey(i)
+		val := bytes.Repeat([]byte{0xA0 + byte(i)}, 100+i)
+		committed[key] = val
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(testKey(8), bytes.Repeat([]byte{0xFF}, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash: chop the last record's payload mid-way.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-150); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestLog(t, path)
+	defer s2.Close()
+	st := s2.Stats()
+	if !st.TruncatedTail {
+		t.Fatal("torn tail not reported")
+	}
+	if st.Entries != len(committed) {
+		t.Fatalf("recovered %d entries, want %d", st.Entries, len(committed))
+	}
+	for key, want := range committed {
+		got, ok, err := s2.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("committed record %s lost: ok=%v err=%v", key[:8], ok, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("committed record %s not bit-identical after recovery", key[:8])
+		}
+	}
+	if _, ok, _ := s2.Get(testKey(8)); ok {
+		t.Fatal("torn record resurrected")
+	}
+	// The store must accept appends after recovery (the truncation left a
+	// clean tail).
+	if err := s2.Put(testKey(8), []byte("recomputed")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	got, ok, _ := s2.Get(testKey(8))
+	if !ok || string(got) != "recomputed" {
+		t.Fatal("append after recovery not readable")
+	}
+}
+
+// TestLogStoreCorruptTail covers the torn-checksum case: the record length
+// fields survived but the payload bytes did not.
+func TestLogStoreCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openTestLog(t, path)
+	if err := s.Put(testKey(0), []byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), bytes.Repeat([]byte{7}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip a payload byte of the final record.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := f.Stat()
+	if _, err := f.WriteAt([]byte{0xEE}, info.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTestLog(t, path)
+	defer s2.Close()
+	if st := s2.Stats(); !st.TruncatedTail || st.Entries != 1 {
+		t.Fatalf("stats after corrupt tail = %+v", st)
+	}
+	got, ok, _ := s2.Get(testKey(0))
+	if !ok || string(got) != "keep-me" {
+		t.Fatal("record before the corrupt tail lost")
+	}
+}
+
+func TestLogStoreCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openTestLog(t, path)
+	defer s.Close()
+	// Supersede one key many times: all but the last record are dead.
+	for i := 0; i < 50; i++ {
+		if err := s.Put(testKey(0), bytes.Repeat([]byte{byte(i)}, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(testKey(1), []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatal("superseded records not tracked as dead")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after := s.Stats()
+	if after.DeadBytes != 0 || after.Compactions != 1 || after.LastCompaction.IsZero() {
+		t.Fatalf("post-compaction stats = %+v", after)
+	}
+	if after.LogBytes >= before.LogBytes {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before.LogBytes, after.LogBytes)
+	}
+	got, ok, _ := s.Get(testKey(0))
+	if !ok || !bytes.Equal(got, bytes.Repeat([]byte{49}, 128)) {
+		t.Fatal("latest value lost by compaction")
+	}
+	if got, ok, _ := s.Get(testKey(1)); !ok || string(got) != "other" {
+		t.Fatal("unrelated key lost by compaction")
+	}
+
+	// The compacted log must replay cleanly.
+	s.Close()
+	s2 := openTestLog(t, path)
+	defer s2.Close()
+	if st := s2.Stats(); st.Entries != 2 || st.TruncatedTail {
+		t.Fatalf("replay of compacted log: %+v", st)
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k")
+	if err != nil || !ok || string(got) != "v" {
+		t.Fatalf("Get: %q ok=%v err=%v", got, ok, err)
+	}
+	// The returned slice must be a copy.
+	got[0] = 'x'
+	got2, _, _ := s.Get("k")
+	if string(got2) != "v" {
+		t.Fatal("MemStore aliases its internal buffer")
+	}
+	if st := s.Stats(); st.Entries != 1 || st.LiveBytes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

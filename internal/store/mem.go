@@ -1,0 +1,65 @@
+package store
+
+import "sync"
+
+// MemStore is the in-memory Store: the zero-dependency backend for tests
+// and for coordinators running without a data directory. Contents die with
+// the process.
+type MemStore struct {
+	mu     sync.Mutex
+	m      map[string][]byte
+	bytes  int64
+	puts   uint64
+	hits   uint64
+	misses uint64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string][]byte)}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	if !ok {
+		s.misses++
+		return nil, false, nil
+	}
+	s.hits++
+	return append([]byte(nil), v...), true, nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[key]; ok {
+		s.bytes -= int64(len(old))
+	}
+	s.m[key] = append([]byte(nil), val...)
+	s.bytes += int64(len(val))
+	s.puts++
+	return nil
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:   len(s.m),
+		LiveBytes: s.bytes,
+		Puts:      s.puts,
+		Hits:      s.hits,
+		Misses:    s.misses,
+	}
+}
+
+// Compact implements Store; memory holds no dead records.
+func (s *MemStore) Compact() error { return nil }
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }

@@ -1,0 +1,56 @@
+// Package store provides the coordinator's durable, content-addressed
+// result store: values are keyed by the canonical SHA-256 spec keys the
+// server layer already computes, so a key names exactly one result for the
+// lifetime of the deployment and a restart serves previously computed
+// results without re-execution.
+//
+// The package is deliberately ignorant of what it stores — keys are strings,
+// values opaque byte slices — so the embedded append-only LogStore and any
+// future external backend (an object store, a database) slot in behind one
+// small interface.
+package store
+
+import "time"
+
+// Store is a durable content-addressed key→value map. Implementations must
+// be safe for concurrent use. Because keys are content hashes of the inputs
+// that produced the value, Put for an existing key is idempotent: the value
+// is byte-identical, and implementations may keep either copy.
+type Store interface {
+	// Get returns the stored value for key. The returned slice is owned by
+	// the caller (never aliased by the store's internals).
+	Get(key string) (val []byte, ok bool, err error)
+	// Put durably records key→val. It must not retain val after returning.
+	Put(key string, val []byte) error
+	// Stats snapshots size and traffic counters for /healthz.
+	Stats() Stats
+	// Compact reclaims space held by superseded records, where the backend
+	// supports it; otherwise it is a no-op.
+	Compact() error
+	// Close flushes and releases the backend. The store is unusable after.
+	Close() error
+}
+
+// Stats is a point-in-time snapshot of a store.
+type Stats struct {
+	// Entries is the number of distinct keys held.
+	Entries int `json:"entries"`
+	// LiveBytes is the sum of live value payload sizes.
+	LiveBytes int64 `json:"live_bytes"`
+	// LogBytes is the on-disk log size, including framing and any dead
+	// (superseded) records; zero for memory-backed stores.
+	LogBytes int64 `json:"log_bytes,omitempty"`
+	// DeadBytes is the log space held by superseded records — the amount a
+	// compaction would reclaim.
+	DeadBytes int64  `json:"dead_bytes,omitempty"`
+	Puts      uint64 `json:"puts"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	// Compactions counts completed compactions; LastCompaction is the wall
+	// time of the most recent one (zero if never).
+	Compactions    uint64    `json:"compactions"`
+	LastCompaction time.Time `json:"last_compaction,omitzero"`
+	// TruncatedTail reports that opening the log found and discarded a torn
+	// final record — the expected signature of a crash mid-append.
+	TruncatedTail bool `json:"truncated_tail,omitempty"`
+}
