@@ -260,6 +260,25 @@ func (s *System) InjectRegionFault(x, y, radius int) {
 	s.p.InjectFaults(faults.Region(s.p.Topo, s.p.Topo.ID(c), radius))
 }
 
+// FaultProfile describes a hostile-environment schedule — death, churn,
+// flaky links, cascading regional failures or byzantine routers. See
+// internal/faults for field semantics; zero fields take per-kind defaults.
+type FaultProfile = faults.Profile
+
+// ApplyFaultProfile compiles the profile into a deterministic fault
+// schedule for this system's topology and arranges every event on the
+// simulation queue. durationMs bounds the timeline (events at or beyond it
+// never fire). Equal (topology, seed, profile, duration) always yields a
+// bit-identical schedule. Call it once, before running.
+func (s *System) ApplyFaultProfile(p FaultProfile, seed uint64, durationMs int) error {
+	sched, err := faults.Build(s.p.Topo, seed, p, durationMs)
+	if err != nil {
+		return fmt.Errorf("centurion: fault profile: %w", err)
+	}
+	s.ctl.ApplySchedule(sched)
+	return nil
+}
+
 // AliveNodes returns the number of functioning nodes.
 func (s *System) AliveNodes() int {
 	n := 0

@@ -1,6 +1,7 @@
 package centurion
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -182,7 +183,7 @@ func TestRunSpecServiceEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Runs[0] != res2.Runs[0] {
+	if !reflect.DeepEqual(res.Runs[0], res2.Runs[0]) {
 		t.Error("RunSpec is not deterministic for identical specs")
 	}
 	if _, err := RunSpec(ServiceSpec{Model: "zerg"}); err == nil {

@@ -8,13 +8,15 @@
 //	centurion table2 [-runs N] [-seed S] [-faults 0,2,4,8,16,32]
 //	centurion fig4   [-faults 5] [-seed S] [-csv out.csv]
 //	centurion run    [-model none|ni|ffw|ni-pb] [-topology mesh|torus|cmesh]
-//	                 [-seed S] [-ms 1000] [-faults N] [-fault-at MS] [-map]
+//	                 [-seed S] [-ms 1000] [-faults N] [-fault-at MS]
+//	                 [-fault-profile KIND|JSON] [-map]
 //	centurion serve  [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR]
 //	centurion worker [-coordinator URL] [-name NAME] [-slots N]
 //	centurion asm    [-o out.txt] file.psm
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -141,6 +143,8 @@ func cmdRun(args []string) error {
 	ms := fs.Float64("ms", 1000, "simulated milliseconds")
 	faultN := fs.Int("faults", 0, "random node faults to inject")
 	faultAt := fs.Float64("fault-at", 500, "fault injection time (ms)")
+	faultProf := fs.String("fault-profile", "",
+		`hostile fault profile: a kind (death|churn|flaky|cascade|byzantine) or a JSON object, e.g. '{"kind":"cascade","waves":4}'`)
 	showMap := fs.Bool("map", false, "print the task map before and after")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -155,6 +159,9 @@ func cmdRun(args []string) error {
 	if _, err := noc.MakeTopology(*topology, 16, 8); err != nil {
 		return err
 	}
+	if *faultProf != "" && *faultN > 0 {
+		return fmt.Errorf("-fault-profile and -faults are mutually exclusive (a death profile subsumes the legacy pair)")
+	}
 	if *faultN > 0 && (*faultAt <= 0 || *faultAt >= *ms) {
 		return fmt.Errorf("-fault-at %g must lie strictly inside (0, %g) to inject %d faults", *faultAt, *ms, *faultN)
 	}
@@ -165,7 +172,20 @@ func cmdRun(args []string) error {
 		fmt.Print(sys.MapASCII())
 	}
 
-	if *faultN > 0 {
+	if *faultProf != "" {
+		prof, err := parseFaultProfile(*faultProf)
+		if err != nil {
+			return err
+		}
+		if err := sys.ApplyFaultProfile(prof, *seed, int(*ms)); err != nil {
+			return err
+		}
+		sys.RunMs(*ms)
+		c := sys.Counters()
+		fmt.Printf("model=%s topology=%s seed=%d profile=%s: %d instances completed in %.0f ms (%.2f inst/ms), %d task switches\n",
+			*model, *topology, *seed, prof.Kind, c.InstancesCompleted, *ms,
+			float64(c.InstancesCompleted)/(*ms), c.TaskSwitches)
+	} else if *faultN > 0 {
 		sys.RunMs(*faultAt)
 		pre := sys.Counters()
 		sys.InjectRandomFaults(*faultN, *seed^0xfa17)
@@ -219,6 +239,22 @@ func cmdAsm(args []string) error {
 		return nil
 	}
 	return os.WriteFile(*out, []byte(listing), 0o644)
+}
+
+// parseFaultProfile accepts either a bare profile kind ("cascade") or a
+// JSON object with the full fault_profile field set.
+func parseFaultProfile(s string) (centurion.FaultProfile, error) {
+	var p centurion.FaultProfile
+	if strings.HasPrefix(strings.TrimSpace(s), "{") {
+		dec := json.NewDecoder(strings.NewReader(s))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&p); err != nil {
+			return p, fmt.Errorf("bad -fault-profile JSON: %w", err)
+		}
+		return p, nil
+	}
+	p.Kind = strings.TrimSpace(s)
+	return p, nil
 }
 
 // modelOptions maps a -model flag value to system options.

@@ -3,6 +3,7 @@ package centurion
 import (
 	"fmt"
 
+	"centurion/internal/faults"
 	"centurion/internal/noc"
 	"centurion/internal/sim"
 )
@@ -107,6 +108,32 @@ func (c *Controller) BroadcastConfig(op noc.ConfigOp, arg, arg2 int) (sent int, 
 // debug interface (out-of-band, as on the real platform).
 func (c *Controller) ScheduleFaults(at sim.Tick, nodes []noc.NodeID) {
 	c.p.Schedule(at, func(now sim.Tick) { c.p.InjectFaults(nodes) })
+}
+
+// ApplySchedule arranges every event of a fault schedule on the simulation
+// event queue. Each event is an ordinary scheduled callback, so idle
+// fast-forward treats the whole hostile timeline as wake sources and the
+// same-tick ordering of the schedule is the queue's insertion order — a
+// single-event kill schedule goes through the exact code path
+// ScheduleFaults uses. Call it once per run, after Reset (which clears the
+// queue).
+func (c *Controller) ApplySchedule(s faults.Schedule) {
+	p := c.p
+	for i := range s.Events {
+		ev := s.Events[i]
+		switch ev.Op {
+		case faults.OpKill:
+			p.Schedule(ev.At, func(now sim.Tick) { p.InjectFaults(ev.Nodes) })
+		case faults.OpRevive:
+			p.Schedule(ev.At, func(now sim.Tick) { p.ReviveNodes(ev.Nodes) })
+		case faults.OpLinkDown:
+			p.Schedule(ev.At, func(now sim.Tick) { p.Net.SetLinkHealth(ev.Node, ev.Port, false, now) })
+		case faults.OpLinkUp:
+			p.Schedule(ev.At, func(now sim.Tick) { p.Net.SetLinkHealth(ev.Node, ev.Port, true, now) })
+		case faults.OpByzantine:
+			p.Schedule(ev.At, func(now sim.Tick) { p.Net.SetByzantine(ev.Node, ev.Rate, ev.Modes, ev.Seed) })
+		}
+	}
 }
 
 // NodeReport is the runtime data the controller reads from one node over

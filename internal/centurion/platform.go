@@ -692,6 +692,33 @@ func (p *Platform) InjectFaults(nodes []noc.NodeID) {
 	}
 }
 
+// ReviveNodes returns downed nodes to service now — the churn half of the
+// fault engine. The node's router rejoins the fabric (routes recompute or
+// collapse back to the healthy tables), and every dead PE behind it revives
+// as an idle recruit: directory re-registered, intelligence engine told the
+// node is unassigned and re-enrolled for polling. On a concentrated fabric
+// the shared router is the cluster's attachment point, so reviving any
+// member brings its dead siblings back too — the exact mirror of
+// InjectFaults' cluster semantics. Reviving a healthy node is a no-op.
+func (p *Platform) ReviveNodes(nodes []noc.NodeID) {
+	now := p.clock.Now()
+	for _, id := range nodes {
+		p.Net.Revive(id, now)
+		rid := p.Topo.RouterOf(id)
+		for m := noc.NodeID(0); int(m) < p.Topo.Nodes(); m++ {
+			if p.Topo.RouterOf(m) != rid || p.pes[m].Alive() {
+				continue
+			}
+			p.pes[m].Revive(now)
+			p.engines[m].NoteTask(taskgraph.None)
+			p.engSet.Add(int(m))
+			if p.Cfg.Trace != nil {
+				p.Cfg.Trace.Add(trace.Event{At: now, Kind: trace.KindRevive, Node: m})
+			}
+		}
+	}
+}
+
 // Step advances the platform one tick: scheduled events, processing
 // elements, fabric, then intelligence decisions.
 //

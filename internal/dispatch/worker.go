@@ -5,11 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"centurion/internal/sim"
 )
 
 // ExecuteFunc runs one leased job's payload and returns the result payload,
@@ -42,6 +45,11 @@ type WorkerOptions struct {
 	HardStop <-chan struct{}
 	// MaxBackoff caps the retry backoff on coordinator loss (default 5s).
 	MaxBackoff time.Duration
+	// BackoffSeed seeds the deterministic jitter spread over every retry
+	// backoff, so a fleet of workers bounced by one coordinator restart
+	// de-synchronises instead of thundering back in lockstep. Zero derives
+	// the seed from Name, which already differs per worker.
+	BackoffSeed uint64
 }
 
 // registration is the identity the coordinator handed us.
@@ -60,6 +68,9 @@ type worker struct {
 
 	mu  sync.Mutex
 	reg registration
+
+	rngMu sync.Mutex
+	rng   sim.RNG // jitter source, shared by every retry site
 }
 
 // RunWorker registers against the coordinator and executes leased jobs
@@ -78,7 +89,13 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = 5 * time.Second
 	}
-	w := &worker{o: o, client: o.Client, logf: o.Logf}
+	seed := o.BackoffSeed
+	if seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(o.Name))
+		seed = h.Sum64()
+	}
+	w := &worker{o: o, client: o.Client, logf: o.Logf, rng: *sim.NewRNG(seed)}
 	if w.client == nil {
 		w.client = &http.Client{}
 	}
@@ -130,6 +147,15 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 	return nil
 }
 
+// jitter spreads a backoff delay uniformly over [d/2, 3d/2) using the
+// worker's seeded RNG: deterministic per worker, different across a fleet.
+func (w *worker) jitter(d time.Duration) time.Duration {
+	w.rngMu.Lock()
+	f := w.rng.Float64()
+	w.rngMu.Unlock()
+	return d/2 + time.Duration(f*float64(d))
+}
+
 // register obtains a worker ID, retrying with backoff until ctx dies.
 func (w *worker) register(ctx context.Context) error {
 	backoff := 50 * time.Millisecond
@@ -155,7 +181,7 @@ func (w *worker) register(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(w.jitter(backoff)):
 		}
 		if backoff *= 2; backoff > w.o.MaxBackoff {
 			backoff = w.o.MaxBackoff
@@ -203,7 +229,7 @@ func (w *worker) slotLoop(leaseCtx, hardCtx context.Context, slot int) {
 			select {
 			case <-leaseCtx.Done():
 				return
-			case <-time.After(backoff):
+			case <-time.After(w.jitter(backoff)):
 			}
 			if backoff *= 2; backoff > w.o.MaxBackoff {
 				backoff = w.o.MaxBackoff
@@ -226,7 +252,7 @@ func (w *worker) slotLoop(leaseCtx, hardCtx context.Context, slot int) {
 			select {
 			case <-leaseCtx.Done():
 				return
-			case <-time.After(backoff):
+			case <-time.After(w.jitter(backoff)):
 			}
 			if backoff *= 2; backoff > w.o.MaxBackoff {
 				backoff = w.o.MaxBackoff
@@ -323,7 +349,7 @@ func (w *worker) runJob(hardCtx context.Context, reg registration, lease Lease, 
 		select {
 		case <-hardCtx.Done():
 			return
-		case <-time.After(backoff):
+		case <-time.After(w.jitter(backoff)):
 		}
 		if backoff *= 2; backoff > w.o.MaxBackoff {
 			backoff = w.o.MaxBackoff

@@ -65,6 +65,12 @@ type Spec struct {
 	// (0 disables fault injection).
 	FaultAtMs int
 	NumFaults int
+	// FaultProfile, when non-nil, compiles into a full hostile-environment
+	// fault schedule (death, churn, flaky links, cascades, byzantine
+	// routers — see faults.Profile) executed through the event queue. It is
+	// mutually exclusive with the legacy FaultAtMs/NumFaults pair; a death
+	// profile reproduces that pair bit for bit.
+	FaultProfile *faults.Profile
 	// WindowMs is the metric sampling window (1 ms by default).
 	WindowMs int
 	// Overrides for ablation studies (nil = experiment defaults).
@@ -124,7 +130,36 @@ type Result struct {
 	// post-fault segment (equals SteadyRate when fault-free).
 	PostFaultRate float64
 
+	// Resilience measures, populated when the run executes a fault profile.
+	// ByzMisrouted/ByzDropped/ByzDuplicated are the fabric's byzantine
+	// interference totals; Waves is the per-milestone re-settling record —
+	// one entry per structural disruption (kill wave, revival, byzantine
+	// arming) of the schedule.
+	ByzMisrouted  uint64
+	ByzDropped    uint64
+	ByzDuplicated uint64
+	Waves         []WaveRecovery
+
 	Counters centurion.Counters
+}
+
+// WaveRecovery is the post-event resilience record of one fault-schedule
+// milestone: how long the platform took to re-settle after the disruption
+// (measured to the next milestone or the end of the run, per the paper's
+// Table-II settling criterion) and the fabric traffic accounted during that
+// segment.
+type WaveRecovery struct {
+	// AtMs is the disruption time, aligned down to the metric window.
+	AtMs int
+	// RecoveryMs is the re-settling time from the disruption; Recovered is
+	// false when throughput never re-settled before the segment ended.
+	RecoveryMs float64
+	Recovered  bool
+	// Delivered, Dropped and Misrouted are fabric counts within the
+	// segment (misroutes are byzantine interference events).
+	Delivered uint64
+	Dropped   uint64
+	Misrouted uint64
 }
 
 // Measurement-buffer recycling: every run needs three window series and a
@@ -207,8 +242,18 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 	defer release()
 	ctl := centurion.NewController(p)
 
-	// Fault plan through the controller's debug interface.
-	if spec.NumFaults > 0 && spec.FaultAtMs > 0 {
+	// Fault plan through the controller's debug interface. A profile
+	// compiles into a full hostile-environment schedule; the legacy
+	// FaultAtMs/NumFaults pair stays byte-for-byte on its historical path.
+	var sched faults.Schedule
+	if spec.FaultProfile != nil {
+		var err error
+		sched, err = faults.Build(p.Topo, spec.Seed, *spec.FaultProfile, spec.DurationMs)
+		if err != nil {
+			return Result{Spec: spec}, err
+		}
+		ctl.ApplySchedule(sched)
+	} else if spec.NumFaults > 0 && spec.FaultAtMs > 0 {
 		// The fault-site RNG stream is derived from the seed but independent
 		// of the platform's own stream.
 		faultRNG := sim.NewRNG(spec.Seed ^ 0xfa17517e5eed)
@@ -228,6 +273,26 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 	}
 
 	windowTicks := sim.Tick(spec.WindowMs) * sim.TicksPerMs
+	// Milestone boundaries (window indices where the schedule structurally
+	// disrupts the platform) partition the run into recovery segments; the
+	// fabric counters are snapshotted at each boundary so per-wave traffic
+	// is a pair of diffs.
+	var waveWins []int
+	for _, at := range sched.Milestones() {
+		wi := int(at / windowTicks)
+		if wi <= 0 || wi >= windows {
+			continue
+		}
+		if n := len(waveWins); n == 0 || waveWins[n-1] != wi {
+			waveWins = append(waveWins, wi)
+		}
+	}
+	type netSnap struct{ delivered, dropped, misrouted uint64 }
+	snapAt := func() netSnap {
+		ns := p.Net.Stats()
+		return netSnap{ns.Delivered, ns.Dropped, ns.ByzMisrouted}
+	}
+	waveSnaps := make([]netSnap, 0, len(waveWins)+1)
 	pes := p.PEs()
 	workBuf := workScratch.Get().(*[]uint64)
 	defer func() {
@@ -243,6 +308,9 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 		if err := ctx.Err(); err != nil {
 			res.Counters = p.Counters()
 			return res, err
+		}
+		if len(waveSnaps) < len(waveWins) && waveWins[len(waveSnaps)] == w {
+			waveSnaps = append(waveSnaps, snapAt())
 		}
 		p.RunFor(windowTicks, nil)
 		c := p.Counters()
@@ -262,10 +330,36 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 		}
 	}
 	res.Counters = p.Counters()
+	waveSnaps = append(waveSnaps, snapAt())
 
 	par := metrics.DefaultSettleParams()
 	faultIdx := windows
-	if spec.NumFaults > 0 && spec.FaultAtMs > 0 {
+	if spec.FaultProfile != nil {
+		// The profile has been validated by Build above; its normalized
+		// start time splits steady from hostile, exactly like FaultAtMs.
+		prof, _ := spec.FaultProfile.Normalized(spec.DurationMs)
+		if fi := prof.AtMs / spec.WindowMs; fi > 0 && fi < windows {
+			faultIdx = fi
+		}
+		ns := p.Net.Stats()
+		res.ByzMisrouted = ns.ByzMisrouted
+		res.ByzDropped = ns.ByzDropped
+		res.ByzDuplicated = ns.ByzDuplicated
+		for i, start := range waveWins {
+			end := windows
+			if i+1 < len(waveWins) {
+				end = waveWins[i+1]
+			}
+			rec := WaveRecovery{
+				AtMs:      start * spec.WindowMs,
+				Delivered: waveSnaps[i+1].delivered - waveSnaps[i].delivered,
+				Dropped:   waveSnaps[i+1].dropped - waveSnaps[i].dropped,
+				Misrouted: waveSnaps[i+1].misrouted - waveSnaps[i].misrouted,
+			}
+			rec.RecoveryMs, rec.Recovered = metrics.SettlingTime(res.Throughput, start, end, par)
+			res.Waves = append(res.Waves, rec)
+		}
+	} else if spec.NumFaults > 0 && spec.FaultAtMs > 0 {
 		faultIdx = spec.FaultAtMs / spec.WindowMs
 	}
 	res.SettlingMs, res.Settled = metrics.SettlingTime(res.Throughput, 0, faultIdx, par)

@@ -1,0 +1,456 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"centurion/internal/noc"
+	"centurion/internal/sim"
+)
+
+// seedSalt decorrelates the fault stream from every other seeded stream in
+// the system. It is the exact salt the legacy single-instant path used, and
+// the death profile draws its node set first — so a death schedule is
+// bit-identical to the historical `fault_at` injection.
+const seedSalt = 0xfa17517e5eed
+
+// Op identifies one kind of scheduled fault event.
+type Op uint8
+
+const (
+	// OpKill takes a set of nodes off the fabric permanently (until an
+	// OpRevive names them) — the paper's node-death model.
+	OpKill Op = iota
+	// OpRevive returns downed nodes to service: routes recompute, the
+	// directory re-registers them as idle recruits.
+	OpRevive
+	// OpLinkDown marks one endpoint of a link unhealthy; schedules emit
+	// both endpoints together so the cut is symmetric.
+	OpLinkDown
+	// OpLinkUp heals a link endpoint.
+	OpLinkUp
+	// OpByzantine arms a router to misroute, drop or duplicate forwarded
+	// packets at a seeded rate.
+	OpByzantine
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpKill:
+		return "kill"
+	case OpRevive:
+		return "revive"
+	case OpLinkDown:
+		return "link-down"
+	case OpLinkUp:
+		return "link-up"
+	case OpByzantine:
+		return "byzantine"
+	}
+	return "unknown"
+}
+
+// Event is one entry of a fault timeline. Which fields matter depends on
+// the op: kills and revives carry a node set (in draw order — the order the
+// platform applies them), link events carry one (router, port) endpoint,
+// byzantine events carry the arming rate, behaviour bits and private seed.
+type Event struct {
+	At    sim.Tick
+	Op    Op
+	Nodes []noc.NodeID
+	Node  noc.NodeID
+	Port  noc.Port
+	Rate  uint32
+	Modes uint8
+	Seed  uint64
+}
+
+// Schedule is a seeded, deterministic fault timeline: events sorted by At,
+// same-tick events in build order. The platform walks it once at run setup,
+// scheduling each event on the simulation event queue — so every fault is a
+// wake source and idle fast-forward stays exact.
+type Schedule struct {
+	Events []Event
+}
+
+// Empty reports whether the schedule does nothing.
+func (s Schedule) Empty() bool { return len(s.Events) == 0 }
+
+// String summarises the schedule.
+func (s Schedule) String() string {
+	if s.Empty() {
+		return "no faults"
+	}
+	return fmt.Sprintf("%d fault events over [%s, %s]",
+		len(s.Events), s.Events[0].At, s.Events[len(s.Events)-1].At)
+}
+
+// Milestones returns the distinct ticks at which the schedule structurally
+// disrupts the platform — kill waves, revivals and byzantine armings — in
+// ascending order. Link flaps are excluded: they are continuous noise, not
+// recovery epochs. The experiment harness measures re-settling per
+// milestone.
+func (s Schedule) Milestones() []sim.Tick {
+	var out []sim.Tick
+	seen := map[sim.Tick]bool{}
+	for _, ev := range s.Events {
+		switch ev.Op {
+		case OpKill, OpRevive, OpByzantine:
+			if !seen[ev.At] {
+				seen[ev.At] = true
+				out = append(out, ev.At)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Profile kinds.
+const (
+	KindDeath     = "death"     // one permanent kill wave (legacy behaviour)
+	KindChurn     = "churn"     // kill wave + revival after a dwell
+	KindFlaky     = "flaky"     // links with seeded on/off duty cycles
+	KindCascade   = "cascade"   // distance-correlated follow-on kill waves
+	KindByzantine = "byzantine" // routers misroute/drop/duplicate at a rate
+)
+
+// byzantine behaviour names accepted in Profile.Modes.
+var byzModeBits = map[string]uint8{
+	"misroute": noc.ByzMisroute,
+	"drop":     noc.ByzDrop,
+	"dup":      noc.ByzDup,
+}
+
+// Profile is the declarative description a Schedule is built from. It is
+// the canonical wire form: the server hashes the normalized profile into
+// the spec key, so every field is an integer (no float canonicalisation
+// hazards) and Normalized zeroes whatever a kind does not use.
+type Profile struct {
+	// Kind selects the scenario: death, churn, flaky, cascade or byzantine.
+	Kind string `json:"kind"`
+	// AtMs is when the scenario starts (default: half the run).
+	AtMs int `json:"at_ms,omitempty"`
+	// Nodes is the kill-wave size for death, churn and cascade.
+	Nodes int `json:"nodes,omitempty"`
+	// ReviveAfterMs is the churn dwell between death and rejoin.
+	ReviveAfterMs int `json:"revive_after_ms,omitempty"`
+	// Waves, WaveDelayMs, WaveRadius and WaveDecayPct shape a cascade:
+	// each follow-on wave fires WaveDelayMs after the previous one, kills
+	// WaveDecayPct percent of the previous wave's size, and draws only from
+	// alive nodes within WaveRadius hops of the previous casualties.
+	Waves        int `json:"waves,omitempty"`
+	WaveDelayMs  int `json:"wave_delay_ms,omitempty"`
+	WaveRadius   int `json:"wave_radius,omitempty"`
+	WaveDecayPct int `json:"wave_decay_pct,omitempty"`
+	// Links, PeriodMs and DutyPct shape flakiness: Links random links each
+	// flap with period PeriodMs, down for DutyPct percent of it, at a
+	// seeded per-link phase.
+	Links    int `json:"links,omitempty"`
+	PeriodMs int `json:"period_ms,omitempty"`
+	DutyPct  int `json:"duty_pct,omitempty"`
+	// Routers, RatePct and Modes shape byzantine behaviour: Routers random
+	// routers interfere with RatePct percent of forwards using the named
+	// behaviours ("misroute", "drop", "dup", comma-separated).
+	Routers int    `json:"routers,omitempty"`
+	RatePct int    `json:"rate_pct,omitempty"`
+	Modes   string `json:"modes,omitempty"`
+}
+
+// Normalized validates the profile against a run length and returns the
+// canonical form: defaults resolved, fields the kind does not use zeroed
+// (so an inert field cannot split the result-cache key), mode list sorted.
+func (p Profile) Normalized(durationMs int) (Profile, error) {
+	if durationMs <= 0 {
+		return Profile{}, fmt.Errorf("faults: non-positive run length %d ms", durationMs)
+	}
+	out := Profile{Kind: p.Kind, AtMs: p.AtMs}
+	if out.AtMs == 0 {
+		out.AtMs = durationMs / 2
+	}
+	if out.AtMs <= 0 || out.AtMs >= durationMs {
+		return Profile{}, fmt.Errorf("faults: at_ms %d outside (0, %d)", out.AtMs, durationMs)
+	}
+	switch p.Kind {
+	case KindDeath:
+		out.Nodes = defaultInt(p.Nodes, 12)
+	case KindChurn:
+		out.Nodes = defaultInt(p.Nodes, 12)
+		out.ReviveAfterMs = defaultInt(p.ReviveAfterMs, 200)
+		if out.ReviveAfterMs <= 0 {
+			return Profile{}, fmt.Errorf("faults: churn revive_after_ms %d must be positive", p.ReviveAfterMs)
+		}
+		if out.AtMs+out.ReviveAfterMs >= durationMs {
+			return Profile{}, fmt.Errorf("faults: churn revival at %d ms lands outside the %d ms run",
+				out.AtMs+out.ReviveAfterMs, durationMs)
+		}
+	case KindCascade:
+		out.Nodes = defaultInt(p.Nodes, 4)
+		out.Waves = defaultInt(p.Waves, 3)
+		out.WaveDelayMs = defaultInt(p.WaveDelayMs, 100)
+		out.WaveRadius = defaultInt(p.WaveRadius, 2)
+		out.WaveDecayPct = defaultInt(p.WaveDecayPct, 50)
+		if out.Waves < 0 || out.WaveDelayMs <= 0 || out.WaveRadius <= 0 ||
+			out.WaveDecayPct <= 0 || out.WaveDecayPct > 100 {
+			return Profile{}, fmt.Errorf("faults: invalid cascade shape %+v", p)
+		}
+	case KindFlaky:
+		out.Links = defaultInt(p.Links, 8)
+		out.PeriodMs = defaultInt(p.PeriodMs, 40)
+		out.DutyPct = defaultInt(p.DutyPct, 50)
+		if out.Links <= 0 || out.PeriodMs < 2 {
+			return Profile{}, fmt.Errorf("faults: invalid flaky shape %+v", p)
+		}
+		if out.DutyPct < 1 || out.DutyPct > 99 {
+			return Profile{}, fmt.Errorf("faults: flaky duty_pct %d outside [1, 99]", out.DutyPct)
+		}
+	case KindByzantine:
+		out.Routers = defaultInt(p.Routers, 4)
+		out.RatePct = defaultInt(p.RatePct, 25)
+		out.Modes = p.Modes
+		if out.Modes == "" {
+			out.Modes = "misroute"
+		}
+		if out.Routers <= 0 || out.RatePct < 1 || out.RatePct > 100 {
+			return Profile{}, fmt.Errorf("faults: invalid byzantine shape %+v", p)
+		}
+		if _, err := parseByzModes(out.Modes); err != nil {
+			return Profile{}, err
+		}
+		out.Modes = canonicalByzModes(out.Modes)
+	default:
+		return Profile{}, fmt.Errorf("faults: unknown profile kind %q", p.Kind)
+	}
+	if out.Nodes < 0 {
+		return Profile{}, fmt.Errorf("faults: negative node count %d", out.Nodes)
+	}
+	return out, nil
+}
+
+func defaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// parseByzModes turns a comma-separated behaviour list into bits.
+func parseByzModes(s string) (uint8, error) {
+	var m uint8
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		bit, ok := byzModeBits[name]
+		if !ok {
+			return 0, fmt.Errorf("faults: unknown byzantine mode %q (want misroute, drop or dup)", name)
+		}
+		m |= bit
+	}
+	if m == 0 {
+		return 0, fmt.Errorf("faults: empty byzantine mode list")
+	}
+	return m, nil
+}
+
+// canonicalByzModes re-renders a valid mode list in bit order so equivalent
+// lists hash identically.
+func canonicalByzModes(s string) string {
+	bits, _ := parseByzModes(s)
+	var names []string
+	for _, name := range []string{"misroute", "drop", "dup"} {
+		if bits&byzModeBits[name] != 0 {
+			names = append(names, name)
+		}
+	}
+	return strings.Join(names, ",")
+}
+
+// Build compiles a profile into a concrete fault timeline for one
+// (topology, seed) pair. Build is a pure function: the same inputs yield a
+// byte-identical schedule every time — nothing is drawn at execution time,
+// so pooled platform reuse and Reset replay the exact same events.
+//
+// The fault RNG is seeded with the legacy salt and, for the death kind,
+// spent on exactly the legacy draw sequence — a death schedule reproduces
+// the historical single-instant injection bit for bit.
+func Build(topo noc.Topology, seed uint64, p Profile, durationMs int) (Schedule, error) {
+	p, err := p.Normalized(durationMs)
+	if err != nil {
+		return Schedule{}, err
+	}
+	if p.Nodes > topo.Nodes() {
+		return Schedule{}, fmt.Errorf("faults: profile kills %d of %d nodes", p.Nodes, topo.Nodes())
+	}
+	rng := sim.NewRNG(seed ^ seedSalt)
+	var s Schedule
+	switch p.Kind {
+	case KindDeath:
+		s.Events = append(s.Events, Event{
+			At: sim.Ms(float64(p.AtMs)), Op: OpKill,
+			Nodes: RandomNodes(topo, p.Nodes, rng),
+		})
+	case KindChurn:
+		nodes := RandomNodes(topo, p.Nodes, rng)
+		s.Events = append(s.Events,
+			Event{At: sim.Ms(float64(p.AtMs)), Op: OpKill, Nodes: nodes},
+			Event{At: sim.Ms(float64(p.AtMs + p.ReviveAfterMs)), Op: OpRevive, Nodes: nodes})
+	case KindCascade:
+		buildCascade(topo, rng, p, durationMs, &s)
+	case KindFlaky:
+		buildFlaky(topo, rng, p, durationMs, &s)
+	case KindByzantine:
+		buildByzantine(topo, rng, p, &s)
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return s, nil
+}
+
+// buildCascade emits the seed kill wave and its distance-correlated
+// follow-on waves. Everything is drawn at build time against a simulated
+// alive set, so the timeline is fixed before the run starts.
+func buildCascade(topo noc.Topology, rng *sim.RNG, p Profile, durationMs int, s *Schedule) {
+	dead := make([]bool, topo.Nodes())
+	prev := RandomNodes(topo, p.Nodes, rng)
+	for _, id := range prev {
+		dead[id] = true
+	}
+	s.Events = append(s.Events, Event{At: sim.Ms(float64(p.AtMs)), Op: OpKill, Nodes: prev})
+	size := len(prev)
+	for w := 1; w <= p.Waves; w++ {
+		atMs := p.AtMs + w*p.WaveDelayMs
+		if atMs >= durationMs {
+			break
+		}
+		size = size * p.WaveDecayPct / 100
+		if size == 0 {
+			break
+		}
+		// Candidates: alive nodes within the blast radius of the previous
+		// wave, in ascending ID order so the draw is order-stable.
+		var cand []noc.NodeID
+		for id := noc.NodeID(0); int(id) < topo.Nodes(); id++ {
+			if dead[id] {
+				continue
+			}
+			for _, c := range prev {
+				if topo.Distance(c, id) <= p.WaveRadius {
+					cand = append(cand, id)
+					break
+				}
+			}
+		}
+		if len(cand) == 0 {
+			break
+		}
+		if size > len(cand) {
+			size = len(cand)
+		}
+		perm := rng.Perm(len(cand))
+		wave := make([]noc.NodeID, size)
+		for i := 0; i < size; i++ {
+			wave[i] = cand[perm[i]]
+			dead[wave[i]] = true
+		}
+		s.Events = append(s.Events, Event{At: sim.Ms(float64(atMs)), Op: OpKill, Nodes: wave})
+		prev = wave
+	}
+}
+
+// link is one undirected physical link, named by its lower-ID endpoint.
+type link struct {
+	a, b noc.NodeID
+	ap   noc.Port // the port at a that faces b
+}
+
+// physicalLinks enumerates every router-to-router link exactly once, in
+// ascending (router, port) order: East and South from each physical router
+// cover horizontal and vertical pairs including torus wrap-arounds.
+func physicalLinks(topo noc.Topology) []link {
+	var out []link
+	seen := map[[2]noc.NodeID]bool{}
+	for id := noc.NodeID(0); int(id) < topo.Nodes(); id++ {
+		if topo.RouterOf(id) != id {
+			continue
+		}
+		for p := noc.North; p <= noc.West; p++ {
+			nb, ok := topo.Neighbor(id, p)
+			if !ok {
+				continue
+			}
+			r := topo.RouterOf(nb)
+			key := [2]noc.NodeID{id, r}
+			if id > r {
+				key[0], key[1] = r, id
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, link{a: id, b: r, ap: p})
+		}
+	}
+	return out
+}
+
+// buildFlaky picks Links random links and emits their full on/off timeline:
+// each link flaps with period PeriodMs, down for DutyPct percent of it,
+// offset by a seeded per-link phase. Both endpoints toggle in the same
+// event-queue tick so the cut is always symmetric.
+func buildFlaky(topo noc.Topology, rng *sim.RNG, p Profile, durationMs int, s *Schedule) {
+	links := physicalLinks(topo)
+	k := p.Links
+	if k > len(links) {
+		k = len(links)
+	}
+	perm := rng.Perm(len(links))
+	downMs := p.PeriodMs * p.DutyPct / 100
+	if downMs < 1 {
+		downMs = 1
+	}
+	for i := 0; i < k; i++ {
+		l := links[perm[i]]
+		phase := rng.Intn(p.PeriodMs)
+		for t := p.AtMs + phase; t < durationMs; t += p.PeriodMs {
+			s.Events = append(s.Events,
+				Event{At: sim.Ms(float64(t)), Op: OpLinkDown, Node: l.a, Port: l.ap},
+				Event{At: sim.Ms(float64(t)), Op: OpLinkDown, Node: l.b, Port: l.ap.Opposite()})
+			if up := t + downMs; up < durationMs {
+				s.Events = append(s.Events,
+					Event{At: sim.Ms(float64(up)), Op: OpLinkUp, Node: l.a, Port: l.ap},
+					Event{At: sim.Ms(float64(up)), Op: OpLinkUp, Node: l.b, Port: l.ap.Opposite()})
+			}
+		}
+	}
+}
+
+// buildByzantine arms Routers random physical routers at AtMs. Each gets a
+// private seed drawn here, so per-router interference streams are
+// decorrelated but fully reproducible.
+func buildByzantine(topo noc.Topology, rng *sim.RNG, p Profile, s *Schedule) {
+	var routers []noc.NodeID
+	for id := noc.NodeID(0); int(id) < topo.Nodes(); id++ {
+		if topo.RouterOf(id) == id {
+			routers = append(routers, id)
+		}
+	}
+	k := p.Routers
+	if k > len(routers) {
+		k = len(routers)
+	}
+	modes, _ := parseByzModes(p.Modes)
+	rate := uint32(uint64(p.RatePct) * (1 << 32) / 100)
+	if p.RatePct >= 100 {
+		rate = ^uint32(0)
+	}
+	perm := rng.Perm(len(routers))
+	for i := 0; i < k; i++ {
+		s.Events = append(s.Events, Event{
+			At: sim.Ms(float64(p.AtMs)), Op: OpByzantine,
+			Node: routers[perm[i]], Rate: rate, Modes: modes, Seed: rng.Uint64(),
+		})
+	}
+}

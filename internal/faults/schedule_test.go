@@ -1,0 +1,211 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"centurion/internal/noc"
+	"centurion/internal/sim"
+)
+
+// scheduleTopos is the fabric matrix every schedule property is proved on.
+func scheduleTopos(t *testing.T) map[string]noc.Topology {
+	t.Helper()
+	out := map[string]noc.Topology{}
+	for _, kind := range []string{"mesh", "torus", "cmesh"} {
+		topo, err := noc.MakeTopology(kind, 16, 8)
+		if err != nil {
+			t.Fatalf("building %s: %v", kind, err)
+		}
+		out[kind] = topo
+	}
+	return out
+}
+
+// hostileProfiles is one representative profile per kind, with non-default
+// knobs so the builders' full parameter paths are exercised.
+func hostileProfiles() []Profile {
+	return []Profile{
+		{Kind: KindDeath, AtMs: 50, Nodes: 12},
+		{Kind: KindChurn, AtMs: 40, Nodes: 10, ReviveAfterMs: 60},
+		{Kind: KindCascade, AtMs: 30, Nodes: 6, Waves: 4, WaveDelayMs: 25, WaveRadius: 3, WaveDecayPct: 60},
+		{Kind: KindFlaky, AtMs: 20, Links: 10, PeriodMs: 30, DutyPct: 40},
+		{Kind: KindByzantine, AtMs: 25, Routers: 6, RatePct: 35, Modes: "dup,misroute,drop"},
+	}
+}
+
+// TestScheduleBuildDeterministic is the satellite property: for any
+// (topology, seed, profile) the built schedule is byte-for-byte identical
+// across repeated fresh constructions, on every fabric shape. Build is a
+// pure function — platform Reset and pool reuse rebuild from the same
+// inputs, so this is the whole determinism contract at the schedule layer
+// (the platform-level halves are proved in internal/centurion).
+func TestScheduleBuildDeterministic(t *testing.T) {
+	const durationMs = 200
+	for kind, topo := range scheduleTopos(t) {
+		for _, prof := range hostileProfiles() {
+			for seed := uint64(1); seed <= 3; seed++ {
+				ref, err := Build(topo, seed, prof, durationMs)
+				if err != nil {
+					t.Fatalf("%s/%s/seed=%d: %v", kind, prof.Kind, seed, err)
+				}
+				if ref.Empty() {
+					t.Fatalf("%s/%s/seed=%d: empty schedule", kind, prof.Kind, seed)
+				}
+				for i := 0; i < 4; i++ {
+					again, err := Build(topo, seed, prof, durationMs)
+					if err != nil {
+						t.Fatalf("%s/%s/seed=%d rebuild %d: %v", kind, prof.Kind, seed, i, err)
+					}
+					if !reflect.DeepEqual(ref, again) {
+						t.Fatalf("%s/%s/seed=%d rebuild %d diverged:\n ref:   %+v\n again: %+v",
+							kind, prof.Kind, seed, i, ref, again)
+					}
+				}
+				for i, ev := range ref.Events {
+					if i > 0 && ev.At < ref.Events[i-1].At {
+						t.Fatalf("%s/%s/seed=%d: events out of order at %d", kind, prof.Kind, seed, i)
+					}
+					if ev.At <= 0 || ev.At >= sim.Ms(durationMs) {
+						t.Fatalf("%s/%s/seed=%d: event %d at %v outside (0, %v)",
+							kind, prof.Kind, seed, i, ev.At, sim.Ms(durationMs))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleSeedsAndTopologiesDiffer guards against a degenerate builder:
+// different seeds (and different fabrics) must not produce the same
+// timeline for kinds that draw node or link sets.
+func TestScheduleSeedsAndTopologiesDiffer(t *testing.T) {
+	topo, _ := noc.MakeTopology("mesh", 16, 8)
+	prof := Profile{Kind: KindCascade, AtMs: 30, Nodes: 6}
+	a, _ := Build(topo, 1, prof, 200)
+	b, _ := Build(topo, 2, prof, 200)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("seeds 1 and 2 built identical cascades")
+	}
+}
+
+// TestScheduleDeathMatchesLegacyDraw pins the bit-identity anchor: a death
+// schedule is exactly one kill event whose node set is the historical
+// RandomNodes draw under the historical salt, at the historical tick.
+func TestScheduleDeathMatchesLegacyDraw(t *testing.T) {
+	for kind, topo := range scheduleTopos(t) {
+		for seed := uint64(1); seed <= 3; seed++ {
+			s, err := Build(topo, seed, Profile{Kind: KindDeath, AtMs: 500, Nodes: 12}, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Events) != 1 || s.Events[0].Op != OpKill {
+				t.Fatalf("%s: death schedule is %s, want one kill", kind, s)
+			}
+			legacy := RandomNodes(topo, 12, sim.NewRNG(seed^0xfa17517e5eed))
+			if !reflect.DeepEqual(s.Events[0].Nodes, legacy) {
+				t.Fatalf("%s/seed=%d: death wave %v != legacy draw %v", kind, seed, s.Events[0].Nodes, legacy)
+			}
+			if s.Events[0].At != sim.Ms(500) {
+				t.Fatalf("%s: kill at %v, want %v", kind, s.Events[0].At, sim.Ms(500))
+			}
+		}
+	}
+}
+
+// TestScheduleFlakySymmetricCuts checks the link-flap invariant: every
+// down/up toggles both endpoints of the physical link in the same tick, so
+// the fabric never sees a half-cut channel.
+func TestScheduleFlakySymmetricCuts(t *testing.T) {
+	for kind, topo := range scheduleTopos(t) {
+		s, err := Build(topo, 7, Profile{Kind: KindFlaky, AtMs: 20, Links: 6}, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(s.Events); i++ {
+			ev := s.Events[i]
+			if ev.Op != OpLinkDown && ev.Op != OpLinkUp {
+				t.Fatalf("%s: non-link event %v in flaky schedule", kind, ev.Op)
+			}
+			// Find the mirrored endpoint at the same tick.
+			nb, ok := topo.Neighbor(ev.Node, ev.Port)
+			if !ok {
+				t.Fatalf("%s: link event on missing neighbor %d port %v", kind, ev.Node, ev.Port)
+			}
+			mirror := false
+			for j := range s.Events {
+				m := s.Events[j]
+				if j != i && m.At == ev.At && m.Op == ev.Op &&
+					m.Node == topo.RouterOf(nb) && m.Port == ev.Port.Opposite() {
+					mirror = true
+					break
+				}
+			}
+			if !mirror {
+				t.Fatalf("%s: event %d (%v node %d port %v) has no mirrored endpoint", kind, i, ev.Op, ev.Node, ev.Port)
+			}
+		}
+	}
+}
+
+// TestProfileNormalizedCanonical checks the spec-key safety properties:
+// normalization is idempotent, inert fields are zeroed (so they cannot
+// split the result cache), and byzantine mode lists canonicalise.
+func TestProfileNormalizedCanonical(t *testing.T) {
+	// Inert fields: a death profile with flaky/byzantine knobs set must
+	// normalize to the same canonical form as a bare one.
+	dirty := Profile{Kind: KindDeath, Links: 5, PeriodMs: 10, Routers: 3, Modes: "drop"}
+	clean := Profile{Kind: KindDeath}
+	nd, err := dirty.Normalized(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := clean.Normalized(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd != nc {
+		t.Fatalf("inert fields survived normalization: %+v != %+v", nd, nc)
+	}
+	// Idempotency.
+	again, err := nd.Normalized(1000)
+	if err != nil || again != nd {
+		t.Fatalf("normalization not idempotent: %+v -> %+v (%v)", nd, again, err)
+	}
+	// Mode-order canonicalisation.
+	a, err := Profile{Kind: KindByzantine, Modes: "dup,misroute"}.Normalized(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profile{Kind: KindByzantine, Modes: "misroute,dup"}.Normalized(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a.Modes != "misroute,dup" {
+		t.Fatalf("mode lists did not canonicalise: %q vs %q", a.Modes, b.Modes)
+	}
+}
+
+// TestProfileNormalizedRejects enumerates the validation failures the
+// server relies on to 400 bad specs.
+func TestProfileNormalizedRejects(t *testing.T) {
+	bad := []Profile{
+		{Kind: "meteor"},
+		{Kind: KindDeath, AtMs: -5},
+		{Kind: KindDeath, AtMs: 1000},
+		{Kind: KindChurn, AtMs: 900, ReviveAfterMs: 200},
+		{Kind: KindCascade, WaveDecayPct: 150},
+		{Kind: KindFlaky, DutyPct: 100},
+		{Kind: KindFlaky, PeriodMs: 1},
+		{Kind: KindByzantine, RatePct: 101},
+		{Kind: KindByzantine, Modes: "gossip"},
+	}
+	for _, p := range bad {
+		if _, err := p.Normalized(1000); err == nil {
+			t.Errorf("profile %+v validated, want error", p)
+		}
+	}
+	if _, err := (Profile{Kind: KindDeath}).Normalized(0); err == nil {
+		t.Error("zero run length validated")
+	}
+}

@@ -20,6 +20,8 @@ const (
 	DropRouterFailed
 	// DropNoSink: delivered to a node with no processing element attached.
 	DropNoSink
+	// DropByzantine: a byzantine router silently discarded the packet.
+	DropByzantine
 )
 
 // String names the drop reason.
@@ -33,6 +35,8 @@ func (d DropReason) String() string {
 		return "router-failed"
 	case DropNoSink:
 		return "no-sink"
+	case DropByzantine:
+		return "byzantine"
 	}
 	return "unknown"
 }
@@ -69,6 +73,12 @@ type NetworkStats struct {
 	ConfigOps uint64
 	Dropped   uint64
 	Rescued   uint64 // recovery-path packets re-admitted by the handler
+	// Byzantine misbehaviour tallies (zero on a healthy fabric): forwards
+	// deliberately sent to a wrong neighbour, packets silently discarded,
+	// and packets forwarded while a copy was retained for replay.
+	ByzMisrouted  uint64
+	ByzDropped    uint64
+	ByzDuplicated uint64
 }
 
 // routerState is one router's per-tick hot state: everything the fused
@@ -109,7 +119,12 @@ type routerState struct {
 	// capacity since its last pop — the precise condition under which the
 	// upstream router may have parked on this ring and a pop must stir it.
 	refused uint8
-	_       [1]byte
+	// linkDown has bit p set while the fault engine holds the link out of
+	// port p unhealthy: transfers out of p and admissions into p are refused
+	// exactly as if the port were administratively disabled. The bit lives
+	// in what was the record's padding byte, so fault-health tracking costs
+	// the hot path no cache footprint.
+	linkDown uint8
 	// rings are the per-port input FIFOs over the network's shared slot
 	// slice; linkBusy is the tick until which each output link is
 	// serialising a transfer; blockedAt is when each port's head packet
@@ -181,7 +196,36 @@ type Network struct {
 	// drainBuf is reusable scratch for draining a failed router's rings.
 	drainBuf []*Packet
 
+	// byz holds per-router byzantine arming (allocated on first use, so a
+	// fabric that never sees a byzantine profile carries one nil slice);
+	// byzAny gates the whole byzantine path with a single bool load so the
+	// fault-free forward path is unchanged.
+	byz    []byzState
+	byzCnt int
+	byzAny bool
+
 	stats NetworkStats
+}
+
+// Byzantine behaviour bits for SetByzantine / fault schedules.
+const (
+	// ByzMisroute forwards the packet to a wrong (but locally valid)
+	// neighbour instead of the routed next hop.
+	ByzMisroute uint8 = 1 << iota
+	// ByzDrop silently discards the packet.
+	ByzDrop
+	// ByzDup forwards the packet but retains a copy for replay.
+	ByzDup
+)
+
+// byzState is one router's byzantine arming: a per-forward interference
+// threshold out of 2^32, the armed behaviour bits, and a private seeded RNG
+// so interference draws are deterministic and independent of every other
+// random stream in the system.
+type byzState struct {
+	rate  uint32
+	modes uint8
+	rng   sim.RNG
 }
 
 // NewNetwork builds the fabric the topology describes with the given
@@ -483,6 +527,14 @@ func (n *Network) servicePort(id int, st *routerState, port Port, now sim.Tick) 
 		n.recoverAt(id, pkt, now)
 		return 0, false
 	}
+	// Byzantine interference sits behind a single bool load so the healthy
+	// forward path is untouched; armed routers may misroute, drop or
+	// duplicate the head instead of forwarding it honestly.
+	if n.byzAny && s.kind == Data {
+		if n.byzMeddle(id, st, port, out, s, now) {
+			return 0, false
+		}
+	}
 	if n.tryForward(id, st, port, out, s, now) {
 		return 0, false
 	}
@@ -651,7 +703,14 @@ func (n *Network) Stir(id NodeID) {
 // exception) — the output link goes busy for the packet's flit count, and
 // the transfer is reported to the routing monitor.
 func (n *Network) tryForward(id int, st *routerState, inPort, out Port, s *ringSlot, now sim.Tick) bool {
-	if st.disabled&(1<<out) != 0 {
+	return n.forward(id, st, inPort, out, s, now, false)
+}
+
+// forward is tryForward's body. keep=true transfers a copy but retains the
+// local head (the byzantine duplication path); the fault-free path always
+// passes false.
+func (n *Network) forward(id int, st *routerState, inPort, out Port, s *ringSlot, now sim.Tick, keep bool) bool {
+	if (st.disabled|st.linkDown)&(1<<out) != 0 {
 		return false
 	}
 	if st.linkBusy[out] > now {
@@ -666,7 +725,7 @@ func (n *Network) tryForward(id int, st *routerState, inPort, out Port, s *ringS
 		return false
 	}
 	inSide := out.Opposite()
-	if nst.disabled&(1<<inSide) != 0 {
+	if (nst.disabled|nst.linkDown)&(1<<inSide) != 0 {
 		return false
 	}
 	dur := sim.Tick(s.flits)
@@ -696,7 +755,9 @@ func (n *Network) tryForward(id int, st *routerState, inPort, out Port, s *ringS
 	nst.quiet = 0
 	n.active.Add(int(next))
 
-	n.popIn(id, st, inPort)
+	if !keep {
+		n.popIn(id, st, inPort)
+	}
 	st.linkBusy[out] = now + dur
 	if requeued {
 		// A successful forward ends the consecutive-requeue streak.
@@ -734,6 +795,179 @@ func (n *Network) recoverBlocked(id int, st *routerState, port Port, s *ringSlot
 	}
 	pkt.requeues = 0
 	n.recoverAt(id, pkt, now)
+}
+
+// byzMeddle gives an armed byzantine router its chance to interfere with a
+// data head about to be forwarded toward out. It reports true when the
+// interference consumed the service (packet dropped, or forwarded by the
+// byzantine action itself); false hands the head back to the honest path.
+// Every draw comes from the router's private seeded RNG and happens only
+// inside service visits, which are identical under dense and active
+// stepping — so byzantine runs stay bit-reproducible.
+func (n *Network) byzMeddle(id int, st *routerState, port, out Port, s *ringSlot, now sim.Tick) bool {
+	bz := &n.byz[id]
+	if bz.rate == 0 || uint32(bz.rng.Uint64()>>32) >= bz.rate {
+		return false
+	}
+	mode := bz.modes
+	if mode&(mode-1) != 0 {
+		// Several behaviours armed: a second draw picks one.
+		var set [3]uint8
+		k := 0
+		for b := uint8(1); b <= ByzDup; b <<= 1 {
+			if mode&b != 0 {
+				set[k] = b
+				k++
+			}
+		}
+		mode = set[bz.rng.Intn(k)]
+	}
+	switch mode {
+	case ByzDrop:
+		pkt := n.pool.Deref(s.id)
+		pkt.Hops = int(s.hops)
+		n.popIn(id, st, port)
+		n.routers[id].Stats.Dropped++
+		n.stats.ByzDropped++
+		n.handleDrop(NodeID(id), pkt, DropByzantine)
+		return true
+	case ByzMisroute:
+		if alt, ok := n.byzAltPort(st, out, bz); ok && n.forward(id, st, port, alt, s, now, false) {
+			n.stats.ByzMisrouted++
+			return true
+		}
+	case ByzDup:
+		// The forwarded copy must own its own packet: ownership is linear
+		// (one handle, one owner), so the duplicate is a real arena clone and
+		// the local head keeps the original. Swap the clone's handle into the
+		// slot for the copy-out, then restore it.
+		orig := s.id
+		src := n.pool.Deref(orig)
+		dup := n.pool.Get()
+		h := dup.h
+		*dup = *src
+		dup.h = h
+		s.id = h
+		ok := n.forward(id, st, port, out, s, now, true)
+		s.id = orig
+		if ok {
+			n.stats.ByzDuplicated++
+			return true
+		}
+		n.pool.Put(dup)
+	}
+	return false
+}
+
+// byzAltPort picks a wrong-but-locally-plausible output: a cardinal port
+// other than the routed one with a wired, non-disabled, link-healthy exit.
+// One RNG draw selects among the candidates; ok=false when the router has no
+// alternative exit at all.
+func (n *Network) byzAltPort(st *routerState, out Port, bz *byzState) (Port, bool) {
+	var cand [NumPorts]Port
+	k := 0
+	for p := North; p <= West; p++ {
+		if p == out || st.nbr[p] < 0 || (st.disabled|st.linkDown)&(1<<p) != 0 {
+			continue
+		}
+		cand[k] = p
+		k++
+	}
+	if k == 0 {
+		return PortInvalid, false
+	}
+	return cand[bz.rng.Intn(k)], true
+}
+
+// SetByzantine arms (rate > 0) or disarms (rate == 0) byzantine behaviour on
+// the router serving id. rate is the per-forward interference probability as
+// a threshold out of 2^32; modes is a ByzMisroute|ByzDrop|ByzDup bitmask;
+// seed initialises the router's private interference RNG so runs replay
+// exactly. Arming with no modes is a disarm.
+func (n *Network) SetByzantine(id NodeID, rate uint32, modes uint8, seed uint64) {
+	rid := int(n.routers[id].ID)
+	if modes == 0 {
+		rate = 0
+	}
+	if n.byz == nil {
+		if rate == 0 {
+			return
+		}
+		n.byz = make([]byzState, n.nodes)
+	}
+	bz := &n.byz[rid]
+	wasArmed := bz.rate != 0
+	bz.rate = rate
+	bz.modes = modes
+	bz.rng.Reseed(seed)
+	if armed := rate != 0; armed != wasArmed {
+		if armed {
+			n.byzCnt++
+		} else {
+			n.byzCnt--
+		}
+		n.byzAny = n.byzCnt > 0
+	}
+	n.stirRouter(rid)
+}
+
+// SetLinkHealth marks the link out of port p at the router serving id as
+// down (healthy=false) or up. While down the endpoint refuses transfers out
+// of p and admissions into p, exactly like an administratively disabled
+// port; routes are NOT recomputed — a flaky link blocks traffic, it does not
+// announce itself — so heads steering into it wait (and eventually take the
+// deadlock-recovery path). Fault schedules emit both endpoints of a
+// physical link together so the cut is symmetric.
+func (n *Network) SetLinkHealth(id NodeID, p Port, healthy bool, now sim.Tick) {
+	rid := int(n.routers[id].ID)
+	st := &n.state[rid]
+	if p < North || p > West {
+		return
+	}
+	bit := uint8(1) << uint(p)
+	if healthy {
+		st.linkDown &^= bit
+	} else {
+		st.linkDown |= bit
+	}
+	// Either edge changes what a parked scan would observe — at this router
+	// (a blocked head may now pass, or must stop) and at the neighbour
+	// steering into this endpoint.
+	n.stirRouter(rid)
+	if nb := st.nbr[p]; nb >= 0 {
+		n.stirRouter(int(nb))
+	}
+	_ = now
+}
+
+// Revive returns a failed router to service: rings were already drained at
+// Fail time, so the router restarts empty, routes recompute around the
+// restored fabric (or collapse back to the cached healthy tables when the
+// last fault heals), and parked neighbours re-evaluate. On concentrated
+// topologies this re-attaches the node's whole cluster. Reviving a healthy
+// router is a no-op.
+func (n *Network) Revive(id NodeID, now sim.Tick) {
+	r := n.routers[id]
+	rid := int(r.ID)
+	st := &n.state[rid]
+	if !st.faulty {
+		return
+	}
+	st.faulty = false
+	st.quiet = 0
+	n.faultyCnt--
+	n.haveFaults = n.faultyCnt > 0
+	if n.faultyCnt == 0 {
+		// All healed: restore the cached fault-free tables (nil under modes
+		// that never computed them — the XY rows take over either way).
+		n.tables = n.healthy
+		n.applyRoutingRows()
+	} else if n.cfg.Mode != RouteXY {
+		n.RecomputeRoutes() // stirs every parked router via applyRoutingRows
+	} else {
+		n.stirAll()
+	}
+	_ = now
 }
 
 // deliverLocal hands a head packet whose next hop is Local to its consumer:
@@ -919,6 +1153,7 @@ func (n *Network) Reset() {
 		st.rr = 0
 		st.disabled = 0
 		st.refused = 0
+		st.linkDown = 0
 		st.faulty = false
 		st.queued = 0
 		st.quiet = 0
@@ -927,6 +1162,11 @@ func (n *Network) Reset() {
 	n.active.Clear()
 	n.haveFaults = false
 	n.faultyCnt = 0
+	for i := range n.byz {
+		n.byz[i] = byzState{}
+	}
+	n.byzCnt = 0
+	n.byzAny = false
 	n.stats = NetworkStats{}
 	n.tables = n.healthy
 	n.applyRoutingRows()

@@ -289,6 +289,30 @@ func (pe *PE) Fail(now sim.Tick) {
 	pe.env.Directory().SetAlive(pe.ID, false)
 }
 
+// Revive returns a dead PE to service mid-run as an idle recruit: it
+// rejoins with no task (the intelligence layer re-recruits it through the
+// normal stimulus path), re-registers with the directory, and keeps its
+// cumulative Stats — the run continues, unlike Restart which begins a new
+// one. Packets and joins were already released and accounted at Fail time,
+// but any still-outstanding instances it originated died with it: their
+// generation slots clear so a reborn source starts a fresh window.
+// Reviving a live PE is a no-op.
+func (pe *PE) Revive(now sim.Tick) {
+	if pe.alive {
+		return
+	}
+	pe.alive = true
+	pe.clockEn = true
+	pe.freqDiv = 1
+	pe.busyEnd = 0
+	pe.admitRefused = false
+	pe.task = taskgraph.None
+	pe.outstanding = pe.outstanding[:0]
+	pe.env.Directory().Set(pe.ID, taskgraph.None)
+	pe.env.Directory().SetAlive(pe.ID, true)
+	pe.stir()
+}
+
 // Reset is the RCAP node-reset knob: state clears but the PE stays alive.
 func (pe *PE) Reset(now sim.Tick) {
 	defer pe.stir()

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -234,7 +235,7 @@ func TestCoordinatorRestartServesFromStore(t *testing.T) {
 			t.Fatalf("restored result has %d runs, want %d", len(js.Result.Runs), len(prev.Result.Runs))
 		}
 		for i := range prev.Result.Runs {
-			if js.Result.Runs[i] != prev.Result.Runs[i] {
+			if !reflect.DeepEqual(js.Result.Runs[i], prev.Result.Runs[i]) {
 				t.Errorf("restored run %d differs from the original computation", i)
 			}
 		}

@@ -45,6 +45,24 @@ type RunSummary struct {
 	InstancesCompleted uint64  `json:"instances_completed"`
 	TaskSwitches       uint64  `json:"task_switches"`
 	PacketsDropped     uint64  `json:"packets_dropped"`
+	// Resilience measures, present when the run executed a fault profile:
+	// byzantine interference totals and the per-milestone recovery record.
+	ByzMisrouted  uint64        `json:"byz_misrouted,omitempty"`
+	ByzDropped    uint64        `json:"byz_dropped,omitempty"`
+	ByzDuplicated uint64        `json:"byz_duplicated,omitempty"`
+	Waves         []WaveSummary `json:"waves,omitempty"`
+}
+
+// WaveSummary is one fault-schedule milestone's resilience record: the
+// re-settling time after the disruption and the fabric traffic accounted
+// until the next milestone (or the end of the run).
+type WaveSummary struct {
+	AtMs       int     `json:"at_ms"`
+	RecoveryMs float64 `json:"recovery_ms,omitempty"`
+	Recovered  bool    `json:"recovered"`
+	Delivered  uint64  `json:"delivered"`
+	Dropped    uint64  `json:"dropped"`
+	Misrouted  uint64  `json:"misrouted,omitempty"`
 }
 
 // Stat is a batch aggregate: mean with the 95% confidence half-width.
@@ -558,7 +576,7 @@ func Execute(ctx context.Context, spec RunSpec, progress func(Sample)) (*RunResu
 		if err != nil {
 			return nil, fmt.Errorf("run %d (seed %d): %w", run, espec.Seed, err)
 		}
-		res.Runs = append(res.Runs, RunSummary{
+		sum := RunSummary{
 			Seed:               r.Spec.Seed,
 			SettlingMs:         r.SettlingMs,
 			Settled:            r.Settled,
@@ -569,7 +587,21 @@ func Execute(ctx context.Context, spec RunSpec, progress func(Sample)) (*RunResu
 			InstancesCompleted: r.Counters.InstancesCompleted,
 			TaskSwitches:       r.Counters.TaskSwitches,
 			PacketsDropped:     r.Counters.PacketsDropped,
-		})
+			ByzMisrouted:       r.ByzMisrouted,
+			ByzDropped:         r.ByzDropped,
+			ByzDuplicated:      r.ByzDuplicated,
+		}
+		for _, wv := range r.Waves {
+			sum.Waves = append(sum.Waves, WaveSummary{
+				AtMs:       wv.AtMs,
+				RecoveryMs: wv.RecoveryMs,
+				Recovered:  wv.Recovered,
+				Delivered:  wv.Delivered,
+				Dropped:    wv.Dropped,
+				Misrouted:  wv.Misrouted,
+			})
+		}
+		res.Runs = append(res.Runs, sum)
 		if run == 0 {
 			res.Series = &Series{
 				WindowMs:    r.Throughput.WindowMs,

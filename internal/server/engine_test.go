@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -77,7 +78,7 @@ func TestEngineDeterministic(t *testing.T) {
 	j1, _ := e1.Submit(spec)
 	j2, _ := e2.Submit(spec)
 	r1, r2 := waitDone(t, e1, j1), waitDone(t, e2, j2)
-	if r1.Runs[0] != r2.Runs[0] {
+	if !reflect.DeepEqual(r1.Runs[0], r2.Runs[0]) {
 		t.Errorf("same spec diverged:\n%+v\n%+v", r1.Runs[0], r2.Runs[0])
 	}
 }
@@ -115,7 +116,7 @@ func TestEngineBatchSeedDerivation(t *testing.T) {
 	solo := fastSpec(t, 21)
 	js, _ := e.Submit(solo)
 	rs := waitDone(t, e, js)
-	if rs.Runs[0] != r.Runs[1] {
+	if !reflect.DeepEqual(rs.Runs[0], r.Runs[1]) {
 		t.Errorf("batch member (seed 21) != standalone run (seed 21):\n%+v\n%+v", r.Runs[1], rs.Runs[0])
 	}
 

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestFaultProfileSpecValidation covers the spec-layer contract: profiles
+// are validated and normalized at admission, and the legacy pair is
+// mutually exclusive with the engine.
+func TestFaultProfileSpecValidation(t *testing.T) {
+	good, err := ParseSpec([]byte(`{"model": "ffw", "duration_ms": 400, "fault_profile": {"kind": "cascade"}}`))
+	if err != nil {
+		t.Fatalf("valid cascade profile rejected: %v", err)
+	}
+	if good.FaultProfile == nil || good.FaultProfile.Nodes == 0 || good.FaultProfile.AtMs != 200 {
+		t.Fatalf("profile not normalized at admission: %+v", good.FaultProfile)
+	}
+
+	bad := []string{
+		`{"fault_profile": {"kind": "meteor"}}`,
+		`{"fault_profile": {"kind": "death", "at_ms": 1000}}`,
+		`{"fault_profile": {"kind": "death"}, "num_faults": 4, "fault_at_ms": 500}`,
+		`{"fault_profile": {"kind": "byzantine", "rate_pct": 200}}`,
+		`{"width": 4, "height": 4, "fault_profile": {"kind": "death", "nodes": 16}}`,
+		`{"fault_profile": {"kind": "churn", "at_ms": 900, "revive_after_ms": 200}}`,
+	}
+	for _, body := range bad {
+		if _, err := ParseSpec([]byte(body)); err == nil {
+			t.Errorf("spec %s validated, want error", body)
+		}
+	}
+}
+
+// TestFaultProfileCanonicalKeys proves every distinct profile gets its own
+// canonical spec key (its own result-cache identity) while equivalent
+// spellings share one.
+func TestFaultProfileCanonicalKeys(t *testing.T) {
+	parse := func(body string) RunSpec {
+		t.Helper()
+		s, err := ParseSpec([]byte(body))
+		if err != nil {
+			t.Fatalf("%s: %v", body, err)
+		}
+		return s
+	}
+
+	keys := map[string]string{}
+	for _, kind := range []string{"death", "churn", "flaky", "cascade", "byzantine"} {
+		s := parse(`{"model": "ffw", "duration_ms": 600, "fault_profile": {"kind": "` + kind + `"}}`)
+		keys[kind] = s.CanonicalKey()
+	}
+	plain := parse(`{"model": "ffw", "duration_ms": 600}`).CanonicalKey()
+	seen := map[string]string{"": plain}
+	for kind, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("profiles %q and %q share canonical key %s", kind, prev, k[:12])
+		}
+		seen[k] = kind
+	}
+
+	// Equivalent spellings: explicit defaults, inert fields and byzantine
+	// mode order must not split the key.
+	a := parse(`{"duration_ms": 600, "fault_profile": {"kind": "death"}}`)
+	b := parse(`{"duration_ms": 600, "fault_profile": {"kind": "death", "at_ms": 300, "nodes": 12, "links": 9}}`)
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Error("explicit death defaults changed the canonical key")
+	}
+	c := parse(`{"duration_ms": 600, "fault_profile": {"kind": "byzantine", "modes": "dup,misroute"}}`)
+	d := parse(`{"duration_ms": 600, "fault_profile": {"kind": "byzantine", "modes": "misroute,dup"}}`)
+	if c.CanonicalKey() != d.CanonicalKey() {
+		t.Error("byzantine mode order changed the canonical key")
+	}
+
+	// A changed knob is a different experiment.
+	e := parse(`{"duration_ms": 600, "fault_profile": {"kind": "cascade", "waves": 5}}`)
+	if e.CanonicalKey() == keys["cascade"] {
+		t.Error("cascade wave count did not change the canonical key")
+	}
+}
+
+// TestFaultProfileRunReportsResilience executes hostile specs end to end
+// through the engine and checks the resilience measures ride the summaries:
+// per-wave recovery records for structural disruptions, byzantine
+// interference counters for byzantine routers.
+func TestFaultProfileRunReportsResilience(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	churn := `{"model": "ffw", "seed": 3, "duration_ms": 120, "width": 8, "height": 4,
+		"fault_profile": {"kind": "churn", "at_ms": 40, "nodes": 6, "revive_after_ms": 40}}`
+	code, st := postRun(t, ts, churn, true)
+	if code != http.StatusOK {
+		t.Fatalf("churn run: code %d", code)
+	}
+	run := st.Result.Runs[0]
+	if len(run.Waves) != 2 {
+		t.Fatalf("churn run reported %d waves, want 2 (kill + revival): %+v", len(run.Waves), run.Waves)
+	}
+	if run.Waves[0].AtMs != 40 || run.Waves[1].AtMs != 80 {
+		t.Errorf("wave epochs %d/%d ms, want 40/80", run.Waves[0].AtMs, run.Waves[1].AtMs)
+	}
+	for i, w := range run.Waves {
+		if w.Delivered == 0 {
+			t.Errorf("wave %d delivered nothing", i)
+		}
+	}
+
+	byz := `{"model": "ffw", "seed": 3, "duration_ms": 120, "width": 8, "height": 4,
+		"fault_profile": {"kind": "byzantine", "at_ms": 20, "routers": 8, "rate_pct": 60, "modes": "misroute,drop,dup"}}`
+	code, st = postRun(t, ts, byz, true)
+	if code != http.StatusOK {
+		t.Fatalf("byzantine run: code %d", code)
+	}
+	run = st.Result.Runs[0]
+	if run.ByzMisrouted == 0 && run.ByzDropped == 0 && run.ByzDuplicated == 0 {
+		t.Errorf("byzantine run reported no interference: %+v", run)
+	}
+}
+
+// TestSweepFaultProfilesAxis sweeps the hostile axis: one row per profile,
+// labeled by kind, each with its own cached identity — and the axis is
+// mutually exclusive with the legacy fault_counts.
+func TestSweepFaultProfilesAxis(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	req := `{
+		"spec": {"duration_ms": 80, "width": 8, "height": 4},
+		"models": ["ffw"],
+		"fault_profiles": [
+			{"kind": "death", "at_ms": 40, "nodes": 4},
+			{"kind": "flaky", "at_ms": 20, "links": 4},
+			{"kind": "byzantine", "at_ms": 20, "routers": 4}
+		],
+		"runs": 2
+	}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("profile sweep status %d: %s", resp.StatusCode, buf.String())
+	}
+	var sr SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (one per profile)", len(sr.Rows))
+	}
+	wantKinds := []string{"death", "flaky", "byzantine"}
+	for i, row := range sr.Rows {
+		if row.Profile != wantKinds[i] {
+			t.Errorf("row %d labeled %q, want %q", i, row.Profile, wantKinds[i])
+		}
+		if row.Aggregate.Runs != 2 {
+			t.Errorf("row %s aggregated %d runs, want 2", row.Profile, row.Aggregate.Runs)
+		}
+	}
+
+	both := `{"spec": {"duration_ms": 80}, "models": ["ffw"], "fault_counts": [2],
+		"fault_profiles": [{"kind": "death"}], "runs": 1}`
+	resp2, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(both))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("fault_counts + fault_profiles: code %d, want 400", resp2.StatusCode)
+	}
+
+	// A bad profile in the axis is rejected before any cell runs.
+	bad := `{"spec": {"duration_ms": 80}, "models": ["ffw"], "fault_profiles": [{"kind": "meteor"}], "runs": 1}`
+	resp3, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown profile kind in sweep: code %d, want 400", resp3.StatusCode)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"centurion/internal/dispatch"
 	"centurion/internal/experiments"
+	"centurion/internal/faults"
 	"centurion/internal/store"
 )
 
@@ -32,23 +33,29 @@ type JobStatus struct {
 	Result   *RunResult `json:"result,omitempty"`
 }
 
-// SweepRequest asks for a grid of batches: every model × fault count ×
+// SweepRequest asks for a grid of batches: every model × fault axis ×
 // topology, each aggregated over Runs independently seeded runs. An empty
 // Topologies axis sweeps only the base spec's shape, so existing clients
-// keep their two-dimensional grids.
+// keep their two-dimensional grids. The fault axis is either FaultCounts
+// (the legacy single-instant injections) or FaultProfiles (hostile
+// fault-engine schedules: death, churn, flaky, cascade, byzantine) — the
+// two are mutually exclusive.
 type SweepRequest struct {
-	Spec        RunSpec  `json:"spec"`
-	Models      []string `json:"models"`
-	FaultCounts []int    `json:"fault_counts"`
-	Topologies  []string `json:"topologies"`
-	Runs        int      `json:"runs"`
+	Spec          RunSpec          `json:"spec"`
+	Models        []string         `json:"models"`
+	FaultCounts   []int            `json:"fault_counts"`
+	FaultProfiles []faults.Profile `json:"fault_profiles"`
+	Topologies    []string         `json:"topologies"`
+	Runs          int              `json:"runs"`
 }
 
 // SweepRow is one cell of the sweep: the aggregate for one model at one
-// fault count on one topology.
+// fault-axis entry on one topology. Profile carries the fault-profile kind
+// when the sweep used the hostile axis.
 type SweepRow struct {
 	Model     string    `json:"model"`
 	Faults    int       `json:"faults"`
+	Profile   string    `json:"profile,omitempty"`
 	Topology  string    `json:"topology"`
 	CacheHit  bool      `json:"cache_hit"`
 	StoreHit  bool      `json:"store_hit,omitempty"`
@@ -67,6 +74,14 @@ func (s *Server) routes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+}
+
+// labelSuffix renders an optional fault-profile label for error messages.
+func labelSuffix(label string) string {
+	if label == "" {
+		return ""
+	}
+	return "/" + label
 }
 
 // writeJSON emits v with the given status code.
@@ -278,8 +293,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.Models) == 0 {
 		req.Models = []string{"none", "ni", "ffw"}
 	}
-	if len(req.FaultCounts) == 0 {
-		req.FaultCounts = []int{0}
+	if len(req.FaultCounts) > 0 && len(req.FaultProfiles) > 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("fault_counts and fault_profiles are mutually exclusive sweep axes"))
+		return
+	}
+	// The fault axis: legacy single-instant counts or hostile profiles.
+	type faultCell struct {
+		count   int
+		profile *faults.Profile
+		label   string
+	}
+	var faultAxis []faultCell
+	if len(req.FaultProfiles) > 0 {
+		for i := range req.FaultProfiles {
+			p := req.FaultProfiles[i]
+			faultAxis = append(faultAxis, faultCell{profile: &p, label: p.Kind})
+		}
+	} else if len(req.FaultCounts) > 0 {
+		for _, fc := range req.FaultCounts {
+			faultAxis = append(faultAxis, faultCell{count: fc})
+		}
+	} else {
+		faultAxis = []faultCell{{}}
 	}
 	if len(req.Topologies) == 0 {
 		req.Topologies = []string{req.Spec.Topology}
@@ -299,13 +335,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	var cells []cell
 	for _, model := range req.Models {
-		for _, faults := range req.FaultCounts {
+		for _, fa := range faultAxis {
 			for _, topo := range req.Topologies {
 				spec := req.Spec
 				spec.Model = model
-				spec.NumFaults = faults
+				spec.NumFaults = fa.count
+				spec.FaultProfile = fa.profile
 				spec.Topology = topo
-				if faults > 0 && spec.FaultAtMs == 0 {
+				if fa.count > 0 && spec.FaultAtMs == 0 {
 					// The paper injects halfway through the run (500 ms of
 					// 1000), rounded down onto the sampling-window grid.
 					d := spec.DurationMs
@@ -319,12 +356,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					spec.FaultAtMs = d/2 - (d/2)%win
 				}
 				if err := spec.Canonicalize(); err != nil {
-					writeError(w, http.StatusBadRequest, fmt.Errorf("cell %s/%d/%s: %w", model, faults, topo, err))
+					writeError(w, http.StatusBadRequest, fmt.Errorf("cell %s/%d%s/%s: %w", model, fa.count, labelSuffix(fa.label), topo, err))
 					return
 				}
 				// The canonical topology (an empty axis entry defaults to
 				// "mesh") labels the row.
-				cells = append(cells, cell{row: SweepRow{Model: model, Faults: faults, Topology: spec.Topology}, spec: spec})
+				cells = append(cells, cell{row: SweepRow{Model: model, Faults: fa.count, Profile: fa.label, Topology: spec.Topology}, spec: spec})
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -105,7 +106,7 @@ func TestSubmitWaitAndCache(t *testing.T) {
 	if code2 != http.StatusOK || !st2.CacheHit {
 		t.Fatalf("second submit: code %d, cache_hit %v — identical spec not cached", code2, st2.CacheHit)
 	}
-	if st.Result.Runs[0] != st2.Result.Runs[0] {
+	if !reflect.DeepEqual(st.Result.Runs[0], st2.Result.Runs[0]) {
 		t.Error("cached result differs from the original")
 	}
 }
@@ -224,7 +225,7 @@ func TestConcurrentIdenticalPostsAreDeterministic(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("client %d: %v", i, errs[i])
 		}
-		if results[i] != results[0] {
+		if !reflect.DeepEqual(results[i], results[0]) {
 			t.Errorf("client %d saw a different result:\n%+v\n%+v", i, results[i], results[0])
 		}
 	}

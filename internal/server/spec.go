@@ -16,6 +16,7 @@ import (
 
 	"centurion/internal/aim"
 	"centurion/internal/experiments"
+	"centurion/internal/faults"
 	"centurion/internal/noc"
 	"centurion/internal/sim"
 	"centurion/internal/taskgraph"
@@ -130,6 +131,12 @@ type RunSpec struct {
 	// nil block) keep the paper defaults.
 	NI  *NISpec  `json:"ni,omitempty"`
 	FFW *FFWSpec `json:"ffw,omitempty"`
+	// FaultProfile selects a hostile-environment fault schedule (kinds:
+	// death, churn, flaky, cascade, byzantine — see faults.Profile).
+	// Mutually exclusive with the legacy fault_at_ms/num_faults pair; the
+	// normalized profile is part of the canonical spec, so every distinct
+	// profile gets its own cache key.
+	FaultProfile *faults.Profile `json:"fault_profile,omitempty"`
 }
 
 // models maps wire names to the experiment harness models.
@@ -243,6 +250,22 @@ func (s *RunSpec) Canonicalize() error {
 		// it cannot split the cache.
 		s.FaultAtMs = 0
 	}
+	if s.FaultProfile != nil {
+		if s.NumFaults > 0 {
+			return fmt.Errorf("fault_profile and num_faults are mutually exclusive (a death profile subsumes the legacy pair)")
+		}
+		// Normalize into the canonical form (defaults resolved, inert
+		// fields zeroed) so equivalent profiles share one cache key, and
+		// validate the shape against this run length.
+		prof, err := s.FaultProfile.Normalized(s.DurationMs)
+		if err != nil {
+			return err
+		}
+		if prof.Nodes >= s.Width*s.Height {
+			return fmt.Errorf("fault_profile kills %d of %d nodes", prof.Nodes, s.Width*s.Height)
+		}
+		s.FaultProfile = &prof
+	}
 	if s.ThermalDVFS {
 		s.Thermal = true
 	}
@@ -327,6 +350,10 @@ func (s RunSpec) toExperiment(i int) experiments.Spec {
 		p := thermal.DefaultParams()
 		spec.Thermal = &p
 		spec.ThermalDVFS = s.ThermalDVFS
+	}
+	if s.FaultProfile != nil {
+		prof := *s.FaultProfile
+		spec.FaultProfile = &prof
 	}
 	return spec
 }

@@ -45,6 +45,7 @@ type LogStore struct {
 	compactions        uint64
 	lastCompaction     time.Time
 	truncatedTail      bool
+	truncatedBytes     int64 // bytes discarded by the last replay's truncation
 }
 
 // recLoc locates one live record in the log.
@@ -149,6 +150,7 @@ func (s *LogStore) replay() error {
 	}
 	if off < end {
 		s.truncatedTail = true
+		s.truncatedBytes = end - off
 		if err := s.f.Truncate(off); err != nil {
 			return fmt.Errorf("store: truncating torn tail at %d: %w", off, err)
 		}
@@ -305,7 +307,7 @@ func (s *LogStore) compactLocked() error {
 func (s *LogStore) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Entries:        len(s.index),
 		LiveBytes:      s.live,
 		LogBytes:       s.size,
@@ -316,7 +318,12 @@ func (s *LogStore) Stats() Stats {
 		Compactions:    s.compactions,
 		LastCompaction: s.lastCompaction,
 		TruncatedTail:  s.truncatedTail,
+		TruncatedBytes: s.truncatedBytes,
 	}
+	if s.size > 0 {
+		st.DeadRatio = float64(s.dead) / float64(s.size)
+	}
+	return st
 }
 
 // Close implements Store.

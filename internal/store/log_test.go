@@ -85,6 +85,8 @@ func TestLogStoreReplayAfterReopen(t *testing.T) {
 	}
 	if st := s2.Stats(); st.DeadBytes == 0 {
 		t.Fatal("superseded record not accounted as dead bytes after replay")
+	} else if want := float64(st.DeadBytes) / float64(st.LogBytes); st.DeadRatio != want {
+		t.Fatalf("dead ratio = %g, want %g", st.DeadRatio, want)
 	}
 }
 
@@ -124,6 +126,9 @@ func TestLogStoreCrashRecovery(t *testing.T) {
 	st := s2.Stats()
 	if !st.TruncatedTail {
 		t.Fatal("torn tail not reported")
+	}
+	if st.TruncatedBytes <= 0 {
+		t.Fatalf("truncated bytes = %d, want the torn record's discarded length", st.TruncatedBytes)
 	}
 	if st.Entries != len(committed) {
 		t.Fatalf("recovered %d entries, want %d", st.Entries, len(committed))

@@ -53,4 +53,11 @@ type Stats struct {
 	// TruncatedTail reports that opening the log found and discarded a torn
 	// final record — the expected signature of a crash mid-append.
 	TruncatedTail bool `json:"truncated_tail,omitempty"`
+	// TruncatedBytes is how many bytes the last replay's torn-tail
+	// truncation discarded — recovery health for /healthz: a few bytes is a
+	// clean mid-append crash, a large value suggests filesystem damage.
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// DeadRatio is DeadBytes/LogBytes — the fraction of the log held by
+	// superseded records, i.e. how overdue a compaction is (0 when empty).
+	DeadRatio float64 `json:"dead_ratio,omitempty"`
 }

@@ -27,6 +27,8 @@ const (
 	KindLost
 	// KindDrop: the fabric dropped a packet (Info = packet ID).
 	KindDrop
+	// KindRevive: a downed node rejoined the platform.
+	KindRevive
 )
 
 // String names the kind.
@@ -42,6 +44,8 @@ func (k Kind) String() string {
 		return "lost"
 	case KindDrop:
 		return "drop"
+	case KindRevive:
+		return "revive"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
