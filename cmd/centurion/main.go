@@ -8,8 +8,8 @@
 //	centurion table2 [-runs N] [-seed S] [-faults 0,2,4,8,16,32]
 //	centurion fig4   [-faults 5] [-seed S] [-csv out.csv]
 //	centurion run    [-model none|ni|ffw|ni-pb] [-topology mesh|torus|cmesh]
-//	                 [-seed S] [-ms 1000] [-faults N] [-fault-at MS]
-//	                 [-fault-profile KIND|JSON] [-map]
+//	                 [-grid WxH] [-seed S] [-ms 1000] [-faults N] [-fault-at MS]
+//	                 [-fault-profile KIND|JSON] [-map] [-cpuprofile out.pprof]
 //	centurion serve  [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR]
 //	centurion worker [-coordinator URL] [-name NAME] [-slots N]
 //	centurion asm    [-o out.txt] file.psm
@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -139,6 +140,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	model := fs.String("model", "ffw", "none | ni | ffw | ni-pb (embedded PicoBlaze NI)")
 	topology := fs.String("topology", "mesh", "fabric shape: mesh | torus | cmesh")
+	grid := fs.String("grid", "", `node-grid dimensions as WxH, e.g. "64x64" (default 16x8)`)
 	seed := fs.Uint64("seed", 1, "seed")
 	ms := fs.Float64("ms", 1000, "simulated milliseconds")
 	faultN := fs.Int("faults", 0, "random node faults to inject")
@@ -146,6 +148,7 @@ func cmdRun(args []string) error {
 	faultProf := fs.String("fault-profile", "",
 		`hostile fault profile: a kind (death|churn|flaky|cascade|byzantine) or a JSON object, e.g. '{"kind":"cascade","waves":4}'`)
 	showMap := fs.Bool("map", false, "print the task map before and after")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -154,9 +157,16 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	// The noc layer owns the topology rules; validating against the default
-	// 16×8 grid here turns a construction panic into a flag error.
-	if _, err := noc.MakeTopology(*topology, 16, 8); err != nil {
+	width, height := 16, 8
+	if *grid != "" {
+		if width, height, err = parseGrid(*grid); err != nil {
+			return err
+		}
+	}
+	// The noc layer owns the topology rules (valid kinds, cmesh evenness,
+	// the node-count ceiling); validating against the requested grid here
+	// turns a construction panic into a flag error.
+	if _, err := noc.MakeTopology(*topology, width, height); err != nil {
 		return err
 	}
 	if *faultProf != "" && *faultN > 0 {
@@ -165,7 +175,22 @@ func cmdRun(args []string) error {
 	if *faultN > 0 && (*faultAt <= 0 || *faultAt >= *ms) {
 		return fmt.Errorf("-fault-at %g must lie strictly inside (0, %g) to inject %d faults", *faultAt, *ms, *faultN)
 	}
-	opts := append([]centurion.Option{centurion.WithSeed(*seed), centurion.WithTopology(*topology)}, modelOpts...)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	opts := append([]centurion.Option{
+		centurion.WithSeed(*seed),
+		centurion.WithTopology(*topology),
+		centurion.WithSize(width, height),
+	}, modelOpts...)
 	sys := centurion.NewSystem(opts...)
 	if *showMap {
 		fmt.Println("initial task map:")
@@ -270,6 +295,24 @@ func modelOptions(model string) ([]centurion.Option, error) {
 		return []centurion.Option{centurion.WithModel(centurion.ModelFFW)}, nil
 	}
 	return nil, fmt.Errorf("unknown model %q", model)
+}
+
+// parseGrid parses a -grid value of the form "WxH" ("64x64").
+func parseGrid(g string) (w, h int, err error) {
+	ws, hs, ok := strings.Cut(g, "x")
+	if ok {
+		w, err = strconv.Atoi(ws)
+		if err == nil {
+			h, err = strconv.Atoi(hs)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-grid %q is not of the form WxH (e.g. 64x64)", g)
+	}
+	if w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("-grid %q has non-positive dimensions", g)
+	}
+	return w, h, nil
 }
 
 func parseInts(csv string) ([]int, error) {

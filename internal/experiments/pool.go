@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -83,6 +84,21 @@ func (s Spec) topologyKind() string {
 	return s.Topology
 }
 
+// shapeKey is the per-shape stats key, "kind/WxH" ("mesh/16x8"). Dimensions
+// default exactly like platform construction does, so a spec that leaves
+// them zero and one that spells out 16×8 count under the same key — while
+// a 64×64 mesh no longer aliases the default grid's counters.
+func (s Spec) shapeKey() string {
+	w, h := s.Width, s.Height
+	if w <= 0 {
+		w = 16
+	}
+	if h <= 0 {
+		h = 8
+	}
+	return fmt.Sprintf("%s/%dx%d", s.topologyKind(), w, h)
+}
+
 // platformConfig builds the platform configuration the spec describes.
 func (s Spec) platformConfig() centurion.Config {
 	cfg := centurion.DefaultConfig(s.engineFactory(), s.mapper(), s.Seed)
@@ -116,9 +132,10 @@ var (
 	statPacketsRecycled  atomic.Uint64
 
 	// statByTopo breaks the platform counters down per fabric shape
-	// (string → *topoCounters) for the /healthz capacity view: a sweep that
-	// suddenly stops reusing torus platforms shows up here even while the
-	// mesh totals look healthy.
+	// ("kind/WxH" string → *topoCounters) for the /healthz capacity view: a
+	// sweep that suddenly stops reusing torus platforms — or that silently
+	// rebuilds every 256×256 mega fabric — shows up here even while the
+	// 16×8 mesh totals look healthy.
 	statByTopo sync.Map
 )
 
@@ -152,13 +169,13 @@ type pooledPlatform struct {
 // leasePlatform returns a platform ready to run the spec (seeded, clean) and
 // a release function that must be called exactly once when the run is over.
 func leasePlatform(spec Spec) (*centurion.Platform, func()) {
-	topoKind := spec.topologyKind()
-	// Every construction counts in both the global and the per-topology
+	shapeKey := spec.shapeKey()
+	// Every construction counts in both the global and the per-shape
 	// counters (pooled misses, non-poolable specs and shape overflow alike),
 	// so /healthz's by_topology breakdown always sums to the totals.
 	created := func() {
 		statPlatformsCreated.Add(1)
-		topoStat(topoKind).created.Add(1)
+		topoStat(shapeKey).created.Add(1)
 	}
 	if !spec.poolable() {
 		created()
@@ -184,7 +201,7 @@ func leasePlatform(spec Spec) (*centurion.Platform, func()) {
 		pp = v.(*pooledPlatform)
 		pp.p.Reset(spec.Seed)
 		statPlatformsReused.Add(1)
-		topoStat(topoKind).reused.Add(1)
+		topoStat(shapeKey).reused.Add(1)
 	} else {
 		pp = &pooledPlatform{p: centurion.New(spec.platformConfig())}
 		created()
@@ -215,9 +232,10 @@ type PoolStatsSnapshot struct {
 	PlatformsReused uint64 `json:"platforms_reused"`
 	// PacketsRecycled totals packet-pool recycles across released platforms.
 	PacketsRecycled uint64 `json:"packets_recycled"`
-	// ByTopology breaks the platform counters down per fabric shape (keyed
-	// by topology kind: "mesh", "torus", "cmesh"). Absent until the first
-	// lease of that shape.
+	// ByTopology breaks the platform counters down per fabric shape, keyed
+	// by topology kind and grid ("mesh/16x8", "torus/8x4", "mesh/256x256")
+	// so differently sized grids of one kind never alias each other's
+	// counters. Absent until the first lease of that shape.
 	ByTopology map[string]TopoPoolStats `json:"by_topology,omitempty"`
 }
 

@@ -23,10 +23,10 @@ import "centurion/internal/sim"
 //
 // The hop counter travels in the slot — a forward is a slot copy, so the
 // increment is free — and is written back to the packet at every fabric
-// exit. dst/task/flits are narrowed to 16 bits (NewNetwork rejects grids
-// beyond the int16 node range; flit lengths clamp, which only matters for
-// absurd >32767-flit packets) to keep the slot at 32 bytes: two per cache
-// line.
+// exit. dst is 32 bits (mega fabrics reach 2^20 nodes); task/flits are
+// narrowed to 16 bits (flit lengths clamp, which only matters for absurd
+// >32767-flit packets) — together that keeps the slot at 32 bytes: two per
+// cache line.
 type ringSlot struct {
 	// ready is the tick the packet's tail flit has fully arrived; before it
 	// the head may not be forwarded (wormhole serialisation).
@@ -34,7 +34,7 @@ type ringSlot struct {
 	// deadline mirrors Packet.Deadline (0 = none).
 	deadline sim.Tick
 	id       PacketID
-	dst      int16
+	dst      int32
 	task     int16
 	flits    int16
 	// hops is the in-fabric hop counter (mirrors Packet.Hops, which it

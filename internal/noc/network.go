@@ -53,6 +53,17 @@ type Params struct {
 	RequeueLimit int
 	// Mode selects the routing strategy (default RouteAuto).
 	Mode RoutingMode
+	// Tiles partitions the router ID space into row-band tiles for the
+	// parallel tick kernel (DESIGN.md §14). 0 auto-sizes from the grid
+	// (one tile below 2048 nodes — the legacy serial kernel); 1 forces the
+	// legacy kernel. Tiling is SEMANTIC: it fixes the cross-boundary
+	// service order, so it must be derived from the spec, never from the
+	// host machine.
+	Tiles int
+	// Workers caps the goroutines sweeping tiles within one Tick. 0 uses
+	// GOMAXPROCS. Purely a runtime throttle — results are bit-identical
+	// for every worker count by construction.
+	Workers int
 }
 
 // DefaultConfig returns Params mirroring the Centurion router: small wormhole buffers and a
@@ -83,9 +94,9 @@ type NetworkStats struct {
 
 // routerState is one router's per-tick hot state: everything the fused
 // network kernel reads or writes while servicing the router, packed into a
-// single 192-byte record (three cache lines, naturally aligned in the
-// state slice) so one router's tick stays within a handful of lines instead
-// of chasing a *Router heap object. The records live in Network.state, a
+// single ~200-byte record (just over three cache lines, naturally aligned in
+// the state slice) so one router's tick stays within a handful of lines
+// instead of chasing a *Router heap object. The records live in Network.state, a
 // flat slice indexed by router NodeID — together with the shared ring-slot
 // slice this is the data-oriented core of DESIGN.md §11.
 type routerState struct {
@@ -113,8 +124,8 @@ type routerState struct {
 	disabled uint8
 	faulty   bool
 	// nbr is the neighbouring router's ID out of each cardinal port
-	// (-1 = no link).
-	nbr [NumPorts]int16
+	// (-1 = no link; 32 bits so mega fabrics reach 2^20 nodes).
+	nbr [NumPorts]int32
 	// refused has bit p set when a push into ring p was refused for
 	// capacity since its last pop — the precise condition under which the
 	// upstream router may have parked on this ring and a pop must stir it.
@@ -184,6 +195,25 @@ type Network struct {
 	haveFaults bool
 	faultyCnt  int
 
+	// huge marks a fabric beyond hugeNodes: the O(nodes²) routing
+	// structures (per-router hop rows, xy rows, BFS tables) are not built —
+	// forwarding computes the dimension-order hop on the fly and routes
+	// stay XY even under faults (blocked heads take the deadlock-recovery
+	// path, like the FPGA's router). See liveHop.
+	huge bool
+
+	// width caches Topo.Width() for the row→tile map; tiles/tileRowIdx/
+	// scratch/crew are the parallel tiled kernel (tile.go; nil tiles = the
+	// legacy single-tile kernel). stagedOps/drainedOps count staged
+	// boundary services and their merge drains for the property tests.
+	width      int
+	tiles      []netTile
+	tileRowIdx []int32
+	scratch    []tileScratch
+	crew       *tickCrew
+	stagedOps  uint64
+	drainedOps uint64
+
 	// DropHandler observes every dropped packet (may be nil). The handler is
 	// the packet's last reader: the fabric recycles it into the pool right
 	// after.
@@ -235,13 +265,15 @@ func NewNetwork(topo Topology, cfg Params) *Network {
 		cfg.BufferFlits = DefaultConfig().BufferFlits
 	}
 	nodes := topo.Nodes()
-	if nodes > 1<<15-1 {
-		// Ring slots and neighbour links store node IDs in 16 bits; the
-		// paper's grids are 128 nodes, so this only guards against
-		// degenerate constructions.
-		panic("noc: topology exceeds the 32767-node limit of the ring layout")
+	if nodes > 1<<20 {
+		// Ring slots and neighbour links store node IDs in 32 bits; the cap
+		// bounds the slot backing (~1.3 GiB at 2^20 nodes) rather than the
+		// encoding. 1<<20 admits exactly the 1024×1024 mega fabric.
+		panic("noc: topology exceeds the 1,048,576-node limit of the fabric layout")
 	}
 	n := &Network{Topo: topo, cfg: cfg, nodes: nodes, active: sim.NewActiveSet(nodes)}
+	n.width = topo.Width()
+	n.huge = nodes > hugeNodes
 	n.routers = make([]*Router, nodes)
 	for id := 0; id < nodes; id++ {
 		rid := topo.RouterOf(NodeID(id))
@@ -267,41 +299,76 @@ func NewNetwork(topo Topology, cfg Params) *Network {
 			st.rings[p].head = uint32((id*int(NumPorts) + p) * n.spp)
 		}
 	}
-	// Wire the fabric links between routers and carve each physical
-	// router's byte-narrow next-hop row out of one contiguous backing.
-	hopBacking := make([]int8, len(n.uniq)*nodes)
+	// Wire the fabric links between routers; below the huge threshold, carve
+	// each physical router's byte-narrow next-hop row out of one contiguous
+	// backing (the rows are O(routers × nodes) — a mega fabric skips them
+	// and computes hops on the fly, see liveHop).
+	var hopBacking []int8
+	if !n.huge {
+		hopBacking = make([]int8, len(n.uniq)*nodes)
+	}
 	for i, r := range n.uniq {
-		n.state[r.ID].hop = hopBacking[i*nodes : (i+1)*nodes : (i+1)*nodes]
+		if !n.huge {
+			n.state[r.ID].hop = hopBacking[i*nodes : (i+1)*nodes : (i+1)*nodes]
+		}
 		for p := North; p <= West; p++ {
 			if nb, ok := topo.Neighbor(r.ID, p); ok {
-				n.state[r.ID].nbr[p] = int16(topo.RouterOf(nb))
+				n.state[r.ID].nbr[p] = int32(topo.RouterOf(nb))
 			}
 		}
 	}
-	// Like the route tables, xy rows depend only on the serving router, so
-	// cluster members alias their hub's row.
-	n.xy = make([][]Port, nodes)
-	for from := range n.xy {
-		if topo.RouterOf(NodeID(from)) != NodeID(from) {
-			continue
+	if !n.huge {
+		// Like the route tables, xy rows depend only on the serving router,
+		// so cluster members alias their hub's row.
+		n.xy = make([][]Port, nodes)
+		for from := range n.xy {
+			if topo.RouterOf(NodeID(from)) != NodeID(from) {
+				continue
+			}
+			row := make([]Port, nodes)
+			for dst := range row {
+				row[dst] = xyNextHop(topo, NodeID(from), NodeID(dst))
+			}
+			n.xy[from] = row
 		}
-		row := make([]Port, nodes)
-		for dst := range row {
-			row[dst] = xyNextHop(topo, NodeID(from), NodeID(dst))
+		for from := range n.xy {
+			if n.xy[from] == nil {
+				n.xy[from] = n.xy[topo.RouterOf(NodeID(from))]
+			}
 		}
-		n.xy[from] = row
 	}
-	for from := range n.xy {
-		if n.xy[from] == nil {
-			n.xy[from] = n.xy[topo.RouterOf(NodeID(from))]
-		}
+	k := cfg.Tiles
+	if k == 0 {
+		k = autoTiles(topo.Width(), topo.Height())
 	}
-	if cfg.Mode == RouteTables {
+	if k > 1 {
+		n.buildTiles(k)
+	}
+	if cfg.Mode == RouteTables && !n.huge {
 		n.RecomputeRoutes()
 	} else {
 		n.applyRoutingRows()
 	}
 	return n
+}
+
+// hugeNodes is the node count beyond which the quadratic routing structures
+// (hop rows, xy rows, BFS tables) are skipped: a 65536-node fabric's hop
+// rows alone would be 4 GiB. 64×64 (4096 nodes) keeps the precomputed fast
+// path and full fault-aware routing.
+const hugeNodes = 8192
+
+// liveHop is the mega-fabric forwarding path: the topology's dimension-order
+// next hop computed on the fly (coordinates are memoized, so this is integer
+// compares, not divisions). Faults do not reroute a huge fabric — heads
+// steering into a dead router block and take deadlock recovery, mirroring
+// the paper's FPGA router, which never had global route recomputation
+// either.
+func (n *Network) liveHop(from NodeID, dst int32) Port {
+	if uint32(dst) >= uint32(n.nodes) {
+		return PortInvalid
+	}
+	return xyNextHop(n.Topo, from, NodeID(dst))
 }
 
 // Pool returns the fabric's packet arena. Every packet that enters the
@@ -314,6 +381,12 @@ func (n *Network) Pool() *PacketPool { return &n.pool }
 // shortest-path tables otherwise). Called whenever mode-relevant state
 // changes.
 func (n *Network) applyRoutingRows() {
+	if n.huge {
+		// No precomputed rows to rebind; forwarding goes through liveHop.
+		// Parked heads still re-evaluate (a fault changes what they observe).
+		n.stirAll()
+		return
+	}
 	useXY := n.cfg.Mode == RouteXY || (n.cfg.Mode == RouteAuto && !n.haveFaults)
 	for _, r := range n.uniq {
 		var row []Port
@@ -354,6 +427,10 @@ func (n *Network) Stats() NetworkStats { return n.stats }
 // TickDense (a router with no queued packets is a no-op tick either way;
 // its round-robin pointer only advances while traffic is buffered).
 func (n *Network) Tick(now sim.Tick) {
+	if n.tiles != nil {
+		n.tickTiled(now, false)
+		return
+	}
 	n.active.Sweep(func(id int) bool {
 		st := &n.state[id]
 		n.tickRouter(id, st, now)
@@ -363,7 +440,14 @@ func (n *Network) Tick(now sim.Tick) {
 
 // TickDense advances every router by one cycle, active or not — the
 // pre-active-set reference scan kept for the stepping-equivalence tests.
+// On a tiled fabric the dense scan runs tile by tile with the same staged
+// merge, so dense and active stepping stay bit-identical at every tile
+// count.
 func (n *Network) TickDense(now sim.Tick) {
+	if n.tiles != nil {
+		n.tickTiled(now, true)
+		return
+	}
 	for _, r := range n.uniq {
 		n.tickRouter(int(r.ID), &n.state[r.ID], now)
 	}
@@ -491,6 +575,8 @@ func (n *Network) servicePort(id int, st *routerState, port Port, now sim.Tick) 
 	out := PortInvalid
 	if hop := st.hop; uint(int(s.dst)) < uint(len(hop)) {
 		out = Port(hop[s.dst])
+	} else if st.hop == nil {
+		out = n.liveHop(NodeID(id), s.dst)
 	}
 	if out == Local {
 		return n.deliverLocal(id, st, port, s, now)
@@ -597,15 +683,15 @@ func (n *Network) pushPacket(id int, port Port, p *Packet, readyAt sim.Tick) boo
 		return false
 	}
 	if int(int16(p.Task)) != int(p.Task) {
-		// Tasks narrow to 16 bits in the ring slot, mirroring the node
-		// limit NewNetwork enforces: fail loudly rather than alias.
+		// Tasks narrow to 16 bits in the ring slot: fail loudly rather
+		// than alias.
 		panic("noc: task ID exceeds the 16-bit ring layout")
 	}
 	dst := p.Dst
-	if int(int16(dst)) != int(dst) {
-		// A destination outside the 16-bit range cannot be a real node;
-		// map it to Invalid so it takes the unreachable/recovery path the
-		// un-narrowed code took, instead of aliasing a valid node.
+	if int(int32(dst)) != int(dst) {
+		// A destination outside the 32-bit range cannot be a real node;
+		// map it to Invalid so it takes the unreachable/recovery path
+		// instead of aliasing a valid node.
 		dst = Invalid
 	}
 	var flags uint8
@@ -620,7 +706,7 @@ func (n *Network) pushPacket(id int, port Port, p *Packet, readyAt sim.Tick) boo
 		ready:    readyAt,
 		deadline: p.Deadline,
 		id:       n.pool.handleFor(p),
-		dst:      int16(dst),
+		dst:      int32(dst),
 		task:     int16(p.Task),
 		flits:    int16(flits),
 		hops:     uint16(p.Hops),
@@ -632,7 +718,7 @@ func (n *Network) pushPacket(id int, port Port, p *Packet, readyAt sim.Tick) boo
 	st.queued++
 	st.occ |= 1 << port
 	st.quiet = 0
-	n.active.Add(id)
+	n.actAdd(id)
 	return true
 }
 
@@ -674,7 +760,7 @@ func (n *Network) stirRouter(id int) {
 	st := &n.state[id]
 	if st.queued > 0 && !st.faulty {
 		st.quiet = 0
-		n.active.Add(id)
+		n.actAdd(id)
 	}
 }
 
@@ -753,7 +839,7 @@ func (n *Network) forward(id int, st *routerState, inPort, out Port, s *ringSlot
 	nst.queued++
 	nst.occ |= 1 << inSide
 	nst.quiet = 0
-	n.active.Add(int(next))
+	n.actAdd(int(next))
 
 	if !keep {
 		n.popIn(id, st, inPort)
@@ -1035,8 +1121,9 @@ func (n *Network) recoverAt(id int, pkt *Packet, now sim.Tick) {
 	n.handleDrop(NodeID(id), pkt, DropRecoveryFailed)
 }
 
-// ActiveRouters returns the number of routers currently holding traffic.
-func (n *Network) ActiveRouters() int { return n.active.Len() }
+// ActiveRouters returns the number of routers currently holding traffic
+// (summed over the per-tile sets on a tiled fabric).
+func (n *Network) ActiveRouters() int { return n.actLen() }
 
 // Inject enqueues a packet at the source node's Local input channel.
 // It returns false (without consuming the packet) under back-pressure.
@@ -1053,6 +1140,9 @@ func (n *Network) Inject(at NodeID, p *Packet, now sim.Tick) bool {
 func (n *Network) NextHop(from, dst NodeID) Port {
 	if dst < 0 || int(dst) >= n.nodes {
 		return PortInvalid
+	}
+	if n.huge {
+		return n.liveHop(n.routers[from].ID, int32(dst))
 	}
 	switch n.cfg.Mode {
 	case RouteXY:
@@ -1105,7 +1195,7 @@ func (n *Network) Fail(id NodeID, now sim.Tick) {
 	}
 	st.refused = 0
 	r.Stats.Dropped += uint64(len(lost))
-	n.active.Remove(rid)
+	n.actRemove(rid)
 	n.faultyCnt++
 	for i, p := range lost {
 		n.handleDrop(r.ID, p, DropRouterFailed)
@@ -1123,8 +1213,14 @@ func (n *Network) Fail(id NodeID, now sim.Tick) {
 	_ = now
 }
 
-// RecomputeRoutes rebuilds the fault-aware shortest-path tables.
+// RecomputeRoutes rebuilds the fault-aware shortest-path tables. A huge
+// fabric never builds tables (they are O(nodes²)); it stays on live XY and
+// only re-evaluates parked heads.
 func (n *Network) RecomputeRoutes() {
+	if n.huge {
+		n.stirAll()
+		return
+	}
 	n.tables = computeTables(n.Topo, func(id NodeID) bool { return !n.state[n.routers[id].ID].faulty })
 	if !n.haveFaults && n.healthy == nil {
 		n.healthy = n.tables
@@ -1159,7 +1255,9 @@ func (n *Network) Reset() {
 		st.quiet = 0
 		r.reset(n.cfg)
 	}
-	n.active.Clear()
+	n.actClear()
+	n.stagedOps = 0
+	n.drainedOps = 0
 	n.haveFaults = false
 	n.faultyCnt = 0
 	for i := range n.byz {
@@ -1183,6 +1281,11 @@ func (n *Network) Reachable(src, dst NodeID) bool {
 	}
 	if !n.haveFaults || n.cfg.Mode == RouteXY {
 		return true // healthy mesh is fully connected
+	}
+	if n.huge {
+		// No tables to consult: optimistic under faults. A wrong answer
+		// costs a rescue retry through deadlock recovery, not correctness.
+		return true
 	}
 	return n.tables.NextHop(src, dst) != PortInvalid
 }

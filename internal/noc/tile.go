@@ -1,0 +1,697 @@
+package noc
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"centurion/internal/sim"
+)
+
+// The parallel tiled tick kernel (DESIGN.md §14).
+//
+// The router ID space is partitioned into row bands ("tiles"), each with its
+// own active set, and Network.Tick sweeps the tiles on a pool of worker
+// goroutines. Within a tile the fused kernel runs unchanged: intra-tile
+// forwards copy slots straight into the destination ring exactly like the
+// serial kernel. A service whose effect would escape the tile — a forward to
+// a neighbour in another tile, a Config/Debug delivery with fabric-global
+// side effects — is *staged*: the port is recorded untouched in the tile's
+// scratch, and after the worker barrier a single-threaded merge phase
+// re-runs the staged services with the plain serial kernel, tile by tile in
+// FIFO order. The staged head is provably unchanged between the sweep and
+// the merge (each port is serviced at most once per tick and only its owner
+// tile touches its rings), so the merge phase services it exactly as the
+// serial sweep would have — which makes the parallel kernel bit-identical to
+// the one-worker serial-tiled reference by construction, independent of the
+// worker count and of goroutine scheduling.
+//
+// Tiling is a *semantic* parameter (it fixes the service order across tile
+// boundaries) derived deterministically from the grid, never from the host:
+// Params.Tiles=0 auto-sizes from the node count. The worker count is purely
+// a runtime throttle (Params.Workers=0 uses GOMAXPROCS) and can never affect
+// results. A single-tile fabric (every grid below 2048 nodes, including the
+// paper's 16×8) takes the exact legacy kernel path: no staging code runs.
+//
+// Byzantine arming forces the worker count to 1 for the armed interval: the
+// duplication path acquires packets from the shared arena mid-sweep and the
+// misroute path pushes out of arbitrary ports, neither of which is tile-safe.
+// Byzantine runs therefore execute serial-tiled — still deterministic, just
+// not parallel.
+
+// netTile is one row band of the fabric: routers with IDs in [lo, hi).
+// Boundaries fall on even rows so cmesh 2×2 clusters are never split across
+// tiles (a hub router and all its members share a tile).
+type netTile struct {
+	lo, hi int // router/node ID range [lo, hi)
+	// uniqLo/uniqHi is the tile's slice of Network.uniq (for dense sweeps).
+	uniqLo, uniqHi int
+	// set is the tile's active-router set with *offset-local* indices (bit i
+	// = router lo+i). Tiles own disjoint sets so workers never share a mask
+	// word, which a global set could not guarantee (tile boundaries are not
+	// 64-aligned).
+	set *sim.ActiveSet
+}
+
+// svcRec is one staged port service: the head of ring (id, port) was left
+// untouched by the tile sweep for the merge phase to service serially.
+type svcRec struct {
+	id   int32
+	port Port
+}
+
+// recRec is a packet popped by a tile sweep that needs the recovery path
+// (unreachable destination, requeue budget exhausted): the handler may
+// re-inject anywhere in the fabric, so it runs at merge time.
+type recRec struct {
+	at  int32
+	pkt *Packet
+}
+
+// dropRec is a packet popped by a tile sweep whose drop accounting
+// (DropHandler + arena recycle) must run at merge time.
+type dropRec struct {
+	at     int32
+	pkt    *Packet
+	reason DropReason
+}
+
+// tileScratch is one tile's staging state, reset every tick by the merge.
+// All preallocated and reused: the steady-state tick path stays 0 allocs/op
+// once the slices have grown to the tile's working set.
+type tileScratch struct {
+	tile  int32 // own tile index, threaded through the T-kernel
+	svc   []svcRec
+	stirs []int32 // cross-tile refused-bit stirs (upstream router IDs)
+	recs  []recRec
+	drops []dropRec
+	// stats is the tile's delta of the fabric-wide counters, added to
+	// Network.stats by the merge.
+	stats NetworkStats
+	// staged counts staged services for the drains-exactly-once property
+	// test; drained is accounted on the Network at merge.
+	staged uint64
+	// padding to a multiple of 64 bytes so adjacent tiles' scratch headers
+	// do not false-share a cache line while workers append.
+	_ [40]byte
+}
+
+func (sc *tileScratch) stageSvc(id int, port Port) {
+	sc.svc = append(sc.svc, svcRec{id: int32(id), port: port})
+	sc.staged++
+}
+
+// autoTiles picks the tile count for a grid: one tile below 2048 nodes (the
+// tiled kernel only pays off when a tile spans several cache-resident row
+// bands), then roughly one tile per 1024 nodes, capped at 64 tiles and at
+// one tile per two rows. Deterministic in the grid alone.
+func autoTiles(w, h int) int {
+	nodes := w * h
+	if nodes < 2048 || h < 4 {
+		return 1
+	}
+	k := nodes / 1024
+	if k > 64 {
+		k = 64
+	}
+	if k > h/2 {
+		k = h / 2
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// buildTiles partitions the fabric into k row bands (clamped to the number
+// of row pairs) and allocates the per-tile active sets and scratch. k <= 1
+// leaves the network on the legacy single-tile kernel.
+func (n *Network) buildTiles(k int) {
+	w, h := n.Topo.Width(), n.Topo.Height()
+	units := (h + 1) / 2 // row pairs; cmesh clusters span two rows
+	if k > units {
+		k = units
+	}
+	if k <= 1 {
+		return
+	}
+	n.tiles = make([]netTile, k)
+	n.tileRowIdx = make([]int32, h)
+	n.scratch = make([]tileScratch, k)
+	per, extra := units/k, units%k
+	startPair := 0
+	for i := 0; i < k; i++ {
+		pairs := per
+		if i < extra {
+			pairs++
+		}
+		loRow := startPair * 2
+		startPair += pairs
+		hiRow := startPair * 2
+		if hiRow > h || i == k-1 {
+			hiRow = h
+		}
+		t := &n.tiles[i]
+		t.lo = loRow * w
+		t.hi = hiRow * w
+		t.set = sim.NewActiveSet(t.hi - t.lo)
+		for row := loRow; row < hiRow; row++ {
+			n.tileRowIdx[row] = int32(i)
+		}
+		n.scratch[i].tile = int32(i)
+	}
+	// Carve uniq (ascending router IDs) into per-tile ranges.
+	ui := 0
+	for i := range n.tiles {
+		t := &n.tiles[i]
+		t.uniqLo = ui
+		for ui < len(n.uniq) && int(n.uniq[ui].ID) < t.hi {
+			ui++
+		}
+		t.uniqHi = ui
+	}
+	n.crew = &tickCrew{stop: make(chan struct{}), kick: make(chan struct{})}
+	// The crew's workers are lazily started and park on the kick channel
+	// between ticks; if the network is dropped (pooled platforms are
+	// GC-collected, not closed), the cleanup releases them.
+	runtime.AddCleanup(n, func(stop chan struct{}) { close(stop) }, n.crew.stop)
+}
+
+// tileOf returns the tile index owning a router ID.
+func (n *Network) tileOf(id int) int32 { return n.tileRowIdx[id/n.width] }
+
+// TileCount reports how many tiles the tick kernel sweeps (1 = the legacy
+// serial kernel).
+func (n *Network) TileCount() int {
+	if n.tiles == nil {
+		return 1
+	}
+	return len(n.tiles)
+}
+
+// TileStaging returns the lifetime counts of staged and drained boundary
+// services — equal after every Tick (each staged record drains exactly once
+// in the merge phase). Exposed for the tile-boundary property tests.
+func (n *Network) TileStaging() (staged, drained uint64) {
+	return n.stagedOps, n.drainedOps
+}
+
+// effWorkers resolves the worker count for this tick: the configured count
+// (GOMAXPROCS when 0), clamped to the tile count, and forced to 1 while any
+// router is byzantine-armed (see the package comment above).
+func (n *Network) effWorkers() int {
+	if n.tiles == nil {
+		return 1
+	}
+	if n.byzAny {
+		return 1
+	}
+	w := n.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(n.tiles) {
+		w = len(n.tiles)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ParallelTick reports whether the next Tick will sweep tiles on more than
+// one goroutine. The platform checks it to route component stirs through
+// the atomic active-set path for the duration of the tick.
+func (n *Network) ParallelTick() bool { return n.tiles != nil && n.effWorkers() > 1 }
+
+// tickTiled is the tiled Tick body: sweep every tile (in parallel when the
+// crew has more than one worker), then merge the staged boundary work
+// single-threaded in tile order.
+func (n *Network) tickTiled(now sim.Tick, dense bool) {
+	if w := n.effWorkers(); w <= 1 {
+		for t := range n.tiles {
+			n.sweepTile(t, now, dense)
+		}
+	} else {
+		n.crew.run(n, now, dense, w)
+	}
+	n.mergeTiles(now)
+}
+
+// sweepTile runs the fused kernel over one tile. Workers claim tiles
+// dynamically, so an empty tile (an idle region of a mega-fabric) costs one
+// set-length check and nothing else.
+func (n *Network) sweepTile(t int, now sim.Tick, dense bool) {
+	tl := &n.tiles[t]
+	ctx := &n.scratch[t]
+	if dense {
+		for ui := tl.uniqLo; ui < tl.uniqHi; ui++ {
+			r := n.uniq[ui]
+			n.tickRouterT(ctx, int(r.ID), &n.state[r.ID], now)
+		}
+		return
+	}
+	if tl.set.Empty() {
+		return
+	}
+	tl.set.Sweep(func(local int) bool {
+		id := tl.lo + local
+		st := &n.state[id]
+		n.tickRouterT(ctx, id, st, now)
+		return st.queued > 0 && !st.faulty
+	})
+}
+
+// mergeTiles drains every tile's staged work with the serial kernel, in
+// ascending tile order, each list in FIFO order — the deterministic merge
+// phase. Staged heads are still at their ring heads (only the owner tile
+// touches a ring during the sweep, and a port is serviced at most once per
+// tick), so the legacy servicePort sees exactly the state the serial-tiled
+// reference would.
+func (n *Network) mergeTiles(now sim.Tick) {
+	for t := range n.scratch {
+		sc := &n.scratch[t]
+		for _, rec := range sc.svc {
+			n.servicePort(int(rec.id), &n.state[rec.id], rec.port, now)
+			n.drainedOps++
+		}
+		for _, id := range sc.stirs {
+			n.stirRouter(int(id))
+		}
+		for i := range sc.recs {
+			n.recoverAt(int(sc.recs[i].at), sc.recs[i].pkt, now)
+			sc.recs[i].pkt = nil
+		}
+		for i := range sc.drops {
+			n.handleDrop(NodeID(sc.drops[i].at), sc.drops[i].pkt, sc.drops[i].reason)
+			sc.drops[i].pkt = nil
+		}
+		n.stats.add(&sc.stats)
+		n.stagedOps += sc.staged
+		sc.staged = 0
+		sc.svc = sc.svc[:0]
+		sc.stirs = sc.stirs[:0]
+		sc.recs = sc.recs[:0]
+		sc.drops = sc.drops[:0]
+		sc.stats = NetworkStats{}
+	}
+}
+
+// add accumulates a tile's stats delta into the fabric-wide counters.
+func (a *NetworkStats) add(b *NetworkStats) {
+	a.Injected += b.Injected
+	a.Delivered += b.Delivered
+	a.ConfigOps += b.ConfigOps
+	a.Dropped += b.Dropped
+	a.Rescued += b.Rescued
+	a.ByzMisrouted += b.ByzMisrouted
+	a.ByzDropped += b.ByzDropped
+	a.ByzDuplicated += b.ByzDuplicated
+}
+
+// tickCrew is the persistent worker pool behind the parallel sweep. Workers
+// are started lazily on the first multi-worker tick and park on the kick
+// channel between ticks; the calling goroutine participates as a worker, so
+// w workers means w-1 goroutines. Tiles are claimed dynamically through an
+// atomic cursor — safe because the sweep result is scheduling-independent
+// (tiles are self-contained until the merge).
+type tickCrew struct {
+	stop    chan struct{}
+	kick    chan struct{}
+	wg      sync.WaitGroup
+	started int
+	cursor  atomic.Int32
+	// per-tick job state, published to workers by the kick send
+	// (happens-before) and cleared after the barrier so parked workers
+	// never pin the network.
+	net   *Network
+	now   sim.Tick
+	dense bool
+}
+
+// run executes one parallel sweep: publish the job, kick w-1 workers, work
+// the cursor alongside them, and wait for the barrier.
+func (c *tickCrew) run(n *Network, now sim.Tick, dense bool, w int) {
+	c.net, c.now, c.dense = n, now, dense
+	c.cursor.Store(0)
+	need := w - 1
+	for c.started < need {
+		c.started++
+		go c.worker()
+	}
+	c.wg.Add(need)
+	for i := 0; i < need; i++ {
+		c.kick <- struct{}{}
+	}
+	c.work(n, now, dense)
+	c.wg.Wait()
+	c.net = nil
+}
+
+func (c *tickCrew) worker() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.kick:
+			c.work(c.net, c.now, c.dense)
+			c.wg.Done()
+		}
+	}
+}
+
+func (c *tickCrew) work(n *Network, now sim.Tick, dense bool) {
+	for {
+		t := int(c.cursor.Add(1)) - 1
+		if t >= len(n.tiles) {
+			return
+		}
+		n.sweepTile(t, now, dense)
+	}
+}
+
+// ---- active-set indirection -------------------------------------------
+//
+// With tiles, router activity lives in per-tile offset-local sets; without,
+// in the legacy global set. Every enrolment site in the serial kernel goes
+// through these helpers, so the merge phase (which runs the serial kernel)
+// maintains the per-tile sets transparently.
+
+func (n *Network) actAdd(id int) {
+	if n.tiles == nil {
+		n.active.Add(id)
+		return
+	}
+	t := &n.tiles[n.tileOf(id)]
+	t.set.Add(id - t.lo)
+}
+
+func (n *Network) actRemove(id int) {
+	if n.tiles == nil {
+		n.active.Remove(id)
+		return
+	}
+	t := &n.tiles[n.tileOf(id)]
+	t.set.Remove(id - t.lo)
+}
+
+func (n *Network) actClear() {
+	if n.tiles == nil {
+		n.active.Clear()
+		return
+	}
+	for i := range n.tiles {
+		n.tiles[i].set.Clear()
+	}
+}
+
+func (n *Network) actLen() int {
+	if n.tiles == nil {
+		return n.active.Len()
+	}
+	total := 0
+	for i := range n.tiles {
+		total += n.tiles[i].set.Len()
+	}
+	return total
+}
+
+// ---- the T-kernel ------------------------------------------------------
+//
+// Duplicates of the fused kernel's hot functions threading a tileScratch:
+// identical to the serial kernel except that boundary-crossing effects are
+// staged instead of applied. Keep the bodies in lockstep with their serial
+// twins in network.go — the bit-identity suites will catch a drift, but read
+// both when changing either.
+
+// tickRouterT is tickRouter for a tile sweep.
+func (n *Network) tickRouterT(ctx *tileScratch, id int, st *routerState, now sim.Tick) {
+	if st.faulty || st.queued == 0 {
+		return
+	}
+	start := int(st.rr)
+	if start+1 >= int(NumPorts) {
+		st.rr = 0
+	} else {
+		st.rr = uint8(start + 1)
+	}
+	if now < st.quiet {
+		return
+	}
+	quiet := tickNever
+	allQuiet := true
+	for cursor := 0; cursor < int(NumPorts); {
+		rot := uint(occRot[start][st.occ])
+		rot &= ^uint(0) << cursor
+		if rot == 0 {
+			break
+		}
+		b := bits.TrailingZeros(rot)
+		cursor = b + 1
+		port := Port(b + start)
+		if port >= NumPorts {
+			port -= NumPorts
+		}
+		if at, ok := n.servicePortT(ctx, id, st, port, now); ok {
+			if at < quiet {
+				quiet = at
+			}
+		} else {
+			allQuiet = false
+		}
+	}
+	if allQuiet {
+		st.quiet = quiet
+	}
+}
+
+// servicePortT is servicePort for a tile sweep. Cross-tile forwards and
+// Config/Debug local deliveries stage the untouched port; everything else
+// (intra-tile forwards, data delivery and absorption, lapse latching,
+// blocked bookkeeping) runs live, exactly like the serial kernel.
+func (n *Network) servicePortT(ctx *tileScratch, id int, st *routerState, port Port, now sim.Tick) (sim.Tick, bool) {
+	rm := &st.rings[port]
+	if rm.n == 0 {
+		return 0, false
+	}
+	s := &n.slots[rm.head]
+	if s.ready > now {
+		return s.ready, true
+	}
+	r := n.routers[id]
+	if s.kind == Data && s.deadline != 0 && s.flags&slotLapsed == 0 && now > s.deadline {
+		s.flags |= slotLapsed
+		n.pool.Deref(s.id).lapsedSeen = true
+		r.Stats.LapsesSeen++
+		if r.Monitors.DeadlineLapse != nil {
+			r.Monitors.DeadlineLapse(taskID(s.task), now)
+		}
+	}
+
+	out := PortInvalid
+	if hop := st.hop; uint(int(s.dst)) < uint(len(hop)) {
+		out = Port(hop[s.dst])
+	} else if st.hop == nil {
+		out = n.liveHop(NodeID(id), s.dst)
+	}
+	if out == Local {
+		if s.kind == Data {
+			return n.deliverLocalDataT(ctx, id, st, port, s, now)
+		}
+		// Config application can flip fabric-wide knobs (stirAll) and Debug
+		// consumption recycles into the shared arena: both merge-only.
+		ctx.stageSvc(id, port)
+		return 0, false
+	}
+
+	if s.kind == Data && r.Absorb != nil {
+		task := taskID(s.task)
+		n.pool.Deref(s.id).Hops = int(s.hops)
+		if r.Absorb(s.id, task, now) {
+			n.popInT(ctx, id, st, port)
+			r.Stats.Delivered++
+			if r.Monitors.InternalDelivery != nil {
+				r.Monitors.InternalDelivery(task, now)
+			}
+			ctx.stats.Delivered++
+			return 0, false
+		}
+	}
+
+	if out == PortInvalid {
+		pkt := n.pool.Deref(s.id)
+		pkt.Hops = int(s.hops)
+		n.popInT(ctx, id, st, port)
+		ctx.recs = append(ctx.recs, recRec{at: int32(id), pkt: pkt})
+		return 0, false
+	}
+	if next := st.nbr[out]; next >= 0 && n.tileOf(int(next)) != ctx.tile {
+		// Boundary crossing: the neighbour's rings belong to another tile.
+		// Leave the head in place; the merge re-runs this exact service.
+		ctx.stageSvc(id, port)
+		return 0, false
+	}
+	if n.byzAny && s.kind == Data {
+		// Only reachable serial-tiled (byzantine arming forces one worker),
+		// so the legacy meddle path — arena clones, alternate-port pushes,
+		// direct drops — is safe to reuse as-is.
+		if n.byzMeddle(id, st, port, out, s, now) {
+			return 0, false
+		}
+	}
+	if n.forwardT(ctx, id, st, port, out, s, now) {
+		return 0, false
+	}
+	r.Stats.BlockedTicks++
+	if st.blockedAt[port] == 0 {
+		st.blockedAt[port] = now
+	} else if r.deadlockLimit > 0 && now-st.blockedAt[port] >= r.deadlockLimit {
+		n.recoverBlockedT(ctx, id, st, port, s, now)
+		return 0, false
+	}
+	return blockedWake(st.blockedAt[port], r.deadlockLimit, s, st.linkBusy[out], now), true
+}
+
+// deliverLocalDataT is deliverLocal's Data branch for a tile sweep: the
+// sink is the tile-local PE (or cluster demux), so delivery runs live; only
+// the drop accounting of a sinkless node is staged (DropHandler + recycle
+// are fabric-global).
+func (n *Network) deliverLocalDataT(ctx *tileScratch, id int, st *routerState, port Port, s *ringSlot, now sim.Tick) (sim.Tick, bool) {
+	r := n.routers[id]
+	pkt := n.pool.Deref(s.id)
+	pkt.Hops = int(s.hops)
+	if r.sink == nil {
+		n.popInT(ctx, id, st, port)
+		r.Stats.Dropped++
+		ctx.drops = append(ctx.drops, dropRec{at: int32(id), pkt: pkt, reason: DropNoSink})
+		return 0, false
+	}
+	task := taskID(s.task)
+	if r.sink.Accept(pkt, now) {
+		n.popInT(ctx, id, st, port)
+		r.Stats.Delivered++
+		if r.Monitors.InternalDelivery != nil {
+			r.Monitors.InternalDelivery(task, now)
+		}
+		ctx.stats.Delivered++
+		return 0, false
+	}
+	r.Stats.BlockedTicks++
+	if st.blockedAt[port] == 0 {
+		st.blockedAt[port] = now
+	} else if r.deadlockLimit > 0 && now-st.blockedAt[port] >= r.deadlockLimit {
+		n.recoverBlockedT(ctx, id, st, port, s, now)
+		return 0, false
+	}
+	return blockedWake(st.blockedAt[port], r.deadlockLimit, s, 0, now), true
+}
+
+// forwardT is forward for an intra-tile hop (the caller has already
+// established that the destination router is in this tile). No keep
+// parameter: byzantine duplication never runs on this path.
+func (n *Network) forwardT(ctx *tileScratch, id int, st *routerState, inPort, out Port, s *ringSlot, now sim.Tick) bool {
+	if (st.disabled|st.linkDown)&(1<<out) != 0 {
+		return false
+	}
+	if st.linkBusy[out] > now {
+		return false
+	}
+	next := st.nbr[out]
+	if next < 0 {
+		return false
+	}
+	nst := &n.state[next]
+	if nst.faulty {
+		return false
+	}
+	inSide := out.Opposite()
+	if (nst.disabled|nst.linkDown)&(1<<inSide) != 0 {
+		return false
+	}
+	dur := sim.Tick(s.flits)
+	if dur < 1 {
+		dur = 1
+	}
+	rm := &nst.rings[inSide]
+	f := ringFlits(s.flits)
+	if rm.used+f > n.capFlits {
+		nst.refused |= 1 << inSide
+		return false
+	}
+	base := uint32((int(next)*int(NumPorts) + int(inSide)) * n.spp)
+	dst := &n.slots[base+((rm.head-base+rm.n)&n.sppMask)]
+	*dst = *s
+	dst.ready = now + dur
+	dst.hops++
+	requeued := dst.flags&slotRequeued != 0
+	dst.flags &^= slotRequeued
+	rm.n++
+	rm.used += f
+	nst.queued++
+	nst.occ |= 1 << inSide
+	nst.quiet = 0
+	n.actAdd(int(next))
+
+	n.popInT(ctx, id, st, inPort)
+	st.linkBusy[out] = now + dur
+	if requeued {
+		n.pool.Deref(dst.id).requeues = 0
+	}
+	r := n.routers[id]
+	r.Stats.Forwarded++
+	if dst.kind == Data && r.Monitors.RoutedTask != nil {
+		r.Monitors.RoutedTask(taskID(dst.task), now)
+	}
+	return true
+}
+
+// popInT is popIn for a tile sweep: a refused-bit stir whose upstream
+// router lives in another tile is staged (the merge stirs it after the
+// barrier, deterministically); an intra-tile stir runs live under the
+// tile's own sweep-cursor rule.
+func (n *Network) popInT(ctx *tileScratch, id int, st *routerState, port Port) {
+	rm := &st.rings[port]
+	s := &n.slots[rm.head]
+	rm.used -= ringFlits(s.flits)
+	s.id = 0
+	base := uint32((id*int(NumPorts) + int(port)) * n.spp)
+	rm.head = base + ((rm.head - base + 1) & n.sppMask)
+	rm.n--
+	st.queued--
+	st.blockedAt[port] = 0
+	if rm.n == 0 {
+		st.occ &^= 1 << port
+	}
+	if st.refused&(1<<port) != 0 {
+		st.refused &^= 1 << port
+		if up := st.nbr[port]; up >= 0 {
+			if n.tileOf(int(up)) != ctx.tile {
+				ctx.stirs = append(ctx.stirs, int32(up))
+			} else {
+				n.stirRouter(int(up))
+			}
+		}
+	}
+}
+
+// recoverBlockedT is recoverBlocked for a tile sweep: the rotation re-push
+// targets this router (tile-local, live); an ejection is staged for the
+// merge, where the recovery handler may re-inject anywhere.
+func (n *Network) recoverBlockedT(ctx *tileScratch, id int, st *routerState, port Port, s *ringSlot, now sim.Tick) {
+	pkt := n.pool.Deref(s.id)
+	pkt.Hops = int(s.hops)
+	n.popInT(ctx, id, st, port)
+	r := n.routers[id]
+	r.Stats.Recovered++
+	if r.Monitors.Recovery != nil {
+		r.Monitors.Recovery(pkt, now)
+	}
+	pkt.requeues++
+	if pkt.requeues <= r.requeueLimit {
+		n.pushPacket(id, port, pkt, now)
+		return
+	}
+	pkt.requeues = 0
+	ctx.recs = append(ctx.recs, recRec{at: int32(id), pkt: pkt})
+}

@@ -34,29 +34,33 @@ type JobStatus struct {
 }
 
 // SweepRequest asks for a grid of batches: every model × fault axis ×
-// topology, each aggregated over Runs independently seeded runs. An empty
-// Topologies axis sweeps only the base spec's shape, so existing clients
-// keep their two-dimensional grids. The fault axis is either FaultCounts
-// (the legacy single-instant injections) or FaultProfiles (hostile
-// fault-engine schedules: death, churn, flaky, cascade, byzantine) — the
-// two are mutually exclusive.
+// topology × grid shape, each aggregated over Runs independently seeded
+// runs. An empty Topologies (or Grids) axis sweeps only the base spec's
+// shape, so existing clients keep their lower-dimensional grids. Grids
+// entries are "WxH" strings ("64x64"); every shape is validated and budgeted
+// like a standalone spec and gets its own canonical cache identity. The
+// fault axis is either FaultCounts (the legacy single-instant injections) or
+// FaultProfiles (hostile fault-engine schedules: death, churn, flaky,
+// cascade, byzantine) — the two are mutually exclusive.
 type SweepRequest struct {
 	Spec          RunSpec          `json:"spec"`
 	Models        []string         `json:"models"`
 	FaultCounts   []int            `json:"fault_counts"`
 	FaultProfiles []faults.Profile `json:"fault_profiles"`
 	Topologies    []string         `json:"topologies"`
+	Grids         []string         `json:"grids"`
 	Runs          int              `json:"runs"`
 }
 
 // SweepRow is one cell of the sweep: the aggregate for one model at one
-// fault-axis entry on one topology. Profile carries the fault-profile kind
-// when the sweep used the hostile axis.
+// fault-axis entry on one topology and grid shape. Profile carries the
+// fault-profile kind when the sweep used the hostile axis.
 type SweepRow struct {
 	Model     string    `json:"model"`
 	Faults    int       `json:"faults"`
 	Profile   string    `json:"profile,omitempty"`
 	Topology  string    `json:"topology"`
+	Grid      string    `json:"grid"`
 	CacheHit  bool      `json:"cache_hit"`
 	StoreHit  bool      `json:"store_hit,omitempty"`
 	Aggregate Aggregate `json:"aggregate"`
@@ -320,6 +324,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.Topologies) == 0 {
 		req.Topologies = []string{req.Spec.Topology}
 	}
+	// The grid axis: "WxH" shapes, defaulting to the base spec's own
+	// dimensions (possibly zero — Canonicalize fills in 16×8).
+	type gridCell struct{ w, h int }
+	gridAxis := []gridCell{{req.Spec.Width, req.Spec.Height}}
+	if len(req.Grids) > 0 {
+		gridAxis = gridAxis[:0]
+		for _, g := range req.Grids {
+			gw, gh, err := ParseGrid(g)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			gridAxis = append(gridAxis, gridCell{gw, gh})
+		}
+	}
 	if req.Runs > 0 {
 		req.Spec.Runs = req.Runs
 	}
@@ -337,31 +356,41 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for _, model := range req.Models {
 		for _, fa := range faultAxis {
 			for _, topo := range req.Topologies {
-				spec := req.Spec
-				spec.Model = model
-				spec.NumFaults = fa.count
-				spec.FaultProfile = fa.profile
-				spec.Topology = topo
-				if fa.count > 0 && spec.FaultAtMs == 0 {
-					// The paper injects halfway through the run (500 ms of
-					// 1000), rounded down onto the sampling-window grid.
-					d := spec.DurationMs
-					if d == 0 {
-						d = 1000
+				for _, grid := range gridAxis {
+					spec := req.Spec
+					spec.Model = model
+					spec.NumFaults = fa.count
+					spec.FaultProfile = fa.profile
+					spec.Topology = topo
+					spec.Width, spec.Height = grid.w, grid.h
+					if fa.count > 0 && spec.FaultAtMs == 0 {
+						// The paper injects halfway through the run (500 ms of
+						// 1000), rounded down onto the sampling-window grid.
+						d := spec.DurationMs
+						if d == 0 {
+							d = 1000
+						}
+						win := spec.WindowMs
+						if win == 0 {
+							win = 1
+						}
+						spec.FaultAtMs = d/2 - (d/2)%win
 					}
-					win := spec.WindowMs
-					if win == 0 {
-						win = 1
+					if err := spec.Canonicalize(); err != nil {
+						writeError(w, http.StatusBadRequest, fmt.Errorf("cell %s/%d%s/%s/%dx%d: %w",
+							model, fa.count, labelSuffix(fa.label), topo, grid.w, grid.h, err))
+						return
 					}
-					spec.FaultAtMs = d/2 - (d/2)%win
+					// The canonical topology and grid (empty axis entries
+					// default to "mesh" and 16×8) label the row.
+					cells = append(cells, cell{row: SweepRow{
+						Model:    model,
+						Faults:   fa.count,
+						Profile:  fa.label,
+						Topology: spec.Topology,
+						Grid:     fmt.Sprintf("%dx%d", spec.Width, spec.Height),
+					}, spec: spec})
 				}
-				if err := spec.Canonicalize(); err != nil {
-					writeError(w, http.StatusBadRequest, fmt.Errorf("cell %s/%d%s/%s: %w", model, fa.count, labelSuffix(fa.label), topo, err))
-					return
-				}
-				// The canonical topology (an empty axis entry defaults to
-				// "mesh") labels the row.
-				cells = append(cells, cell{row: SweepRow{Model: model, Faults: fa.count, Profile: fa.label, Topology: spec.Topology}, spec: spec})
 			}
 		}
 	}

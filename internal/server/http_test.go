@@ -415,8 +415,8 @@ func TestSweepTopologiesAxis(t *testing.T) {
 		t.Errorf("odd-dimension cmesh cell: code %d, want 400", resp2.StatusCode)
 	}
 
-	// /healthz now reports per-topology platform-pool counters for the
-	// shapes this sweep exercised.
+	// /healthz now reports per-shape platform-pool counters (topology kind
+	// plus grid dimensions) for the shapes this sweep exercised.
 	hres, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -428,14 +428,80 @@ func TestSweepTopologiesAxis(t *testing.T) {
 	if err := json.NewDecoder(hres.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"mesh", "torus", "cmesh"} {
+	for _, want := range []string{"mesh/8x4", "torus/8x4", "cmesh/8x4"} {
 		bt, ok := h.Pool.ByTopology[want]
 		if !ok {
-			t.Errorf("healthz pool stats missing topology %q: %+v", want, h.Pool.ByTopology)
+			t.Errorf("healthz pool stats missing shape %q: %+v", want, h.Pool.ByTopology)
 			continue
 		}
 		if bt.PlatformsCreated+bt.PlatformsReused == 0 {
 			t.Errorf("healthz pool stats for %q count no platforms", want)
+		}
+	}
+}
+
+// The sweep's grids axis fans cells over fabric shapes: each "WxH" entry is
+// validated like a standalone spec, labels its rows, and yields a distinct
+// cache identity (re-sweeping must hit the cache per shape).
+func TestSweepGridsAxis(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	req := `{
+		"spec": {"duration_ms": 40},
+		"models": ["ffw"],
+		"fault_counts": [0],
+		"grids": ["8x4", "16x8"],
+		"runs": 1
+	}`
+	post := func() SweepResponse {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			t.Fatalf("grids sweep status %d: %s", resp.StatusCode, buf.String())
+		}
+		var sr SweepResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	sr := post()
+	if len(sr.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (one per grid)", len(sr.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range sr.Rows {
+		seen[row.Grid] = true
+	}
+	for _, want := range []string{"8x4", "16x8"} {
+		if !seen[want] {
+			t.Errorf("sweep rows missing grid %q (rows: %+v)", want, sr.Rows)
+		}
+	}
+	// The same sweep again must be served entirely from the cache — each
+	// shape kept its own canonical identity.
+	for _, row := range post().Rows {
+		if !row.CacheHit {
+			t.Errorf("re-swept cell %s/%s missed the cache", row.Model, row.Grid)
+		}
+	}
+
+	// Malformed and over-budget grid entries reject the whole request.
+	for _, bad := range []string{`["8x"]`, `["512x512"]`} {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+			strings.NewReader(`{"spec": {"duration_ms": 60000}, "models": ["none"], "fault_counts": [0], "grids": `+bad+`, "runs": 1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("grids %s: code %d, want 400", bad, resp.StatusCode)
 		}
 	}
 }

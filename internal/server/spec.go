@@ -13,6 +13,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"centurion/internal/aim"
 	"centurion/internal/experiments"
@@ -25,12 +27,18 @@ import (
 
 // Validation bounds: generous enough for any experiment in the paper (and
 // far beyond), tight enough that one request cannot wedge a worker forever
-// — MaxTotalMs caps a request's simulated time across its whole batch.
+// — MaxTotalMs caps a request's simulated time across its whole batch, and
+// because a grid side may now reach 1024 (the tiled kernel's mega-fabric
+// ceiling), MaxNodeMs additionally caps simulated time × fabric size: the
+// budget equals MaxTotalMs on the default 128-node grid, so a 65k-node
+// fabric gets proportionally fewer node-milliseconds, not a free 512×
+// multiplier on worker time.
 const (
-	MaxMeshDim    = 64
+	MaxMeshDim    = 1024
 	MaxDurationMs = 60000
 	MaxRuns       = 1000
 	MaxTotalMs    = 600000
+	MaxNodeMs     = int64(MaxTotalMs) * 128
 )
 
 // NISpec overrides the Network Interaction parameters of a run. Omitted
@@ -106,7 +114,9 @@ type RunSpec struct {
 	// WindowMs is the metric sampling window (default 1).
 	WindowMs int `json:"window_ms"`
 	// Width, Height are the node-grid dimensions (default 16×8,
-	// Centurion-V6).
+	// Centurion-V6; up to 1024×1024 through the tiled mega-fabric kernel,
+	// subject to the node-ms budget). Each shape canonicalizes to its own
+	// spec — and therefore its own cache key.
 	Width  int `json:"width"`
 	Height int `json:"height"`
 	// Topology selects the fabric shape: "mesh", "torus" or "cmesh"
@@ -224,6 +234,9 @@ func (s *RunSpec) Canonicalize() error {
 	if s.Width < 2 || s.Width > MaxMeshDim || s.Height < 2 || s.Height > MaxMeshDim {
 		return fmt.Errorf("grid %dx%d out of range [2, %d] per side", s.Width, s.Height, MaxMeshDim)
 	}
+	if nodeMs := int64(s.Runs) * int64(s.DurationMs) * int64(s.Width) * int64(s.Height); nodeMs > MaxNodeMs {
+		return fmt.Errorf("runs x duration_ms x nodes = %d exceeds the %d node-ms budget per request", nodeMs, MaxNodeMs)
+	}
 	if s.Topology == "" {
 		s.Topology = noc.KindMesh
 	}
@@ -282,6 +295,26 @@ func (s *RunSpec) Canonicalize() error {
 	s.NI = s.NI.normalize()
 	s.FFW = s.FFW.normalize()
 	return nil
+}
+
+// ParseGrid parses a "WxH" grid-shape string ("64x64"). It only checks the
+// syntax and positivity; range and budget checks belong to Canonicalize,
+// which sees the dimensions in spec form.
+func ParseGrid(g string) (w, h int, err error) {
+	ws, hs, ok := strings.Cut(g, "x")
+	if ok {
+		w, err = strconv.Atoi(ws)
+		if err == nil {
+			h, err = strconv.Atoi(hs)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("grid %q is not of the form WxH (e.g. 64x64)", g)
+	}
+	if w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("grid %q has non-positive dimensions", g)
+	}
+	return w, h, nil
 }
 
 // CanonicalKey returns the stable cache key of the spec: the hex SHA-256 of

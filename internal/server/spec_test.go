@@ -43,7 +43,9 @@ func TestCanonicalizeRejections(t *testing.T) {
 		{"window beyond duration", `{"duration_ms": 10, "window_ms": 20}`},
 		{"window not dividing duration", `{"duration_ms": 1000, "window_ms": 300}`},
 		{"mesh too small", `{"width": 1}`},
-		{"mesh too large", `{"height": 500}`},
+		{"mesh too large", `{"height": 2000}`},
+		{"node-ms budget exceeded", `{"width": 512, "height": 512, "duration_ms": 1000}`},
+		{"node-ms budget exceeded by batch", `{"width": 64, "height": 64, "duration_ms": 1000, "runs": 20}`},
 		{"unknown topology", `{"topology": "hypercube"}`},
 		{"cmesh odd width", `{"topology": "cmesh", "width": 15}`},
 		{"cmesh odd height", `{"topology": "cmesh", "height": 7}`},
@@ -55,6 +57,47 @@ func TestCanonicalizeRejections(t *testing.T) {
 	for _, tc := range cases {
 		if _, err := ParseSpec([]byte(tc.json)); err == nil {
 			t.Errorf("%s: %s accepted", tc.name, tc.json)
+		}
+	}
+}
+
+// TestMegaGridSpecs covers the lifted scale ceiling: shapes up to 1024×1024
+// are admitted when they fit the node-ms budget, every shape canonicalizes
+// to its own cache key, and ParseGrid round-trips the sweep axis syntax.
+func TestMegaGridSpecs(t *testing.T) {
+	// 256×256 over 500 ms fits the budget (32.8M of 76.8M node-ms); the
+	// 1024×1024 ceiling needs a proportionally shorter run.
+	big, err := ParseSpec([]byte(`{"width": 256, "height": 256, "duration_ms": 500}`))
+	if err != nil {
+		t.Fatalf("256x256 spec rejected: %v", err)
+	}
+	huge, err := ParseSpec([]byte(`{"width": 1024, "height": 1024, "duration_ms": 70}`))
+	if err != nil {
+		t.Fatalf("1024x1024 spec rejected: %v", err)
+	}
+	small, err := ParseSpec([]byte(`{"duration_ms": 500}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]string{
+		"16x8":      small.CanonicalKey(),
+		"256x256":   big.CanonicalKey(),
+		"1024x1024": huge.CanonicalKey(),
+	}
+	seen := map[string]string{}
+	for shape, key := range keys {
+		if prev, ok := seen[key]; ok {
+			t.Errorf("shapes %s and %s share a canonical key", prev, shape)
+		}
+		seen[key] = shape
+	}
+
+	if w, h, err := ParseGrid("64x64"); err != nil || w != 64 || h != 64 {
+		t.Errorf("ParseGrid(64x64) = (%d, %d, %v)", w, h, err)
+	}
+	for _, bad := range []string{"64", "x64", "64x", "axb", "64x64x2", "-4x8", "0x8"} {
+		if _, _, err := ParseGrid(bad); err == nil {
+			t.Errorf("ParseGrid(%q) accepted", bad)
 		}
 	}
 }
