@@ -91,6 +91,7 @@ func benchmarkFig4(b *testing.B, faults int) {
 				b.ReportMetric(post/max1(pre), "ffw_retained")
 			}
 		}
+		f.Release() // series reduced to metrics; recycle the panel buffers
 	}
 }
 
@@ -279,6 +280,36 @@ func BenchmarkMegaFabric(b *testing.B) {
 			var ms runtime.MemStats
 			runtime.ReadMemStats(&ms)
 			b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "heap_MB")
+		})
+	}
+}
+
+// BenchmarkSnapshotRestore measures the fork primitive sweep warm-starting
+// is built on: deep-capturing a settled platform into a reused checkpoint
+// and restoring it back. bytes/checkpoint is the CENCKPT1 encoding size of
+// one snapshot — the unit the warm cache's byte budget is spent in.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	for _, tc := range []struct {
+		name          string
+		width, height int
+	}{
+		{"16x8", 16, 8},
+		{"64x64", 64, 64},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := platform.DefaultConfig(aim.NewFFWFactory(aim.DefaultFFWParams()), taskgraph.RandomMapper{}, 1)
+			cfg.Width, cfg.Height = tc.width, tc.height
+			p := platform.New(cfg)
+			p.RunFor(sim.Ms(50), nil) // settle so the snapshot carries live state
+			cp := p.Snapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.SnapshotInto(cp)
+				p.Restore(cp)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(platform.EncodeCheckpoint(cp))), "bytes/checkpoint")
 		})
 	}
 }

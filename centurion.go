@@ -352,6 +352,7 @@ func RunFig4(faultCount int, seed uint64) Fig4Result {
 // WriteFig4CSV runs a Figure 4 column and writes its series as CSV.
 func WriteFig4CSV(w io.Writer, faultCount int, seed uint64) error {
 	f := experiments.Fig4(faultCount, seed)
+	defer f.Release()
 	if err := f.WriteCSV(w); err != nil {
 		return fmt.Errorf("centurion: writing figure 4 CSV: %w", err)
 	}

@@ -10,6 +10,7 @@
 //	centurion run    [-model none|ni|ffw|ni-pb] [-topology mesh|torus|cmesh]
 //	                 [-grid WxH] [-seed S] [-ms 1000] [-faults N] [-fault-at MS]
 //	                 [-fault-profile KIND|JSON] [-map] [-cpuprofile out.pprof]
+//	                 [-checkpoint-at MS -checkpoint-out FILE] [-restore FILE]
 //	centurion serve  [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR]
 //	centurion worker [-coordinator URL] [-name NAME] [-slots N]
 //	centurion asm    [-o out.txt] file.psm
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"centurion"
+	platform "centurion/internal/centurion"
 	"centurion/internal/experiments"
 	"centurion/internal/noc"
 	"centurion/internal/picoblaze"
@@ -121,6 +123,7 @@ func cmdFig4(args []string) error {
 		return err
 	}
 	f := centurion.RunFig4(*faultN, *seed)
+	defer f.Release()
 	fmt.Print(f.RenderASCII())
 	if *csvPath != "" {
 		out, err := os.Create(*csvPath)
@@ -149,6 +152,9 @@ func cmdRun(args []string) error {
 		`hostile fault profile: a kind (death|churn|flaky|cascade|byzantine) or a JSON object, e.g. '{"kind":"cascade","waves":4}'`)
 	showMap := fs.Bool("map", false, "print the task map before and after")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	ckptAt := fs.Float64("checkpoint-at", 0, "write a checkpoint at this time (ms from the start of this run; requires -checkpoint-out)")
+	ckptOut := fs.String("checkpoint-out", "", "file to write the -checkpoint-at snapshot to (the run then continues)")
+	restorePath := fs.String("restore", "", "resume from a checkpoint file; the platform flags must match the checkpointed run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,6 +181,15 @@ func cmdRun(args []string) error {
 	if *faultN > 0 && (*faultAt <= 0 || *faultAt >= *ms) {
 		return fmt.Errorf("-fault-at %g must lie strictly inside (0, %g) to inject %d faults", *faultAt, *ms, *faultN)
 	}
+	if *ckptOut == "" && *ckptAt != 0 {
+		return fmt.Errorf("-checkpoint-at requires -checkpoint-out")
+	}
+	if *ckptOut != "" && (*ckptAt < 0 || *ckptAt > *ms) {
+		return fmt.Errorf("-checkpoint-at %g must lie within [0, %g]", *ckptAt, *ms)
+	}
+	if *restorePath != "" && (*faultProf != "" || *faultN > 0) {
+		return fmt.Errorf("-restore resumes a finished timeline; fault plans are timed from a cold start (checkpoint the faulty run instead)")
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -192,6 +207,17 @@ func cmdRun(args []string) error {
 		centurion.WithSize(width, height),
 	}, modelOpts...)
 	sys := centurion.NewSystem(opts...)
+	if *restorePath != "" {
+		cp, err := platform.ReadCheckpointFile(*restorePath)
+		if err != nil {
+			return err
+		}
+		if err := restoreInto(sys, cp); err != nil {
+			return fmt.Errorf("restoring %s: %v", *restorePath, err)
+		}
+		fmt.Printf("restored %s at t=%.0f ms; running %.0f ms more\n", *restorePath, sys.NowMs(), *ms)
+	}
+	rc := &runClock{sys: sys, base: sys.NowMs(), at: *ckptAt, out: *ckptOut}
 	if *showMap {
 		fmt.Println("initial task map:")
 		fmt.Print(sys.MapASCII())
@@ -205,27 +231,38 @@ func cmdRun(args []string) error {
 		if err := sys.ApplyFaultProfile(prof, *seed, int(*ms)); err != nil {
 			return err
 		}
-		sys.RunMs(*ms)
+		if err := rc.advance(*ms); err != nil {
+			return err
+		}
 		c := sys.Counters()
 		fmt.Printf("model=%s topology=%s seed=%d profile=%s: %d instances completed in %.0f ms (%.2f inst/ms), %d task switches\n",
 			*model, *topology, *seed, prof.Kind, c.InstancesCompleted, *ms,
 			float64(c.InstancesCompleted)/(*ms), c.TaskSwitches)
 	} else if *faultN > 0 {
-		sys.RunMs(*faultAt)
+		if err := rc.advance(*faultAt); err != nil {
+			return err
+		}
 		pre := sys.Counters()
 		sys.InjectRandomFaults(*faultN, *seed^0xfa17)
-		sys.RunMs(*ms - *faultAt)
+		if err := rc.advance(*ms - *faultAt); err != nil {
+			return err
+		}
 		post := sys.Counters()
 		preRate := float64(pre.InstancesCompleted) / *faultAt
 		postRate := float64(post.InstancesCompleted-pre.InstancesCompleted) / (*ms - *faultAt)
 		fmt.Printf("model=%s topology=%s seed=%d: pre-fault %.2f inst/ms, post-fault (%d faults) %.2f inst/ms\n",
 			*model, *topology, *seed, preRate, *faultN, postRate)
 	} else {
-		sys.RunMs(*ms)
+		// Deltas, not totals: a restored run's counters already include the
+		// checkpointed prefix, and this command reports only its own segment.
+		c0 := sys.Counters()
+		if err := rc.advance(*ms); err != nil {
+			return err
+		}
 		c := sys.Counters()
 		fmt.Printf("model=%s topology=%s seed=%d: %d instances completed in %.0f ms (%.2f inst/ms), %d task switches\n",
-			*model, *topology, *seed, c.InstancesCompleted, *ms,
-			float64(c.InstancesCompleted)/(*ms), c.TaskSwitches)
+			*model, *topology, *seed, c.InstancesCompleted-c0.InstancesCompleted, *ms,
+			float64(c.InstancesCompleted-c0.InstancesCompleted)/(*ms), c.TaskSwitches-c0.TaskSwitches)
 	}
 	if *showMap {
 		fmt.Println("final task map:")
@@ -233,6 +270,48 @@ func cmdRun(args []string) error {
 	}
 	counts := sys.TaskCounts()
 	fmt.Printf("task populations: %v (alive nodes: %d)\n", counts[1:], sys.AliveNodes())
+	return nil
+}
+
+// runClock advances a system through the segments of one `centurion run`
+// invocation and writes the requested checkpoint when simulated time first
+// reaches -checkpoint-at (measured from this run's start, so it composes
+// with -restore). Splitting the containing segment at the snapshot point
+// leaves the run's own timeline untouched.
+type runClock struct {
+	sys  *centurion.System
+	base float64 // simulated ms when this run started
+	at   float64 // checkpoint offset from base
+	out  string  // checkpoint file; empty disables
+	done bool
+}
+
+func (rc *runClock) advance(ms float64) error {
+	if rc.out != "" && !rc.done {
+		into := rc.at - (rc.sys.NowMs() - rc.base)
+		if into >= 0 && into <= ms {
+			rc.sys.RunMs(into)
+			ms -= into
+			if err := platform.WriteCheckpointFile(rc.out, rc.sys.Platform().Snapshot()); err != nil {
+				return err
+			}
+			rc.done = true
+			fmt.Printf("checkpoint written to %s at t=%.0f ms\n", rc.out, rc.sys.NowMs())
+		}
+	}
+	rc.sys.RunMs(ms)
+	return nil
+}
+
+// restoreInto loads a checkpoint into the system, converting the platform's
+// shape-mismatch panic into a flag-level error.
+func restoreInto(sys *centurion.System, cp *platform.Checkpoint) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("checkpoint does not fit this platform (%v); pass the -model/-grid/-topology of the checkpointed run", r)
+		}
+	}()
+	sys.Platform().Restore(cp)
 	return nil
 }
 

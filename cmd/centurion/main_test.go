@@ -2,7 +2,10 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"reflect"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -137,6 +140,90 @@ func TestRunRejectsOutOfRangeFaultTime(t *testing.T) {
 		if _, err := captureStdout(t, func() error { return cmdRun(args) }); err == nil {
 			t.Errorf("cmdRun(%v) accepted an out-of-range fault time", args)
 		}
+	}
+}
+
+// TestRunCheckpointRestoreResumesTimeline drives the run subcommand's
+// checkpoint flags end to end: a run checkpointed mid-way is undisturbed,
+// and resuming from the file continues the exact timeline — the resumed
+// segment's completions plus a straight run to the checkpoint equal a
+// straight full-length run.
+func TestRunCheckpointRestoreResumesTimeline(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "mid.ckpt")
+	completed := func(out string) int {
+		m := regexp.MustCompile(`(\d+) instances completed`).FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("no completion count in output:\n%s", out)
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	base := []string{"-model", "ffw", "-seed", "3", "-grid", "8x4"}
+	run := func(extra ...string) string {
+		t.Helper()
+		out, err := captureStdout(t, func() error { return cmdRun(append(append([]string{}, base...), extra...)) })
+		if err != nil {
+			t.Fatalf("cmdRun(%v): %v\n%s", extra, err, out)
+		}
+		return out
+	}
+
+	outFull := run("-ms", "80")
+	outHalf := run("-ms", "40")
+	outCkpt := run("-ms", "80", "-checkpoint-at", "40", "-checkpoint-out", ck)
+	if !strings.Contains(outCkpt, "checkpoint written to") {
+		t.Fatalf("no checkpoint confirmation:\n%s", outCkpt)
+	}
+	if completed(outCkpt) != completed(outFull) {
+		t.Fatalf("writing a checkpoint disturbed the run: %d vs %d", completed(outCkpt), completed(outFull))
+	}
+
+	outResumed := run("-ms", "40", "-restore", ck)
+	if !strings.Contains(outResumed, "restored") {
+		t.Fatalf("no restore confirmation:\n%s", outResumed)
+	}
+	if got, want := completed(outHalf)+completed(outResumed), completed(outFull); got != want {
+		t.Fatalf("resumed timeline diverged: %d (to checkpoint) + %d (resumed) != %d (straight run)",
+			completed(outHalf), completed(outResumed), want)
+	}
+}
+
+func TestRunCheckpointFlagValidation(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "v.ckpt")
+	if _, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-ms", "50", "-checkpoint-at", "20"})
+	}); err == nil {
+		t.Error("-checkpoint-at without -checkpoint-out accepted")
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-ms", "50", "-checkpoint-at", "60", "-checkpoint-out", ck})
+	}); err == nil {
+		t.Error("-checkpoint-at beyond the run accepted")
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-ms", "50", "-restore", ck, "-faults", "2", "-fault-at", "20"})
+	}); err == nil {
+		t.Error("-restore combined with a fault plan accepted")
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-ms", "50", "-restore", filepath.Join(t.TempDir(), "absent.ckpt")})
+	}); err == nil {
+		t.Error("-restore of a missing file accepted")
+	}
+
+	// A checkpoint only fits the platform it was taken from.
+	if _, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-model", "ffw", "-grid", "8x4", "-ms", "30", "-checkpoint-at", "10", "-checkpoint-out", ck})
+	}); err != nil {
+		t.Fatalf("writing validation checkpoint: %v", err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-model", "ffw", "-grid", "16x8", "-ms", "30", "-restore", ck})
+	}); err == nil {
+		t.Error("grid-mismatched restore accepted")
 	}
 }
 

@@ -1,0 +1,113 @@
+package aim
+
+import (
+	"centurion/internal/sim"
+	"centurion/internal/taskgraph"
+)
+
+// Checkpoint support (DESIGN.md §15). Each engine's *mutable* state — live
+// parameters (RCAP-writable), the tracked current task, thresholder
+// counters, timers — is captured into a flat EngineState; the construction
+// inputs (task graph, as-built base parameters, queue-peek wiring) stay with
+// the target engine, which must be of the same kind and built over the same
+// graph.
+
+// EngineState kinds.
+const (
+	StateNone uint8 = iota
+	StateNI
+	StateFFW
+)
+
+// EngineState is a serializable snapshot of one engine's mutable state. The
+// Kind discriminator selects which field group is meaningful; a restore
+// into an engine of a different kind panics.
+type EngineState struct {
+	Kind    uint8
+	Current taskgraph.TaskID
+
+	// Network Interaction (StateNI): live params, per-task thresholder
+	// counters and firing levels, adaptive-threshold state.
+	NIPar      NIParams
+	Counts     []int32
+	Thresholds []int32
+	Level      int
+	LastDecay  sim.Tick
+
+	// Foraging for Work (StateFFW): live params and the switch timer.
+	FFWPar   FFWParams
+	Armed    bool
+	ArmTime  sim.Tick
+	LastWork sim.Tick
+}
+
+// StateSnapshotter is implemented by every engine that supports
+// checkpointing. All in-tree engines implement it; a platform with an
+// engine that does not cannot be snapshotted.
+type StateSnapshotter interface {
+	SaveState(st *EngineState)
+	LoadState(st *EngineState)
+}
+
+// SaveState implements StateSnapshotter.
+func (e *NI) SaveState(st *EngineState) {
+	counts, ths := st.Counts[:0], st.Thresholds[:0]
+	*st = EngineState{Kind: StateNI, Current: e.current, NIPar: e.par, Level: e.level, LastDecay: e.lastDecay}
+	for i := range e.ths {
+		counts = append(counts, int32(e.ths[i].count))
+		ths = append(ths, int32(e.ths[i].threshold))
+	}
+	st.Counts, st.Thresholds = counts, ths
+}
+
+// LoadState implements StateSnapshotter.
+func (e *NI) LoadState(st *EngineState) {
+	if st.Kind != StateNI {
+		panic("aim: checkpoint engine kind mismatch (want NI)")
+	}
+	if len(st.Counts) != len(e.ths) || len(st.Thresholds) != len(e.ths) {
+		panic("aim: NI checkpoint thresholder count mismatch")
+	}
+	e.par = st.NIPar
+	e.current = st.Current
+	e.level = st.Level
+	e.lastDecay = st.LastDecay
+	for i := range e.ths {
+		e.ths[i].count = int(st.Counts[i])
+		e.ths[i].threshold = int(st.Thresholds[i])
+	}
+}
+
+// SaveState implements StateSnapshotter.
+func (e *FFW) SaveState(st *EngineState) {
+	counts, ths := st.Counts[:0], st.Thresholds[:0]
+	*st = EngineState{Kind: StateFFW, Current: e.current, FFWPar: e.par,
+		Armed: e.armed, ArmTime: e.armTime, LastWork: e.lastWork}
+	st.Counts, st.Thresholds = counts, ths
+}
+
+// LoadState implements StateSnapshotter.
+func (e *FFW) LoadState(st *EngineState) {
+	if st.Kind != StateFFW {
+		panic("aim: checkpoint engine kind mismatch (want FFW)")
+	}
+	e.par = st.FFWPar
+	e.current = st.Current
+	e.armed = st.Armed
+	e.armTime = st.ArmTime
+	e.lastWork = st.LastWork
+}
+
+// SaveState implements StateSnapshotter (the baseline engine is stateless).
+func (None) SaveState(st *EngineState) {
+	counts, ths := st.Counts[:0], st.Thresholds[:0]
+	*st = EngineState{Kind: StateNone}
+	st.Counts, st.Thresholds = counts, ths
+}
+
+// LoadState implements StateSnapshotter.
+func (None) LoadState(st *EngineState) {
+	if st.Kind != StateNone {
+		panic("aim: checkpoint engine kind mismatch (want None)")
+	}
+}

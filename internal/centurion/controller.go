@@ -72,20 +72,8 @@ func (c *Controller) SendConfig(dst noc.NodeID, op noc.ConfigOp, arg, arg2 int) 
 	pkt.Op = op
 	pkt.Arg = arg
 	pkt.Arg2 = arg2
-	c.inject(tap, pkt, now)
+	c.p.injectConfig(tap, pkt, now)
 	return nil
-}
-
-// inject tries to enqueue the packet at the tap, rescheduling next tick
-// under back-pressure. While a retry is pending the packet is tracked on
-// the platform so Platform.Reset can reclaim it with the cleared events.
-func (c *Controller) inject(tap noc.NodeID, pkt *noc.Packet, now sim.Tick) {
-	if c.p.Net.Inject(tap, pkt, now) {
-		c.p.untrackRetry(pkt)
-		return
-	}
-	c.p.trackRetry(pkt)
-	c.p.Schedule(now+1, func(later sim.Tick) { c.inject(tap, pkt, later) })
 }
 
 // BroadcastConfig sends the same RCAP operation to every alive node.
@@ -116,11 +104,20 @@ func (c *Controller) ScheduleFaults(at sim.Tick, nodes []noc.NodeID) {
 // same-tick ordering of the schedule is the queue's insertion order — a
 // single-event kill schedule goes through the exact code path
 // ScheduleFaults uses. Call it once per run, after Reset (which clears the
-// queue).
+// queue) — or after Restore, which also clears the queue: events whose tick
+// already passed at the restore point are skipped (their effects are baked
+// into the checkpoint), while events at or after the restore tick re-arm.
 func (c *Controller) ApplySchedule(s faults.Schedule) {
 	p := c.p
+	now := p.Now()
 	for i := range s.Events {
 		ev := s.Events[i]
+		if ev.At < now {
+			// Already fired before the checkpoint was taken (Step runs due
+			// events before advancing the clock, so at a between-step
+			// boundary every event strictly before now has executed).
+			continue
+		}
 		switch ev.Op {
 		case faults.OpKill:
 			p.Schedule(ev.At, func(now sim.Tick) { p.InjectFaults(ev.Nodes) })

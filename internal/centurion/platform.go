@@ -126,8 +126,11 @@ type Platform struct {
 	pool *noc.PacketPool
 	// ctlRetry tracks config packets a back-pressured controller tap is
 	// retrying through the event queue; Reset reclaims them (their retry
-	// events are cleared with the queue, which would otherwise leak them).
-	ctlRetry []*noc.Packet
+	// events are cleared with the queue, which would otherwise leak them)
+	// and Snapshot records them so a restore can rebuild the retry events.
+	// Removal is order-preserving: the slice order mirrors the retry
+	// events' seq order in the queue, which a restore must reproduce.
+	ctlRetry []ctlRetryRec
 	// maxPhase is the generation-stagger bound derived at construction; Reset
 	// replays the same per-node phase draws with it.
 	maxPhase sim.Tick
@@ -288,9 +291,9 @@ func (p *Platform) Reset(seed uint64) {
 	p.events.Clear()
 	// Clearing the queue discarded any pending controller-retry closures;
 	// reclaim the packets they held.
-	for i, pkt := range p.ctlRetry {
-		p.pool.Put(pkt)
-		p.ctlRetry[i] = nil
+	for i := range p.ctlRetry {
+		p.pool.Put(p.ctlRetry[i].pkt)
+		p.ctlRetry[i] = ctlRetryRec{}
 	}
 	p.ctlRetry = p.ctlRetry[:0]
 	p.counters = Counters{}
@@ -567,24 +570,49 @@ func (p *Platform) allocPacket() *noc.Packet {
 // checks). Callers must not Get/Put concurrently with a running platform.
 func (p *Platform) PacketPool() *noc.PacketPool { return p.pool }
 
+// ctlRetryRec is one pending controller-retry: the held config packet, the
+// tap it keeps trying, and the tick its next attempt is scheduled for.
+type ctlRetryRec struct {
+	pkt *noc.Packet
+	tap noc.NodeID
+	at  sim.Tick
+}
+
+// injectConfig tries to enqueue a controller config packet at its tap,
+// rescheduling next tick under back-pressure (the real controller paces its
+// LVDS-fed uploads the same way). While a retry is pending the packet is
+// tracked on the platform so Reset can reclaim it with the cleared events
+// and Snapshot can record it.
+func (p *Platform) injectConfig(tap noc.NodeID, pkt *noc.Packet, now sim.Tick) {
+	if p.Net.Inject(tap, pkt, now) {
+		p.untrackRetry(pkt)
+		return
+	}
+	p.trackRetry(pkt, tap, now+1)
+	p.Schedule(now+1, func(later sim.Tick) { p.injectConfig(tap, pkt, later) })
+}
+
 // trackRetry remembers a config packet held by a pending controller retry
-// (idempotent: a packet is tracked once however often the retry fires).
-func (p *Platform) trackRetry(pkt *noc.Packet) {
-	for _, q := range p.ctlRetry {
-		if q == pkt {
+// (a packet is tracked once however often the retry fires; repeats refresh
+// the next-attempt tick).
+func (p *Platform) trackRetry(pkt *noc.Packet, tap noc.NodeID, at sim.Tick) {
+	for i := range p.ctlRetry {
+		if p.ctlRetry[i].pkt == pkt {
+			p.ctlRetry[i].at = at
 			return
 		}
 	}
-	p.ctlRetry = append(p.ctlRetry, pkt)
+	p.ctlRetry = append(p.ctlRetry, ctlRetryRec{pkt: pkt, tap: tap, at: at})
 }
 
 // untrackRetry forgets a retry-held packet once its injection succeeded.
+// Removal keeps the remaining records in order (see the field comment).
 func (p *Platform) untrackRetry(pkt *noc.Packet) {
-	for i, q := range p.ctlRetry {
-		if q == pkt {
+	for i := range p.ctlRetry {
+		if p.ctlRetry[i].pkt == pkt {
 			last := len(p.ctlRetry) - 1
-			p.ctlRetry[i] = p.ctlRetry[last]
-			p.ctlRetry[last] = nil
+			copy(p.ctlRetry[i:], p.ctlRetry[i+1:])
+			p.ctlRetry[last] = ctlRetryRec{}
 			p.ctlRetry = p.ctlRetry[:last]
 			return
 		}

@@ -14,6 +14,7 @@ import (
 	"centurion/internal/centurion"
 	"centurion/internal/faults"
 	"centurion/internal/metrics"
+	"centurion/internal/noc"
 	"centurion/internal/sim"
 	"centurion/internal/taskgraph"
 	"centurion/internal/thermal"
@@ -245,23 +246,25 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 	// Fault plan through the controller's debug interface. A profile
 	// compiles into a full hostile-environment schedule; the legacy
 	// FaultAtMs/NumFaults pair stays byte-for-byte on its historical path.
+	// The plan is built here but armed only after the warm-start decision
+	// below: restoring a checkpoint clears the event queue, so the schedule
+	// must land after any fork (ApplySchedule skips already-fired events;
+	// nothing fires before the divergence boundary by construction).
 	var sched faults.Schedule
+	var legacyAt sim.Tick
+	var legacyNodes []noc.NodeID
 	if spec.FaultProfile != nil {
 		var err error
 		sched, err = faults.Build(p.Topo, spec.Seed, *spec.FaultProfile, spec.DurationMs)
 		if err != nil {
 			return Result{Spec: spec}, err
 		}
-		ctl.ApplySchedule(sched)
 	} else if spec.NumFaults > 0 && spec.FaultAtMs > 0 {
 		// The fault-site RNG stream is derived from the seed but independent
 		// of the platform's own stream.
 		faultRNG := sim.NewRNG(spec.Seed ^ 0xfa17517e5eed)
-		plan := faults.Plan{
-			At:    sim.Ms(float64(spec.FaultAtMs)),
-			Nodes: faults.RandomNodes(p.Topo, spec.NumFaults, faultRNG),
-		}
-		ctl.ScheduleFaults(plan.At, plan.Nodes)
+		legacyAt = sim.Ms(float64(spec.FaultAtMs))
+		legacyNodes = faults.RandomNodes(p.Topo, spec.NumFaults, faultRNG)
 	}
 
 	windows := spec.DurationMs / spec.WindowMs
@@ -304,7 +307,57 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 	lastWork := (*workBuf)[:len(pes)]
 	clear(lastWork)
 	var lastCompleted, lastSwitches uint64
-	for w := 0; w < windows; w++ {
+
+	// Warm start: fork this run from a cached settled prefix, or mark the
+	// prefix for caching as this run passes the divergence boundary. On a
+	// fork the sampler baselines are recomputed from the restored state (the
+	// watermark invariantly equals the live value at a window boundary).
+	startWin := 0
+	servedFull := false
+	var buildKey warmKey
+	buildDiv := -1
+	if warmApplicable(spec) {
+		if div := warmDivergenceWin(spec, sched, legacyAt, windows, windowTicks); div > 0 {
+			key := warmKeyOf(spec, div)
+			if e, ok := warmCache.get(key); ok {
+				copy(res.Throughput.Values[:div], e.thr)
+				copy(res.NodesActive.Values[:div], e.act)
+				copy(res.Switches.Values[:div], e.sw)
+				if e.cp != nil {
+					p.Restore(e.cp)
+					warmCache.forkServed()
+					c := p.Counters()
+					lastCompleted, lastSwitches = c.InstancesCompleted, c.TaskSwitches
+					for i, pe := range pes {
+						lastWork[i] = pe.WorkCount()
+					}
+				} else {
+					// Full-duration entry: the whole run replays from
+					// samples; the leased platform is never touched.
+					res.Counters = e.counters
+					servedFull = true
+				}
+				if progress != nil {
+					for w := 0; w < div; w++ {
+						progress(w, res.Throughput.Values[w], res.NodesActive.Values[w], res.Switches.Values[w])
+					}
+				}
+				startWin = div
+			} else {
+				buildKey, buildDiv = key, div
+			}
+		}
+	}
+
+	// Arm the fault plan (on a fork: re-arm — the restore cleared the queue
+	// and the events at or after the boundary are exactly the unfired ones).
+	if spec.FaultProfile != nil {
+		ctl.ApplySchedule(sched)
+	} else if len(legacyNodes) > 0 {
+		ctl.ScheduleFaults(legacyAt, legacyNodes)
+	}
+
+	for w := startWin; w < windows; w++ {
 		if err := ctx.Err(); err != nil {
 			res.Counters = p.Counters()
 			return res, err
@@ -328,8 +381,16 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 		if progress != nil {
 			progress(w, res.Throughput.Values[w], res.NodesActive.Values[w], res.Switches.Values[w])
 		}
+		if w+1 == buildDiv {
+			// The divergence boundary: every armed fault event is still in
+			// the future, so the state is the variant-independent settled
+			// prefix. Cache it for the sibling runs to fork from.
+			warmCache.put(buildKey, buildWarmEntry(p, &res, buildDiv, windows))
+		}
 	}
-	res.Counters = p.Counters()
+	if !servedFull {
+		res.Counters = p.Counters()
+	}
 	waveSnaps = append(waveSnaps, snapAt())
 
 	par := metrics.DefaultSettleParams()

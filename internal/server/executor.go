@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"centurion/internal/dispatch"
+	"centurion/internal/experiments"
 )
 
 // Executor runs one canonicalized spec's batch. The engine's workers call
@@ -24,6 +26,28 @@ type ResultStore interface {
 	Put(key string, val []byte) error
 }
 
+// dispatchEnvelope is the leased-job payload: the canonical spec plus the
+// coordinator's view of the warm-start prefix key for the batch's first run.
+// The key is purely advisory — the worker derives its own key from the spec
+// and warm-starts regardless — but shipping the coordinator's view lets the
+// worker detect canonicalization skew between the two binaries, which would
+// otherwise silently split the warm caches. Workers also accept a bare
+// RunSpec payload (the pre-envelope wire format) for mixed-version fleets.
+type dispatchEnvelope struct {
+	Spec       json.RawMessage `json:"spec"`
+	WarmPrefix string          `json:"warm_prefix,omitempty"`
+}
+
+// warmPrefixSkew counts leased jobs whose advisory prefix key disagreed with
+// the key this worker derived from the same spec. Nonzero means coordinator
+// and worker canonicalize specs differently (version skew) and their warm
+// caches are keyed apart; /healthz surfaces it via WarmPrefixSkew.
+var warmPrefixSkew atomic.Uint64
+
+// WarmPrefixSkew reports how many leased jobs carried a warm-prefix key that
+// did not match the worker's own derivation.
+func WarmPrefixSkew() uint64 { return warmPrefixSkew.Load() }
+
 // NewDispatchExecutor returns the routing Executor: jobs go to remote
 // leased workers through the coordinator when any are alive, and fall back
 // to in-process execution when dispatch cannot help (no workers registered,
@@ -32,9 +56,15 @@ type ResultStore interface {
 // attaching `centurion worker` daemons scales the same queue horizontally.
 func NewDispatchExecutor(coord *dispatch.Coordinator) Executor {
 	return func(ctx context.Context, spec RunSpec, progress func(Sample)) (*RunResult, error) {
-		payload, err := json.Marshal(spec)
+		specJSON, err := json.Marshal(spec)
 		if err != nil {
 			return nil, fmt.Errorf("server: encoding spec for dispatch: %w", err)
+		}
+		env := dispatchEnvelope{Spec: specJSON}
+		env.WarmPrefix, _ = experiments.WarmPrefixKey(spec.toExperiment(0))
+		payload, err := json.Marshal(env)
+		if err != nil {
+			return nil, fmt.Errorf("server: encoding dispatch envelope: %w", err)
 		}
 		res, err := coord.Execute(ctx, spec.CanonicalKey(), payload, func(b []byte) {
 			if progress == nil || len(b) == 0 {
@@ -79,9 +109,19 @@ const progressFlushAt = 64
 // local engine uses, stream sample batches back, and return the encoded
 // result.
 func DispatchExecute(ctx context.Context, key string, payload []byte, post func(samples []byte)) (result []byte, errMsg string) {
-	spec, err := ParseSpec(payload)
+	specJSON := payload
+	var env dispatchEnvelope
+	if json.Unmarshal(payload, &env) == nil && len(env.Spec) > 0 {
+		specJSON = env.Spec
+	}
+	spec, err := ParseSpec(specJSON)
 	if err != nil {
 		return nil, err.Error()
+	}
+	if env.WarmPrefix != "" {
+		if mine, ok := experiments.WarmPrefixKey(spec.toExperiment(0)); ok && mine != env.WarmPrefix {
+			warmPrefixSkew.Add(1)
+		}
 	}
 	var buf []Sample
 	flush := func() {

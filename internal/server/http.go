@@ -163,12 +163,15 @@ func (s *Server) gcStats() GCStats {
 type dispatchHealth struct {
 	dispatch.Stats
 	Store *store.Stats `json:"store,omitempty"`
+	// WarmPrefixSkew counts leased jobs whose advisory warm-prefix key
+	// disagreed with this process's own derivation (binary version skew).
+	WarmPrefixSkew uint64 `json:"warm_prefix_skew,omitempty"`
 }
 
 // handleHealth reports liveness plus engine, cache, dispatch, store,
 // platform-pool and GC statistics for capacity monitoring.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	dh := dispatchHealth{Stats: s.coord.Stats()}
+	dh := dispatchHealth{Stats: s.coord.Stats(), WarmPrefixSkew: WarmPrefixSkew()}
 	if s.store != nil {
 		st := s.store.Stats()
 		dh.Store = &st
@@ -179,6 +182,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"engine":         s.engine.Stats(),
 		"dispatch":       dh,
 		"pool":           experiments.PoolStats(),
+		"warmstart":      experiments.WarmStats(),
 		"gc":             s.gcStats(),
 	})
 }

@@ -61,6 +61,7 @@ func TestHealthz(t *testing.T) {
 		Status string                        `json:"status"`
 		Engine EngineStats                   `json:"engine"`
 		Pool   experiments.PoolStatsSnapshot `json:"pool"`
+		Warm   *experiments.WarmStartStats   `json:"warmstart"`
 		GC     *GCStats                      `json:"gc"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
@@ -71,6 +72,9 @@ func TestHealthz(t *testing.T) {
 	}
 	if h.GC == nil {
 		t.Error("healthz carries no gc stats")
+	}
+	if h.Warm == nil {
+		t.Error("healthz carries no warm-start stats")
 	}
 	// The platform pool is process-global: after at least one simulated run
 	// (any test in this package, or the submit below) it must show activity.
