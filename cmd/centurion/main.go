@@ -12,7 +12,9 @@
 //	                 [-fault-profile KIND|JSON] [-map] [-cpuprofile out.pprof]
 //	                 [-checkpoint-at MS -checkpoint-out FILE] [-restore FILE]
 //	centurion serve  [-addr :8080] [-workers N] [-queue N] [-cache N] [-store DIR]
+//	                 [-journal DIR]
 //	centurion worker [-coordinator URL] [-name NAME] [-slots N]
+//	                 [-checkpoint-every MS]
 //	centurion asm    [-o out.txt] file.psm
 package main
 

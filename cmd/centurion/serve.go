@@ -11,6 +11,7 @@ import (
 	"syscall"
 
 	"centurion"
+	"centurion/internal/dispatch"
 	"centurion/internal/server"
 	"centurion/internal/store"
 )
@@ -20,8 +21,11 @@ import (
 // dispatch coordinator that `centurion worker` daemons lease sweep jobs
 // from. With -store the coordinator keeps a durable content-addressed
 // result log, so a restart serves previously computed results without
-// re-execution. SIGINT/SIGTERM drains gracefully: admission stops,
-// in-flight jobs finish, the store closes cleanly.
+// re-execution. With -journal the coordinator appends every job-queue
+// transition to a durable log and replays pending and in-flight jobs on
+// restart, so a coordinator crash costs clients at most a retry, never a
+// lost job. SIGINT/SIGTERM drains gracefully: admission stops, in-flight
+// jobs finish, the store closes cleanly.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -29,6 +33,7 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", server.DefaultQueueBound, "admission queue bound (excess submissions get 503 + Retry-After)")
 	cache := fs.Int("cache", server.DefaultCacheSize, "LRU result-cache capacity (canonical specs)")
 	storeDir := fs.String("store", "", "directory for the durable content-addressed result store (empty: in-memory only)")
+	journalDir := fs.String("journal", "", "directory for the durable coordinator job journal (empty: queue dies with the process)")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof (live CPU/heap profiling of the service)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +61,23 @@ func cmdServe(args []string) error {
 		fmt.Fprintln(os.Stderr)
 		opts.Store = st
 	}
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			return fmt.Errorf("creating journal directory: %w", err)
+		}
+		jr, err := dispatch.OpenJournal(filepath.Join(*journalDir, "queue.jrnl"))
+		if err != nil {
+			return err
+		}
+		pending := jr.Pending()
+		jstats := jr.Stats()
+		fmt.Fprintf(os.Stderr, "job journal %s: %d records replayed, %d jobs to restore", *journalDir, jstats.Replayed, len(pending))
+		if jstats.TruncatedTail {
+			fmt.Fprintf(os.Stderr, " (torn tail record discarded)")
+		}
+		fmt.Fprintln(os.Stderr)
+		opts.Dispatch.Journal = jr
+	}
 
 	fmt.Fprintf(os.Stderr, "centurion service listening on %s (%d workers, queue %d, cache %d)\n",
 		*addr, *workers, *queue, *cache)
@@ -64,6 +86,9 @@ func cmdServe(args []string) error {
 	fmt.Fprintf(os.Stderr, "  GET  /v1/runs/{id}/events SSE time-series stream\n")
 	fmt.Fprintf(os.Stderr, "  POST /v1/sweep            model x fault-count grid, mean±CI\n")
 	fmt.Fprintf(os.Stderr, "  POST /v1/workers/register worker-daemon registration (see `centurion worker`)\n")
+	if *journalDir != "" {
+		fmt.Fprintf(os.Stderr, "  job journal: %s (queue survives coordinator restarts)\n", *journalDir)
+	}
 	fmt.Fprintf(os.Stderr, "  GET  /healthz             liveness + engine/dispatch/store stats\n")
 	if *pprofOn {
 		fmt.Fprintf(os.Stderr, "  GET  /debug/pprof/        live profiling (pprof enabled)\n")

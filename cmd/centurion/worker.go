@@ -17,13 +17,17 @@ import (
 // (`centurion serve`), leases jobs over long-poll, executes them through
 // the same simulation path the coordinator would use locally, heartbeats to
 // keep its leases alive, streams progress back, and retries with backoff
-// across coordinator restarts. Horizontal scale-out is just more of these,
+// across coordinator restarts. Every -checkpoint-every milliseconds of
+// simulated time it commits the in-flight run's state back to the
+// coordinator, so if this process dies the next attempt resumes mid-run
+// instead of starting over. Horizontal scale-out is just more of these,
 // on as many machines as you like.
 func cmdWorker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	coordinator := fs.String("coordinator", "http://localhost:8080", "coordinator base URL")
 	name := fs.String("name", "", "worker name in the registry (default hostname)")
 	slots := fs.Int("slots", runtime.GOMAXPROCS(0), "jobs leased and executed concurrently")
+	ckptEvery := fs.Int("checkpoint-every", 100, "checkpoint cadence in simulated ms (0 disables mid-run resume)")
 	quiet := fs.Bool("quiet", false, "suppress per-job log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,12 +64,17 @@ func cmdWorker(args []string) error {
 	} else {
 		logf("leasing from %s as %q with %d slots", *coordinator, *name, *slots)
 	}
-	return dispatch.RunWorker(ctx, dispatch.WorkerOptions{
+	wo := dispatch.WorkerOptions{
 		Coordinator: *coordinator,
 		Name:        *name,
 		Slots:       *slots,
-		Execute:     server.DispatchExecute,
 		Logf:        logf,
 		HardStop:    hardStop,
-	})
+	}
+	if *ckptEvery > 0 {
+		wo.ExecuteResumable = server.DispatchExecuteResumable(*ckptEvery)
+	} else {
+		wo.Execute = server.DispatchExecute
+	}
+	return dispatch.RunWorker(ctx, wo)
 }

@@ -34,6 +34,14 @@
 //	res, err := centurion.RunSpec(centurion.ServiceSpec{Model: "ffw", Seed: 7})
 //	// or: centurion serve -addr :8080 -workers 4
 //
+// The service scales horizontally with `centurion worker` daemons that
+// lease sweep jobs from the coordinator. The fabric is chaos-hardened:
+// `serve -journal DIR` keeps a durable job journal replayed on restart
+// (a coordinator crash costs clients at most a retry, never a lost job),
+// and workers checkpoint in-flight runs every `-checkpoint-every`
+// simulated milliseconds so a killed worker's successor resumes mid-run
+// bit-identically instead of starting over.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results versus the paper.
 package centurion

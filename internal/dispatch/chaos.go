@@ -1,0 +1,183 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"centurion/internal/sim"
+)
+
+// The deterministic chaos harness (DESIGN.md §16). A ChaosTransport wraps a
+// real Transport and injects the failure modes of a hostile network from a
+// seeded RNG stream, so a property test replays the exact same failure
+// schedule on every run: dropped requests (the RPC never reaches the
+// coordinator), lost replies (it reached the coordinator — the state
+// transition happened — but the worker saw an error, so it retries and the
+// coordinator must survive the duplicate), delayed deliveries, duplicated
+// deliveries, and partitions that heal. Worker kills and coordinator
+// restarts are driven by the tests themselves (HardStop, CrashForTest); the
+// transport covers everything in between.
+
+// ErrChaosDropped is the delivery error injected for dropped requests, lost
+// replies and partitioned calls.
+var ErrChaosDropped = errors.New("dispatch: chaos transport dropped the call")
+
+// ChaosConfig tunes a ChaosTransport. Rates are per-call probabilities in
+// [0,1], evaluated in order: partition, drop, reply-lost, duplicate, delay.
+type ChaosConfig struct {
+	// Seed drives every probabilistic decision; equal seeds replay equal
+	// failure schedules for a fixed call sequence.
+	Seed uint64
+	// DropRate is the probability a call is dropped before delivery.
+	DropRate float64
+	// ReplyLossRate is the probability a call is delivered but its reply is
+	// lost: the coordinator applied it, the caller sees an error. This is
+	// the mode that manufactures duplicate deliveries end to end — the
+	// caller's retry re-posts an already-applied transition.
+	ReplyLossRate float64
+	// DupRate is the probability a delivered call is posted twice
+	// back-to-back (the network duplicated the datagram); the second
+	// delivery's response is discarded.
+	DupRate float64
+	// DelayRate is the probability a delivered call is held for a uniform
+	// delay in (0, MaxDelay] first.
+	DelayRate float64
+	// MaxDelay bounds injected delays (default 10ms).
+	MaxDelay time.Duration
+	// Partitions are windows, measured from the transport's first call,
+	// during which every call fails undelivered — a network partition that
+	// heals when the window closes.
+	Partitions []ChaosWindow
+	// Exempt excludes paths containing any of these substrings from
+	// interference (registration, for instance, so a test's workers always
+	// come up). Empty means everything is fair game.
+	Exempt []string
+}
+
+// ChaosWindow is one partition interval, relative to the transport's first
+// call.
+type ChaosWindow struct {
+	From, To time.Duration
+}
+
+// ChaosStats counts what the transport actually did — tests assert the
+// schedule really fired.
+type ChaosStats struct {
+	Calls       uint64 `json:"calls"`
+	Dropped     uint64 `json:"dropped"`
+	RepliesLost uint64 `json:"replies_lost"`
+	Duplicated  uint64 `json:"duplicated"`
+	Delayed     uint64 `json:"delayed"`
+	Partitioned uint64 `json:"partitioned"`
+}
+
+// ChaosTransport implements Transport over an inner transport with seeded
+// fault injection.
+type ChaosTransport struct {
+	inner Transport
+	cfg   ChaosConfig
+
+	mu    sync.Mutex
+	rng   *sim.RNG
+	start time.Time
+	stats ChaosStats
+}
+
+// NewChaosTransport wraps inner with the seeded chaos schedule.
+func NewChaosTransport(inner Transport, cfg ChaosConfig) *ChaosTransport {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	return &ChaosTransport{inner: inner, cfg: cfg, rng: sim.NewRNG(cfg.Seed ^ 0xc4a05)}
+}
+
+// Stats snapshots the interference counters.
+func (t *ChaosTransport) Stats() ChaosStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// plan is one call's drawn fate.
+type plan struct {
+	partitioned bool
+	drop        bool
+	loseReply   bool
+	duplicate   bool
+	delay       time.Duration
+}
+
+// draw rolls the call's fate under the lock, so the RNG stream — and with it
+// the whole failure schedule — is a deterministic function of the seed and
+// the call order.
+func (t *ChaosTransport) draw(path string) plan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Calls++
+	if t.start.IsZero() {
+		t.start = time.Now()
+	}
+	for _, ex := range t.cfg.Exempt {
+		if strings.Contains(path, ex) {
+			return plan{}
+		}
+	}
+	var p plan
+	elapsed := time.Since(t.start)
+	for _, w := range t.cfg.Partitions {
+		if elapsed >= w.From && elapsed < w.To {
+			p.partitioned = true
+			t.stats.Partitioned++
+			return p
+		}
+	}
+	if t.rng.Float64() < t.cfg.DropRate {
+		p.drop = true
+		t.stats.Dropped++
+		return p
+	}
+	if t.rng.Float64() < t.cfg.ReplyLossRate {
+		p.loseReply = true
+		t.stats.RepliesLost++
+	}
+	if t.rng.Float64() < t.cfg.DupRate {
+		p.duplicate = true
+		t.stats.Duplicated++
+	}
+	if t.rng.Float64() < t.cfg.DelayRate {
+		p.delay = time.Duration(t.rng.Float64() * float64(t.cfg.MaxDelay))
+		t.stats.Delayed++
+	}
+	return p
+}
+
+// Post implements Transport.
+func (t *ChaosTransport) Post(ctx context.Context, path string, body, out any) (int, error) {
+	p := t.draw(path)
+	if p.partitioned || p.drop {
+		return 0, ErrChaosDropped
+	}
+	if p.delay > 0 {
+		select {
+		case <-time.After(p.delay):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	status, err := t.inner.Post(ctx, path, body, out)
+	if p.duplicate && err == nil {
+		// The duplicated delivery: same body, response discarded. The
+		// coordinator's fencing must make this indistinguishable from a
+		// single delivery.
+		_, _ = t.inner.Post(ctx, path, body, nil)
+	}
+	if p.loseReply && err == nil {
+		// Delivered — the coordinator's state moved — but the reply
+		// evaporates, so the caller retries an applied transition.
+		return 0, ErrChaosDropped
+	}
+	return status, err
+}

@@ -7,6 +7,13 @@
 // requeued at the front of the queue for the next healthy worker, up to an
 // attempt cap.
 //
+// Failure is made cheap rather than catastrophic (DESIGN.md §16): workers
+// periodically post platform checkpoints, so a requeued job's next attempt
+// resumes mid-run instead of from tick zero; a Journal makes the queue
+// itself durable, so a coordinator restart replays pending and in-flight
+// jobs instead of forgetting a sweep; and the Transport seam lets the chaos
+// harness prove both properties under a hostile network.
+//
 // The package is payload-agnostic: jobs and results are byte slices, keyed
 // by the caller's content-addressed spec keys, so the server layer stays the
 // only place that knows what a run spec is.
@@ -28,6 +35,16 @@ const (
 	DefaultMaxAttempts = 3
 )
 
+// CheckpointStore persists job checkpoints across coordinator restarts:
+// the minimal slice of internal/store the coordinator needs, so the server
+// layer can hand it the same durable backend (behind its circuit breaker)
+// that results live in. Delete of an absent key must be a no-op.
+type CheckpointStore interface {
+	Get(key string) (val []byte, ok bool, err error)
+	Put(key string, val []byte) error
+	Delete(key string) error
+}
+
 // Config tunes the coordinator. Zero values select the defaults.
 type Config struct {
 	// LeaseTTL is how long a leased job may go without a heartbeat before
@@ -40,6 +57,28 @@ type Config struct {
 	// coordinator gives up on remote execution and fails it (the server
 	// layer then falls back to running it locally).
 	MaxAttempts int
+	// Clock overrides the coordinator's monotonic time source (a duration
+	// since an arbitrary epoch). Nil selects time.Since of the construction
+	// instant, which reads Go's monotonic clock: lease deadlines and
+	// worker liveness are immune to wall-clock steps (NTP slew, VM pause
+	// resync). Tests inject a manual clock to drive expiry deterministically.
+	Clock func() time.Duration
+	// Journal, when non-nil, makes job lifecycle transitions durable: every
+	// enqueue/lease/requeue/complete/fail is appended (and fsynced) before
+	// it is acknowledged, and NewCoordinator replays the journal's open
+	// jobs — so a restart retries in-flight work instead of losing it. The
+	// coordinator owns the journal once passed and closes it on Close.
+	Journal *Journal
+	// CheckpointStore, when non-nil, persists the latest committed
+	// checkpoint per job key, so a job replayed from the journal resumes
+	// from its last checkpoint instead of tick zero. Failures are
+	// tolerated: a broken store only degrades resume granularity.
+	CheckpointStore CheckpointStore
+	// OrphanResult, when non-nil, receives the result of every replayed job
+	// that completed without a waiter (its submitter died with the previous
+	// process). The server wires this to the durable result store, so the
+	// client's retry is answered without re-execution.
+	OrphanResult func(key string, result []byte)
 }
 
 // withDefaults fills unset fields.
@@ -83,6 +122,10 @@ const (
 	stateDone                    // completed or failed; waiter notified
 )
 
+// ckptKeyPrefix namespaces job checkpoints in the shared durable store,
+// apart from the result records keyed by bare canonical spec keys.
+const ckptKeyPrefix = "ckpt/"
+
 // job is one unit of remote work.
 type job struct {
 	id      string
@@ -90,10 +133,21 @@ type job struct {
 	payload []byte
 
 	state    jobState
-	workerID string    // leaseholder while stateLeased
-	attempt  int       // incremented at each lease
-	deadline time.Time // lease expiry while stateLeased
-	requeues int       // completed expiry→pending transitions
+	workerID string        // leaseholder while stateLeased
+	attempt  int           // incremented at each lease
+	deadline time.Duration // lease expiry (monotonic clock) while stateLeased
+	requeues int           // completed expiry→pending transitions
+
+	// ckpt is the latest committed checkpoint of this job's execution and
+	// ckptTick its monotonically increasing progress stamp; a re-lease ships
+	// it so the next attempt resumes mid-run.
+	ckpt     []byte
+	ckptTick int64
+	// orphan marks a journal-replayed job with no live waiter; restored
+	// additionally marks that its checkpoint (if any) still lives only in
+	// the CheckpointStore.
+	orphan   bool
+	restored bool
 
 	onProgress func([]byte)
 
@@ -107,17 +161,21 @@ type workerState struct {
 	id       string
 	name     string
 	slots    int
-	seen     time.Time // last register/lease/heartbeat/progress/complete
-	leased   int       // currently held leases
-	leasedOK uint64    // lifetime completions
+	seen     time.Duration // last register/lease/heartbeat/progress/complete (monotonic clock)
+	leased   int           // currently held leases
+	leasedOK uint64        // lifetime completions
 }
 
-// Lease is the worker-facing view of a leased job.
+// Lease is the worker-facing view of a leased job. Checkpoint, when present,
+// is the latest committed checkpoint of a previous attempt: the worker
+// resumes from it instead of starting over.
 type Lease struct {
-	JobID   string `json:"job_id"`
-	Key     string `json:"key"`
-	Payload []byte `json:"payload"`
-	Attempt int    `json:"attempt"`
+	JobID          string `json:"job_id"`
+	Key            string `json:"key"`
+	Payload        []byte `json:"payload"`
+	Attempt        int    `json:"attempt"`
+	Checkpoint     []byte `json:"checkpoint,omitempty"`
+	CheckpointTick int64  `json:"checkpoint_tick,omitempty"`
 }
 
 // Stats is the coordinator snapshot surfaced by /healthz.
@@ -133,45 +191,122 @@ type Stats struct {
 	Completed     uint64 `json:"completed"`
 	Failed        uint64 `json:"failed"`
 	StaleRejected uint64 `json:"stale_rejected"`
+
+	// CheckpointsCommitted counts accepted job checkpoints; Resumes counts
+	// leases granted carrying a prior attempt's checkpoint; JournalReplays
+	// counts jobs restored from the journal at startup; JournalErrors
+	// counts journal appends that failed (durability degraded, service
+	// continued).
+	CheckpointsCommitted uint64 `json:"checkpoints_committed"`
+	Resumes              uint64 `json:"resumes"`
+	JournalReplays       uint64 `json:"journal_replays"`
+	JournalErrors        uint64 `json:"journal_errors,omitempty"`
+
+	// Journal, when journaling is on, is the journal's own snapshot.
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // Coordinator owns the dispatch queue, worker registry and lease clock.
 type Coordinator struct {
-	cfg Config
+	cfg   Config
+	epoch time.Time
+	clock func() time.Duration
 
 	mu      sync.Mutex
 	wake    chan struct{} // closed+replaced whenever pending work or state changes
 	pending []*job        // FIFO; expired jobs requeue at the front
 	byID    map[string]*job
+	orphans map[string]*job // key → open replayed job awaiting adoption
 	workers map[string]*workerState
 	nextJob uint64
 	nextWkr uint64
 	closed  bool
 
-	leasesGranted uint64
-	expired       uint64
-	requeued      uint64
-	completed     uint64
-	failed        uint64
-	staleRejected uint64
+	leasesGranted  uint64
+	expired        uint64
+	requeued       uint64
+	completed      uint64
+	failed         uint64
+	staleRejected  uint64
+	ckptsCommitted uint64
+	resumes        uint64
+	journalReplays uint64
+	journalErrors  uint64
 
 	stopExpiry chan struct{}
 	expiryDone chan struct{}
 	closeOnce  sync.Once
 }
 
-// NewCoordinator starts a coordinator and its lease-expiry clock.
+// NewCoordinator starts a coordinator and its lease-expiry clock. With
+// cfg.Journal set, the journal's open jobs are replayed first: pending jobs
+// rejoin the queue and leased jobs keep their worker and attempt under a
+// fresh TTL — a worker that survived the restart just keeps heartbeating and
+// completes as if nothing happened. Replayed jobs have no waiter; a new
+// Execute for the same key adopts the open job instead of enqueueing a
+// duplicate, and unadopted results flow to cfg.OrphanResult.
 func NewCoordinator(cfg Config) *Coordinator {
 	c := &Coordinator{
 		cfg:        cfg.withDefaults(),
+		epoch:      time.Now(),
 		wake:       make(chan struct{}),
 		byID:       make(map[string]*job),
+		orphans:    make(map[string]*job),
 		workers:    make(map[string]*workerState),
 		stopExpiry: make(chan struct{}),
 		expiryDone: make(chan struct{}),
 	}
+	c.clock = c.cfg.Clock
+	if c.clock == nil {
+		// time.Since reads the monotonic clock: wall steps cannot move it.
+		c.clock = func() time.Duration { return time.Since(c.epoch) }
+	}
+	if jl := c.cfg.Journal; jl != nil {
+		now := c.clock()
+		for _, jj := range jl.Pending() {
+			j := &job{
+				id:       jj.ID,
+				key:      jj.Key,
+				payload:  jj.Payload,
+				attempt:  jj.Attempt,
+				orphan:   true,
+				restored: true,
+				done:     make(chan struct{}),
+			}
+			if jj.WorkerID != "" {
+				// The lease survives the restart: same holder, same attempt,
+				// fresh TTL. A worker daemon that outlived us keeps
+				// heartbeating under its old identity and completes normally;
+				// a dead one times out and the job requeues with the
+				// checkpoint it last committed.
+				j.state = stateLeased
+				j.workerID = jj.WorkerID
+				j.deadline = now + c.cfg.LeaseTTL
+			} else {
+				c.pending = append(c.pending, j)
+			}
+			c.byID[j.id] = j
+			c.orphans[j.key] = j
+			c.journalReplays++
+		}
+		if n := jl.MaxJobID(); n > c.nextJob {
+			c.nextJob = n
+		}
+	}
 	go c.expiryLoop()
 	return c
+}
+
+// journal appends a lifecycle record, tolerating failure: a full disk
+// degrades durability, it must not take the control plane down. Callers
+// hold c.mu.
+func (c *Coordinator) journal(append func(*Journal) error) {
+	if c.cfg.Journal == nil {
+		return
+	}
+	if err := append(c.cfg.Journal); err != nil {
+		c.journalErrors++
+	}
 }
 
 // broadcast wakes every long-poller and waiter. Callers hold c.mu.
@@ -187,10 +322,10 @@ func (c *Coordinator) livenessWindow() time.Duration {
 }
 
 // liveWorkersLocked counts workers seen within the liveness window.
-func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+func (c *Coordinator) liveWorkersLocked(now time.Duration) int {
 	n := 0
 	for _, w := range c.workers {
-		if now.Sub(w.seen) <= c.livenessWindow() {
+		if now-w.seen <= c.livenessWindow() {
 			n++
 		}
 	}
@@ -210,7 +345,7 @@ func (c *Coordinator) Register(name string, slots int) (id string, leaseTTL, pol
 	}
 	c.nextWkr++
 	id = fmt.Sprintf("w-%d", c.nextWkr)
-	c.workers[id] = &workerState{id: id, name: name, slots: slots, seen: time.Now()}
+	c.workers[id] = &workerState{id: id, name: name, slots: slots, seen: c.clock()}
 	c.broadcast() // an Execute blocked on ErrNoWorkers re-checks… (callers poll, see Execute)
 	return id, c.cfg.LeaseTTL, c.cfg.PollWait, nil
 }
@@ -226,12 +361,16 @@ func (c *Coordinator) Deregister(workerID string) {
 	c.mu.Unlock()
 	// Wake the expiry loop's no-worker sweep promptly rather than waiting
 	// for its next tick: fail still-pending jobs over to local fallback.
-	c.expireOverdue(time.Now())
+	c.expireOverdue(c.clock())
 }
 
 // Execute queues one job for remote execution and blocks until a worker
 // completes it, the attempt cap trips, or ctx is cancelled. onProgress (may
 // be nil) receives raw progress payloads as workers post them.
+//
+// A journal-replayed open job with the same key is adopted instead of
+// enqueued twice: the caller becomes the orphan's waiter, so a client
+// retrying across a coordinator restart lands on the same in-flight work.
 //
 // With no live worker registered it fails fast with ErrNoWorkers so the
 // caller can run the job in-process instead — that is what lets a
@@ -242,21 +381,31 @@ func (c *Coordinator) Execute(ctx context.Context, key string, payload []byte, o
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if c.liveWorkersLocked(time.Now()) == 0 {
-		c.mu.Unlock()
-		return nil, ErrNoWorkers
+	var j *job
+	if o, ok := c.orphans[key]; ok {
+		// Adopt: the retry after a restart attaches to the replayed job.
+		delete(c.orphans, key)
+		o.orphan = false
+		o.onProgress = onProgress
+		j = o
+	} else {
+		if c.liveWorkersLocked(c.clock()) == 0 {
+			c.mu.Unlock()
+			return nil, ErrNoWorkers
+		}
+		c.nextJob++
+		j = &job{
+			id:         fmt.Sprintf("dj-%d", c.nextJob),
+			key:        key,
+			payload:    payload,
+			onProgress: onProgress,
+			done:       make(chan struct{}),
+		}
+		c.journal(func(l *Journal) error { return l.Enqueue(j.id, key, payload) })
+		c.byID[j.id] = j
+		c.pending = append(c.pending, j)
+		c.broadcast()
 	}
-	c.nextJob++
-	j := &job{
-		id:         fmt.Sprintf("dj-%d", c.nextJob),
-		key:        key,
-		payload:    payload,
-		onProgress: onProgress,
-		done:       make(chan struct{}),
-	}
-	c.byID[j.id] = j
-	c.pending = append(c.pending, j)
-	c.broadcast()
 	c.mu.Unlock()
 
 	select {
@@ -279,6 +428,7 @@ func (c *Coordinator) abandon(j *job) {
 		return // completed in the race window
 	default:
 	}
+	c.journal(func(l *Journal) error { return l.Fail(j.id) })
 	delete(c.byID, j.id)
 	for i, p := range c.pending {
 		if p == j {
@@ -310,7 +460,7 @@ func (c *Coordinator) Lease(ctx context.Context, workerID string, wait time.Dura
 			c.mu.Unlock()
 			return Lease{}, false, fmt.Errorf("dispatch: unknown worker %q", workerID)
 		}
-		now := time.Now()
+		now := c.clock()
 		w.seen = now
 		if len(c.pending) > 0 && w.leased < w.slots {
 			j := c.pending[0]
@@ -318,10 +468,31 @@ func (c *Coordinator) Lease(ctx context.Context, workerID string, wait time.Dura
 			j.state = stateLeased
 			j.workerID = workerID
 			j.attempt++
-			j.deadline = now.Add(c.cfg.LeaseTTL)
+			j.deadline = now + c.cfg.LeaseTTL
 			w.leased++
 			c.leasesGranted++
-			lease := Lease{JobID: j.id, Key: j.key, Payload: j.payload, Attempt: j.attempt}
+			if j.ckpt == nil && j.restored {
+				// First lease since a journal replay: the latest committed
+				// checkpoint (if any) lives only in the durable store.
+				if st := c.cfg.CheckpointStore; st != nil {
+					if v, ok, err := st.Get(ckptKeyPrefix + j.key); err == nil && ok {
+						j.ckpt = v
+					}
+				}
+				j.restored = false
+			}
+			if j.ckpt != nil {
+				c.resumes++
+			}
+			c.journal(func(l *Journal) error { return l.Lease(j.id, workerID, j.attempt) })
+			lease := Lease{
+				JobID:          j.id,
+				Key:            j.key,
+				Payload:        j.payload,
+				Attempt:        j.attempt,
+				Checkpoint:     j.ckpt,
+				CheckpointTick: j.ckptTick,
+			}
 			c.mu.Unlock()
 			return lease, true, nil
 		}
@@ -366,8 +537,8 @@ func (c *Coordinator) Heartbeat(jobID, workerID string, attempt int) error {
 	if err != nil {
 		return err
 	}
-	now := time.Now()
-	j.deadline = now.Add(c.cfg.LeaseTTL)
+	now := c.clock()
+	j.deadline = now + c.cfg.LeaseTTL
 	if w, ok := c.workers[workerID]; ok {
 		w.seen = now
 	}
@@ -383,8 +554,8 @@ func (c *Coordinator) Progress(jobID, workerID string, attempt int, payload []by
 		c.mu.Unlock()
 		return err
 	}
-	now := time.Now()
-	j.deadline = now.Add(c.cfg.LeaseTTL) // progress is proof of life
+	now := c.clock()
+	j.deadline = now + c.cfg.LeaseTTL // progress is proof of life
 	if w, ok := c.workers[workerID]; ok {
 		w.seen = now
 	}
@@ -398,18 +569,59 @@ func (c *Coordinator) Progress(jobID, workerID string, attempt int, payload []by
 	return nil
 }
 
+// Checkpoint commits a mid-run checkpoint for jobID: fenced exactly like a
+// heartbeat (only the live attempt may commit), with tick enforcing forward
+// progress so a delayed or duplicated delivery of an older checkpoint can
+// never roll a newer one back. An accepted checkpoint extends the lease —
+// it is the strongest proof of life there is — and is mirrored to the
+// durable CheckpointStore so resume survives a coordinator restart.
+func (c *Coordinator) Checkpoint(jobID, workerID string, attempt int, tick int64, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("dispatch: empty checkpoint for job %q", jobID)
+	}
+	c.mu.Lock()
+	j, err := c.leaseHolder(jobID, workerID, attempt)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if j.ckpt != nil && tick <= j.ckptTick {
+		// A duplicate (or reordered older) delivery of an already-committed
+		// checkpoint: idempotently accepted, nothing rolls back.
+		c.mu.Unlock()
+		return nil
+	}
+	j.ckpt = append([]byte(nil), data...)
+	j.ckptTick = tick
+	now := c.clock()
+	j.deadline = now + c.cfg.LeaseTTL
+	if w, ok := c.workers[workerID]; ok {
+		w.seen = now
+	}
+	c.ckptsCommitted++
+	key := j.key
+	st := c.cfg.CheckpointStore
+	c.mu.Unlock()
+	if st != nil {
+		// Best-effort durability outside the lock: a failed put only means a
+		// post-restart resume falls back further (or to tick zero).
+		_ = st.Put(ckptKeyPrefix+key, data)
+	}
+	return nil
+}
+
 // Complete finishes jobID with a result payload or a worker-reported
 // execution error. A duplicate or post-expiry Complete is rejected (the
 // lease-holder check fails) so exactly one attempt's result is delivered.
 func (c *Coordinator) Complete(jobID, workerID string, attempt int, result []byte, execErr string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	j, err := c.leaseHolder(jobID, workerID, attempt)
 	if err != nil {
+		c.mu.Unlock()
 		return err
 	}
 	if w, ok := c.workers[workerID]; ok {
-		w.seen = time.Now()
+		w.seen = c.clock()
 		w.leased--
 		w.leasedOK++
 	}
@@ -417,13 +629,35 @@ func (c *Coordinator) Complete(jobID, workerID string, attempt int, result []byt
 	if execErr != "" {
 		j.err = &RemoteError{Msg: execErr}
 		c.failed++
+		c.journal(func(l *Journal) error { return l.Fail(j.id) })
 	} else {
 		j.result = result
 		c.completed++
+		c.journal(func(l *Journal) error { return l.Complete(j.id) })
 	}
+	hadCkpt := j.ckpt != nil || j.restored
+	orphanSink := (func(string, []byte))(nil)
+	if j.orphan {
+		delete(c.orphans, j.key)
+		orphanSink = c.cfg.OrphanResult
+	}
+	key := j.key
+	st := c.cfg.CheckpointStore
 	delete(c.byID, j.id)
 	close(j.done)
 	c.broadcast()
+	c.mu.Unlock()
+
+	if st != nil && hadCkpt {
+		// The job is done; its checkpoint is dead weight in the store.
+		_ = st.Delete(ckptKeyPrefix + key)
+	}
+	if orphanSink != nil && execErr == "" {
+		// A replayed job finished with no waiter: hand the result to the
+		// server's sink (the durable result store) so the client's retry is
+		// answered without re-execution.
+		orphanSink(key, result)
+	}
 	return nil
 }
 
@@ -446,7 +680,7 @@ func (c *Coordinator) expiryLoop() {
 		case <-c.stopExpiry:
 			return
 		case <-ticker.C:
-			c.expireOverdue(time.Now())
+			c.expireOverdue(c.clock())
 		}
 	}
 }
@@ -456,26 +690,35 @@ func (c *Coordinator) expiryLoop() {
 // order is deterministic; a job out of attempts fails instead, and a job
 // with no live worker left to retry it fails with ErrNoWorkers so its
 // waiter can fall back to local execution rather than wait forever.
-func (c *Coordinator) expireOverdue(now time.Time) {
+// Orphans (journal-replayed jobs with no waiter) are exempt from the
+// no-worker fast-fail — there is nobody to strand, and failing them would
+// lose the very jobs the journal preserved.
+func (c *Coordinator) expireOverdue(now time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	live := c.liveWorkersLocked(now)
 	// A queue with nobody left to serve it must not strand its waiters:
 	// fail pending jobs with ErrNoWorkers so they run locally instead.
 	if live == 0 && len(c.pending) > 0 {
+		kept := c.pending[:0]
 		for _, j := range c.pending {
+			if j.orphan {
+				kept = append(kept, j)
+				continue
+			}
 			j.state = stateDone
 			j.err = ErrNoWorkers
 			c.failed++
+			c.journal(func(l *Journal) error { return l.Fail(j.id) })
 			delete(c.byID, j.id)
 			close(j.done)
 		}
-		c.pending = c.pending[:0]
+		c.pending = kept
 		c.broadcast()
 	}
 	var overdue []*job
 	for _, j := range c.byID {
-		if j.state == stateLeased && now.After(j.deadline) {
+		if j.state == stateLeased && now > j.deadline {
 			overdue = append(overdue, j)
 		}
 	}
@@ -483,8 +726,8 @@ func (c *Coordinator) expireOverdue(now time.Time) {
 		return
 	}
 	sort.Slice(overdue, func(a, b int) bool {
-		if !overdue[a].deadline.Equal(overdue[b].deadline) {
-			return overdue[a].deadline.Before(overdue[b].deadline)
+		if overdue[a].deadline != overdue[b].deadline {
+			return overdue[a].deadline < overdue[b].deadline
 		}
 		return overdue[a].id < overdue[b].id
 	})
@@ -500,18 +743,24 @@ func (c *Coordinator) expireOverdue(now time.Time) {
 			j.state = stateDone
 			j.err = fmt.Errorf("%w (%d leases lost)", ErrAttemptsExhausted, j.attempt)
 			c.failed++
+			c.journal(func(l *Journal) error { return l.Fail(j.id) })
+			if j.orphan {
+				delete(c.orphans, j.key)
+			}
 			delete(c.byID, j.id)
 			close(j.done)
-		case live == 0:
+		case live == 0 && !j.orphan:
 			j.state = stateDone
 			j.err = ErrNoWorkers
 			c.failed++
+			c.journal(func(l *Journal) error { return l.Fail(j.id) })
 			delete(c.byID, j.id)
 			close(j.done)
 		default:
 			j.state = statePending
 			j.requeues++
 			c.requeued++
+			c.journal(func(l *Journal) error { return l.Requeue(j.id) })
 			c.pending = append([]*job{j}, c.pending...)
 		}
 	}
@@ -528,18 +777,27 @@ func (c *Coordinator) Stats() Stats {
 			leased++
 		}
 	}
-	return Stats{
-		WorkersRegistered: len(c.workers),
-		WorkersLive:       c.liveWorkersLocked(time.Now()),
-		Pending:           len(c.pending),
-		Leased:            leased,
-		LeasesGranted:     c.leasesGranted,
-		Expired:           c.expired,
-		Requeued:          c.requeued,
-		Completed:         c.completed,
-		Failed:            c.failed,
-		StaleRejected:     c.staleRejected,
+	st := Stats{
+		WorkersRegistered:    len(c.workers),
+		WorkersLive:          c.liveWorkersLocked(c.clock()),
+		Pending:              len(c.pending),
+		Leased:               leased,
+		LeasesGranted:        c.leasesGranted,
+		Expired:              c.expired,
+		Requeued:             c.requeued,
+		Completed:            c.completed,
+		Failed:               c.failed,
+		StaleRejected:        c.staleRejected,
+		CheckpointsCommitted: c.ckptsCommitted,
+		Resumes:              c.resumes,
+		JournalReplays:       c.journalReplays,
+		JournalErrors:        c.journalErrors,
 	}
+	if c.cfg.Journal != nil {
+		js := c.cfg.Journal.Stats()
+		st.Journal = &js
+	}
+	return st
 }
 
 // Drain stops admitting new jobs and waits (until ctx expires) for leased
@@ -570,6 +828,9 @@ func (c *Coordinator) Drain(ctx context.Context) {
 }
 
 // failRemaining fails every job still tracked — drain gave up waiting.
+// Orphans are released in memory but NOT journaled as failed: their
+// submitters are gone either way, and leaving them open in the journal
+// means the next start retries them instead of losing them.
 func (c *Coordinator) failRemaining() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -577,6 +838,11 @@ func (c *Coordinator) failRemaining() {
 		j.state = stateDone
 		j.err = ErrClosed
 		c.failed++
+		if !j.orphan {
+			c.journal(func(l *Journal) error { return l.Fail(j.id) })
+		} else {
+			delete(c.orphans, j.key)
+		}
 		delete(c.byID, id)
 		close(j.done)
 	}
@@ -599,4 +865,36 @@ func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() { close(c.stopExpiry) })
 	<-c.expiryDone
 	c.failRemaining()
+	if c.cfg.Journal != nil {
+		_ = c.cfg.Journal.Close()
+	}
+}
+
+// CrashForTest simulates a coordinator process crash for recovery tests:
+// the expiry clock stops, every waiter is released with ErrClosed, and —
+// unlike Close — no terminal records are journaled, so the journal on disk
+// is exactly what a real crash would leave behind. The journal file is
+// closed so a successor can reopen the same path.
+func (c *Coordinator) CrashForTest() {
+	c.mu.Lock()
+	c.closed = true
+	c.broadcast()
+	c.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.stopExpiry) })
+	<-c.expiryDone
+	c.mu.Lock()
+	for id, j := range c.byID {
+		j.state = stateDone
+		j.err = ErrClosed
+		delete(c.byID, id)
+		close(j.done)
+	}
+	c.pending = nil
+	for k := range c.orphans {
+		delete(c.orphans, k)
+	}
+	c.mu.Unlock()
+	if c.cfg.Journal != nil {
+		_ = c.cfg.Journal.Close()
+	}
 }

@@ -17,6 +17,7 @@ import (
 //	POST /v1/workers/{id}/deregister → 204 (graceful goodbye; best-effort)
 //	POST /v1/jobs/{id}/heartbeat   → 204 | 409 (lease lost) | 404
 //	POST /v1/jobs/{id}/progress    → 204 | 409 | 404
+//	POST /v1/jobs/{id}/checkpoint  → 204 | 409 | 404
 //	POST /v1/jobs/{id}/complete    → 204 | 409 | 404
 //
 // A 409/404 on any job endpoint means the worker no longer owns the job
@@ -45,13 +46,15 @@ type leaseRequest struct {
 	WaitMs int64 `json:"wait_ms"`
 }
 
-// jobPost is the shared body shape of heartbeat/progress/complete.
+// jobPost is the shared body shape of heartbeat/progress/checkpoint/complete.
 type jobPost struct {
-	WorkerID string          `json:"worker_id"`
-	Attempt  int             `json:"attempt"`
-	Samples  json.RawMessage `json:"samples,omitempty"` // progress only
-	Result   json.RawMessage `json:"result,omitempty"`  // complete only
-	Error    string          `json:"error,omitempty"`   // complete only
+	WorkerID   string          `json:"worker_id"`
+	Attempt    int             `json:"attempt"`
+	Samples    json.RawMessage `json:"samples,omitempty"`    // progress only
+	Result     json.RawMessage `json:"result,omitempty"`     // complete only
+	Error      string          `json:"error,omitempty"`      // complete only
+	Tick       int64           `json:"tick,omitempty"`       // checkpoint only
+	Checkpoint []byte          `json:"checkpoint,omitempty"` // checkpoint only
 }
 
 // Routes mounts the coordinator endpoints on mux.
@@ -61,6 +64,7 @@ func (c *Coordinator) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/workers/{id}/deregister", c.handleDeregister)
 	mux.HandleFunc("POST /v1/jobs/{id}/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /v1/jobs/{id}/progress", c.handleProgress)
+	mux.HandleFunc("POST /v1/jobs/{id}/checkpoint", c.handleCheckpoint)
 	mux.HandleFunc("POST /v1/jobs/{id}/complete", c.handleComplete)
 }
 
@@ -158,6 +162,23 @@ func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := c.Progress(r.PathValue("id"), req.WorkerID, req.Attempt, req.Samples); err != nil {
+		writeDispatchError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var req jobPost
+	if err := decodeBody(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Checkpoint) == 0 {
+		http.Error(w, "checkpoint requires a payload", http.StatusBadRequest)
+		return
+	}
+	if err := c.Checkpoint(r.PathValue("id"), req.WorkerID, req.Attempt, req.Tick, req.Checkpoint); err != nil {
 		writeDispatchError(w, err)
 		return
 	}

@@ -1,12 +1,9 @@
 package dispatch
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -22,6 +19,33 @@ import (
 // function should return promptly (its result will be discarded).
 type ExecuteFunc func(ctx context.Context, key string, payload []byte, progress func(samples []byte)) (result []byte, errMsg string)
 
+// ResumableJob is the worker-side view of a leased job under the
+// checkpoint-resume protocol (DESIGN.md §16). Checkpoint, when non-nil, is
+// the latest checkpoint a previous attempt committed: the executor restores
+// it and resumes instead of starting from tick zero.
+type ResumableJob struct {
+	Key     string
+	Payload []byte
+	Attempt int
+	// Checkpoint and CheckpointTick describe the resume point (nil/0 for a
+	// fresh start).
+	Checkpoint     []byte
+	CheckpointTick int64
+	// Progress forwards an intermediate sample batch to the submitter.
+	Progress func(samples []byte)
+	// Commit ships an encoded checkpoint at progress stamp tick to the
+	// coordinator. Ticks must be strictly increasing within a run. Failures
+	// are safe to ignore — a missed commit only widens the window of work a
+	// later attempt repeats — except that a coordinator-confirmed fencing
+	// rejection also cancels the job's ctx (the lease is gone).
+	Commit func(ctx context.Context, tick int64, data []byte) error
+}
+
+// ExecuteResumableFunc is ExecuteFunc for checkpoint-aware executors. When
+// WorkerOptions.ExecuteResumable is set it is used for every job, and
+// WorkerOptions.Execute may be nil.
+type ExecuteResumableFunc func(ctx context.Context, job ResumableJob) (result []byte, errMsg string)
+
 // WorkerOptions configures RunWorker.
 type WorkerOptions struct {
 	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
@@ -30,11 +54,18 @@ type WorkerOptions struct {
 	Name string
 	// Slots is how many jobs the worker leases concurrently (default 1).
 	Slots int
-	// Execute runs one job. Required.
+	// Execute runs one job. Required unless ExecuteResumable is set.
 	Execute ExecuteFunc
+	// ExecuteResumable, when set, runs jobs with checkpoint-resume support
+	// and takes precedence over Execute.
+	ExecuteResumable ExecuteResumableFunc
 	// Client is the HTTP client (default a fresh one; it must not set a
 	// global timeout, long-polls outlive typical timeouts).
 	Client *http.Client
+	// Transport overrides how RPCs reach the coordinator (default: HTTP
+	// against Coordinator using Client). The chaos harness injects a
+	// hostile network here.
+	Transport Transport
 	// Logf receives operational messages (default: discarded).
 	Logf func(format string, args ...any)
 	// HardStop, when closed, aborts everything immediately: in-flight jobs
@@ -62,9 +93,9 @@ type registration struct {
 
 // worker is the daemon's run state.
 type worker struct {
-	o      WorkerOptions
-	client *http.Client
-	logf   func(string, ...any)
+	o    WorkerOptions
+	tr   Transport
+	logf func(string, ...any)
 
 	mu  sync.Mutex
 	reg registration
@@ -80,8 +111,8 @@ type worker struct {
 // re-registers when the coordinator no longer knows it. It returns nil on a
 // clean drain.
 func RunWorker(ctx context.Context, o WorkerOptions) error {
-	if o.Execute == nil {
-		return fmt.Errorf("dispatch: WorkerOptions.Execute is required")
+	if o.Execute == nil && o.ExecuteResumable == nil {
+		return fmt.Errorf("dispatch: WorkerOptions.Execute or ExecuteResumable is required")
 	}
 	if o.Slots < 1 {
 		o.Slots = 1
@@ -95,9 +126,9 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 		_, _ = h.Write([]byte(o.Name))
 		seed = h.Sum64()
 	}
-	w := &worker{o: o, client: o.Client, logf: o.Logf, rng: *sim.NewRNG(seed)}
-	if w.client == nil {
-		w.client = &http.Client{}
+	w := &worker{o: o, tr: o.Transport, logf: o.Logf, rng: *sim.NewRNG(seed)}
+	if w.tr == nil {
+		w.tr = NewHTTPTransport(o.Coordinator, o.Client)
 	}
 	if w.logf == nil {
 		w.logf = func(string, ...any) {}
@@ -278,11 +309,18 @@ func (w *worker) runJob(hardCtx context.Context, reg registration, lease Lease, 
 	auth := jobPost{WorkerID: reg.id, Attempt: lease.Attempt}
 
 	// Heartbeat at a third of the TTL: two beats may be lost before the
-	// lease dies. A stale rejection means the lease is gone — stop working.
+	// lease dies. Within each beat, transient delivery failures are retried
+	// a few times on a short fuse — only a coordinator-confirmed fencing
+	// rejection (409/404: the lease really is gone) abandons the attempt; a
+	// flaky network never does on its own.
 	var leaseLost atomic.Bool
 	hbInterval := reg.ttl / 3
 	if hbInterval < 5*time.Millisecond {
 		hbInterval = 5 * time.Millisecond
+	}
+	retryGap := hbInterval / 8
+	if retryGap < time.Millisecond {
+		retryGap = time.Millisecond
 	}
 	var hbWG sync.WaitGroup
 	hbWG.Add(1)
@@ -295,7 +333,20 @@ func (w *worker) runJob(hardCtx context.Context, reg registration, lease Lease, 
 			case <-jobCtx.Done():
 				return
 			case <-ticker.C:
-				status, err := w.post(jobCtx, base+"/heartbeat", auth, nil)
+				var status int
+				var err error
+				for try := 0; try < 4; try++ {
+					status, err = w.post(jobCtx, base+"/heartbeat", auth, nil)
+					if err == nil || jobCtx.Err() != nil {
+						break
+					}
+					// Delivery failed; retry inside this beat's budget.
+					select {
+					case <-jobCtx.Done():
+						return
+					case <-time.After(w.jitter(retryGap)):
+					}
+				}
 				if err == nil && (status == http.StatusConflict || status == http.StatusNotFound) {
 					w.logf("slot %d: lease on %s lost; abandoning", slot, lease.JobID)
 					leaseLost.Store(true)
@@ -316,7 +367,38 @@ func (w *worker) runJob(hardCtx context.Context, reg registration, lease Lease, 
 		}
 	}
 
-	result, execErr := w.o.Execute(jobCtx, lease.Key, lease.Payload, progress)
+	var result []byte
+	var execErr string
+	if w.o.ExecuteResumable != nil {
+		commit := func(cctx context.Context, tick int64, data []byte) error {
+			p := auth
+			p.Tick = tick
+			p.Checkpoint = data
+			status, err := w.post(cctx, base+"/checkpoint", p, nil)
+			if err != nil {
+				return err
+			}
+			if status == http.StatusConflict || status == http.StatusNotFound {
+				// Coordinator-confirmed: this attempt is fenced off.
+				w.logf("slot %d: checkpoint for %s rejected; lease lost", slot, lease.JobID)
+				leaseLost.Store(true)
+				cancel()
+				return fmt.Errorf("dispatch: checkpoint rejected with status %d", status)
+			}
+			return nil
+		}
+		result, execErr = w.o.ExecuteResumable(jobCtx, ResumableJob{
+			Key:            lease.Key,
+			Payload:        lease.Payload,
+			Attempt:        lease.Attempt,
+			Checkpoint:     lease.Checkpoint,
+			CheckpointTick: lease.CheckpointTick,
+			Progress:       progress,
+			Commit:         commit,
+		})
+	} else {
+		result, execErr = w.o.Execute(jobCtx, lease.Key, lease.Payload, progress)
+	}
 	cancel()
 	hbWG.Wait()
 
@@ -358,29 +440,7 @@ func (w *worker) runJob(hardCtx context.Context, reg registration, lease Lease, 
 	w.logf("slot %d: could not report completion of %s; lease will expire", slot, lease.JobID)
 }
 
-// post sends one JSON POST to the coordinator and decodes a JSON response
-// into out (when non-nil and the status is 200).
+// post sends one RPC to the coordinator over the worker's Transport.
 func (w *worker) post(ctx context.Context, path string, body, out any) (int, error) {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return 0, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.o.Coordinator+path, bytes.NewReader(data))
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.client.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if out != nil && resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(io.LimitReader(resp.Body, maxDispatchBody)).Decode(out); err != nil {
-			return resp.StatusCode, err
-		}
-		return resp.StatusCode, nil
-	}
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-	return resp.StatusCode, nil
+	return w.tr.Post(ctx, path, body, out)
 }

@@ -229,8 +229,14 @@ func Run(spec Spec) Result {
 // windows and reporting each finished window to progress (when non-nil).
 // On cancellation it returns the partially filled result together with the
 // context's error. This is the single spec-execution path shared by the
-// table/figure harness and the internal/server job engine.
+// table/figure harness and the internal/server job engine (which uses the
+// RunResumable variant for checkpoint-resume).
 func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, error) {
+	return runCtx(ctx, spec, progress, nil, nil)
+}
+
+// runCtx is the shared execution core behind RunContext and RunResumable.
+func runCtx(ctx context.Context, spec Spec, progress Progress, resume *RunCheckpoint, hook *CheckpointHook) (Result, error) {
 	if spec.DurationMs <= 0 {
 		spec.DurationMs = 1000
 	}
@@ -290,12 +296,11 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 			waveWins = append(waveWins, wi)
 		}
 	}
-	type netSnap struct{ delivered, dropped, misrouted uint64 }
-	snapAt := func() netSnap {
+	snapAt := func() NetSnap {
 		ns := p.Net.Stats()
-		return netSnap{ns.Delivered, ns.Dropped, ns.ByzMisrouted}
+		return NetSnap{ns.Delivered, ns.Dropped, ns.ByzMisrouted}
 	}
-	waveSnaps := make([]netSnap, 0, len(waveWins)+1)
+	waveSnaps := make([]NetSnap, 0, len(waveWins)+1)
 	pes := p.PEs()
 	workBuf := workScratch.Get().(*[]uint64)
 	defer func() {
@@ -316,7 +321,33 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 	servedFull := false
 	var buildKey warmKey
 	buildDiv := -1
-	if warmApplicable(spec) {
+	if resume != nil && resume.Win > 0 && resume.Platform != nil {
+		// Mid-run resume: restore the checkpoint boundary exactly as a warm
+		// fork would — replay the recorded prefix, restore the platform, and
+		// rebase the sampler watermarks on the restored counters (invariantly
+		// equal to the live values at a window boundary). The warm-start
+		// machinery is bypassed: the prefix is already decided.
+		div := resume.Win
+		if div > windows {
+			div = windows
+		}
+		copy(res.Throughput.Values[:div], resume.Thr)
+		copy(res.NodesActive.Values[:div], resume.Act)
+		copy(res.Switches.Values[:div], resume.Sw)
+		p.Restore(resume.Platform)
+		c := p.Counters()
+		lastCompleted, lastSwitches = c.InstancesCompleted, c.TaskSwitches
+		for i, pe := range pes {
+			lastWork[i] = pe.WorkCount()
+		}
+		waveSnaps = append(waveSnaps, resume.WaveSnaps...)
+		if progress != nil {
+			for w := 0; w < div; w++ {
+				progress(w, res.Throughput.Values[w], res.NodesActive.Values[w], res.Switches.Values[w])
+			}
+		}
+		startWin = div
+	} else if warmApplicable(spec) {
 		if div := warmDivergenceWin(spec, sched, legacyAt, windows, windowTicks); div > 0 {
 			key := warmKeyOf(spec, div)
 			if e, ok := warmCache.get(key); ok {
@@ -387,6 +418,23 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 			// prefix. Cache it for the sibling runs to fork from.
 			warmCache.put(buildKey, buildWarmEntry(p, &res, buildDiv, windows))
 		}
+		if hook != nil && hook.EveryWins > 0 && (w+1)%hook.EveryWins == 0 && w+1 < windows {
+			// Checkpoint at absolute-index boundaries, so every attempt of a
+			// run checkpoints at the same windows regardless of where it
+			// started.
+			cp := &RunCheckpoint{
+				Win:       w + 1,
+				Thr:       append([]float64(nil), res.Throughput.Values[:w+1]...),
+				Act:       append([]float64(nil), res.NodesActive.Values[:w+1]...),
+				Sw:        append([]float64(nil), res.Switches.Values[:w+1]...),
+				WaveSnaps: append([]NetSnap(nil), waveSnaps...),
+				Platform:  p.Snapshot(),
+			}
+			if err := hook.Fn(w+1, cp); err != nil {
+				res.Counters = p.Counters()
+				return res, err
+			}
+		}
 	}
 	if !servedFull {
 		res.Counters = p.Counters()
@@ -413,9 +461,9 @@ func RunContext(ctx context.Context, spec Spec, progress Progress) (Result, erro
 			}
 			rec := WaveRecovery{
 				AtMs:      start * spec.WindowMs,
-				Delivered: waveSnaps[i+1].delivered - waveSnaps[i].delivered,
-				Dropped:   waveSnaps[i+1].dropped - waveSnaps[i].dropped,
-				Misrouted: waveSnaps[i+1].misrouted - waveSnaps[i].misrouted,
+				Delivered: waveSnaps[i+1].Delivered - waveSnaps[i].Delivered,
+				Dropped:   waveSnaps[i+1].Dropped - waveSnaps[i].Dropped,
+				Misrouted: waveSnaps[i+1].Misrouted - waveSnaps[i].Misrouted,
 			}
 			rec.RecoveryMs, rec.Recovered = metrics.SettlingTime(res.Throughput, start, end, par)
 			res.Waves = append(res.Waves, rec)

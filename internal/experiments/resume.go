@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"context"
+
+	"centurion/internal/centurion"
+)
+
+// Mid-run checkpoint/resume (DESIGN.md §16): a run can emit a RunCheckpoint
+// at a fixed window cadence and a later invocation can pick the run up at
+// that boundary, bit-identical to never having stopped. This is what turns
+// a lost dispatch lease from "redo the whole run" into "redo at most one
+// checkpoint interval": the worker ships each checkpoint to the
+// coordinator, and the retry attempt resumes from the last committed one.
+
+// NetSnap is a fabric-counter snapshot at a wave boundary. Checkpoints
+// carry the boundaries already passed so per-wave traffic diffs survive a
+// resume.
+type NetSnap struct {
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	Misrouted uint64 `json:"misrouted"`
+}
+
+// RunCheckpoint is everything needed to resume one run at a window
+// boundary: the platform state plus the sampler prefix that a restored
+// platform cannot re-derive (completed windows' samples and the wave
+// boundary snapshots taken so far).
+type RunCheckpoint struct {
+	// Win is the number of completed windows; the resumed run starts there.
+	Win int
+	// Thr/Act/Sw are the completed windows' throughput, nodes-active and
+	// switch samples (length Win).
+	Thr, Act, Sw []float64
+	// WaveSnaps are the fabric snapshots taken at wave boundaries < Win.
+	WaveSnaps []NetSnap
+	// Platform is the platform snapshot at the Win boundary.
+	Platform *centurion.Checkpoint
+}
+
+// CheckpointHook asks a run to emit checkpoints every EveryWins completed
+// windows (at absolute window indices divisible by EveryWins, so resumed
+// attempts checkpoint at the same boundaries as the first). Fn owns the
+// checkpoint it receives; returning an error aborts the run — that is how
+// a fenced-off dispatch attempt stops promptly instead of racing its
+// replacement.
+type CheckpointHook struct {
+	EveryWins int
+	Fn        func(win int, cp *RunCheckpoint) error
+}
+
+// RunResumable is RunContext plus the checkpoint-resume protocol: a non-nil
+// resume restores the run at its boundary (replaying the prefix to
+// progress), and a non-nil hook emits checkpoints as the run advances. The
+// concatenation of an interrupted run's prefix and its resumed suffix is
+// bit-identical to an uninterrupted run of the same spec.
+func RunResumable(ctx context.Context, spec Spec, progress Progress, resume *RunCheckpoint, hook *CheckpointHook) (Result, error) {
+	return runCtx(ctx, spec, progress, resume, hook)
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"centurion/internal/store"
+)
+
+// Store-failure degradation (DESIGN.md §16): the durable store sits under
+// the LRU cache and beside the dispatch checkpoint registry, and both uses
+// are strictly best-effort — a broken disk must cost durability, never
+// correctness or availability. breakerStore wraps the real store in a
+// circuit breaker: after breakerThreshold consecutive backend errors the
+// breaker opens and every operation becomes an instant no-op (Get misses,
+// Put/Delete succeed vacuously), so a sick disk's latency and error churn
+// stop touching the serving path and the engine degrades to LRU-only
+// caching. After breakerCooldown one probe operation is let through;
+// success closes the breaker again. /healthz surfaces the open state as
+// store_degraded.
+const (
+	breakerThreshold = 3
+	breakerCooldown  = 5 * time.Second
+)
+
+// breakerStore implements store.Store (and, structurally, the coordinator's
+// CheckpointStore) around an inner store.
+type breakerStore struct {
+	inner store.Store
+
+	mu        sync.Mutex
+	failures  int           // consecutive backend errors while closed
+	openUntil time.Duration // monotonic instant the next probe is allowed
+	epoch     time.Time
+
+	degraded atomic.Bool
+	trips    uint64
+}
+
+func newBreakerStore(inner store.Store) *breakerStore {
+	return &breakerStore{inner: inner, epoch: time.Now()}
+}
+
+// allow reports whether the backend may be touched right now.
+func (b *breakerStore) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.degraded.Load() {
+		return true
+	}
+	if time.Since(b.epoch) >= b.openUntil {
+		// Half-open: admit one probe; a failure re-opens, a success closes.
+		b.openUntil = time.Since(b.epoch) + breakerCooldown
+		return true
+	}
+	return false
+}
+
+// observe records an operation's outcome and moves the breaker.
+func (b *breakerStore) observe(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.failures = 0
+		b.degraded.Store(false)
+		return
+	}
+	b.failures++
+	if b.failures >= breakerThreshold || b.degraded.Load() {
+		if !b.degraded.Load() {
+			b.trips++
+		}
+		b.degraded.Store(true)
+		b.openUntil = time.Since(b.epoch) + breakerCooldown
+	}
+}
+
+// Degraded reports whether the breaker is open (LRU-only operation).
+func (b *breakerStore) Degraded() bool { return b.degraded.Load() }
+
+// Trips reports how many times the breaker has opened.
+func (b *breakerStore) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Get implements Store: an open breaker is a cache miss, not an error.
+func (b *breakerStore) Get(key string) ([]byte, bool, error) {
+	if !b.allow() {
+		return nil, false, nil
+	}
+	val, ok, err := b.inner.Get(key)
+	b.observe(err)
+	if err != nil {
+		return nil, false, nil
+	}
+	return val, ok, nil
+}
+
+// Put implements Store: an open breaker accepts and drops the write.
+func (b *breakerStore) Put(key string, val []byte) error {
+	if !b.allow() {
+		return nil
+	}
+	b.observe(b.inner.Put(key, val))
+	return nil
+}
+
+// Delete implements Store: an open breaker accepts and drops the delete.
+func (b *breakerStore) Delete(key string) error {
+	if !b.allow() {
+		return nil
+	}
+	b.observe(b.inner.Delete(key))
+	return nil
+}
+
+// Stats implements Store (pass-through; the breaker state travels via
+// Degraded, not Stats).
+func (b *breakerStore) Stats() store.Stats { return b.inner.Stats() }
+
+// Compact implements Store.
+func (b *breakerStore) Compact() error { return b.inner.Compact() }
+
+// Close implements Store.
+func (b *breakerStore) Close() error { return b.inner.Close() }

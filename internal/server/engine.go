@@ -576,32 +576,7 @@ func Execute(ctx context.Context, spec RunSpec, progress func(Sample)) (*RunResu
 		if err != nil {
 			return nil, fmt.Errorf("run %d (seed %d): %w", run, espec.Seed, err)
 		}
-		sum := RunSummary{
-			Seed:               r.Spec.Seed,
-			SettlingMs:         r.SettlingMs,
-			Settled:            r.Settled,
-			RecoveryMs:         r.RecoveryMs,
-			Recovered:          r.Recovered,
-			SteadyRate:         r.SteadyRate,
-			PostFaultRate:      r.PostFaultRate,
-			InstancesCompleted: r.Counters.InstancesCompleted,
-			TaskSwitches:       r.Counters.TaskSwitches,
-			PacketsDropped:     r.Counters.PacketsDropped,
-			ByzMisrouted:       r.ByzMisrouted,
-			ByzDropped:         r.ByzDropped,
-			ByzDuplicated:      r.ByzDuplicated,
-		}
-		for _, wv := range r.Waves {
-			sum.Waves = append(sum.Waves, WaveSummary{
-				AtMs:       wv.AtMs,
-				RecoveryMs: wv.RecoveryMs,
-				Recovered:  wv.Recovered,
-				Delivered:  wv.Delivered,
-				Dropped:    wv.Dropped,
-				Misrouted:  wv.Misrouted,
-			})
-		}
-		res.Runs = append(res.Runs, sum)
+		res.Runs = append(res.Runs, runSummaryOf(&r))
 		if run == 0 {
 			res.Series = &Series{
 				WindowMs:    r.Throughput.WindowMs,
@@ -618,6 +593,36 @@ func Execute(ctx context.Context, spec RunSpec, progress func(Sample)) (*RunResu
 		res.Series = nil
 	}
 	return res, nil
+}
+
+// runSummaryOf reduces one run's experiment result to its summary row.
+func runSummaryOf(r *experiments.Result) RunSummary {
+	sum := RunSummary{
+		Seed:               r.Spec.Seed,
+		SettlingMs:         r.SettlingMs,
+		Settled:            r.Settled,
+		RecoveryMs:         r.RecoveryMs,
+		Recovered:          r.Recovered,
+		SteadyRate:         r.SteadyRate,
+		PostFaultRate:      r.PostFaultRate,
+		InstancesCompleted: r.Counters.InstancesCompleted,
+		TaskSwitches:       r.Counters.TaskSwitches,
+		PacketsDropped:     r.Counters.PacketsDropped,
+		ByzMisrouted:       r.ByzMisrouted,
+		ByzDropped:         r.ByzDropped,
+		ByzDuplicated:      r.ByzDuplicated,
+	}
+	for _, wv := range r.Waves {
+		sum.Waves = append(sum.Waves, WaveSummary{
+			AtMs:       wv.AtMs,
+			RecoveryMs: wv.RecoveryMs,
+			Recovered:  wv.Recovered,
+			Delivered:  wv.Delivered,
+			Dropped:    wv.Dropped,
+			Misrouted:  wv.Misrouted,
+		})
+	}
+	return sum
 }
 
 // run executes the job's batch through the engine's executor (in-process

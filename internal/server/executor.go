@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"centurion/internal/centurion"
 	"centurion/internal/dispatch"
 	"centurion/internal/experiments"
 )
@@ -104,11 +105,26 @@ func NewDispatchExecutor(coord *dispatch.Coordinator) Executor {
 // 1000-window run becomes ~16 round trips instead of 1000.
 const progressFlushAt = 64
 
-// DispatchExecute is the worker daemon's dispatch.ExecuteFunc: decode a
-// leased run-spec payload, execute the batch through the same path the
-// local engine uses, stream sample batches back, and return the encoded
-// result.
-func DispatchExecute(ctx context.Context, key string, payload []byte, post func(samples []byte)) (result []byte, errMsg string) {
+// jobCheckpoint is the wire form of a dispatch job's mid-batch checkpoint:
+// which run of the batch is in flight, the summaries of the runs already
+// completed, run 0's series, and the in-run resume state with the platform
+// encoded as CENCKPT1. The checkpoint's progress stamp (the tick the
+// coordinator fences forward motion with) is run*windows + win.
+type jobCheckpoint struct {
+	Run       int                   `json:"run"`
+	Runs      []RunSummary          `json:"runs,omitempty"`
+	Series    *Series               `json:"series,omitempty"`
+	Win       int                   `json:"win"`
+	Thr       []float64             `json:"thr,omitempty"`
+	Act       []float64             `json:"act,omitempty"`
+	Sw        []float64             `json:"sw,omitempty"`
+	WaveSnaps []experiments.NetSnap `json:"wave_snaps,omitempty"`
+	Platform  []byte                `json:"platform,omitempty"` // CENCKPT1
+}
+
+// parseDispatchPayload decodes a leased payload (envelope or bare spec)
+// and accounts warm-prefix skew.
+func parseDispatchPayload(payload []byte) (RunSpec, error) {
 	specJSON := payload
 	var env dispatchEnvelope
 	if json.Unmarshal(payload, &env) == nil && len(env.Spec) > 0 {
@@ -116,30 +132,51 @@ func DispatchExecute(ctx context.Context, key string, payload []byte, post func(
 	}
 	spec, err := ParseSpec(specJSON)
 	if err != nil {
-		return nil, err.Error()
+		return RunSpec{}, err
 	}
 	if env.WarmPrefix != "" {
 		if mine, ok := experiments.WarmPrefixKey(spec.toExperiment(0)); ok && mine != env.WarmPrefix {
 			warmPrefixSkew.Add(1)
 		}
 	}
-	var buf []Sample
-	flush := func() {
-		if len(buf) == 0 || post == nil {
-			return
-		}
-		if b, err := json.Marshal(buf); err == nil {
-			post(b)
-		}
-		buf = buf[:0]
+	return spec, nil
+}
+
+// sampleBatcher groups per-window samples into progress posts.
+type sampleBatcher struct {
+	buf  []Sample
+	post func(samples []byte)
+}
+
+func (b *sampleBatcher) add(s Sample) {
+	b.buf = append(b.buf, s)
+	if len(b.buf) >= progressFlushAt {
+		b.flush()
 	}
-	res, err := Execute(ctx, spec, func(s Sample) {
-		buf = append(buf, s)
-		if len(buf) >= progressFlushAt {
-			flush()
-		}
-	})
-	flush()
+}
+
+func (b *sampleBatcher) flush() {
+	if len(b.buf) == 0 || b.post == nil {
+		return
+	}
+	if raw, err := json.Marshal(b.buf); err == nil {
+		b.post(raw)
+	}
+	b.buf = b.buf[:0]
+}
+
+// DispatchExecute is the worker daemon's dispatch.ExecuteFunc: decode a
+// leased run-spec payload, execute the batch through the same path the
+// local engine uses, stream sample batches back, and return the encoded
+// result.
+func DispatchExecute(ctx context.Context, key string, payload []byte, post func(samples []byte)) (result []byte, errMsg string) {
+	spec, err := parseDispatchPayload(payload)
+	if err != nil {
+		return nil, err.Error()
+	}
+	batch := sampleBatcher{post: post}
+	res, err := Execute(ctx, spec, batch.add)
+	batch.flush()
 	if err != nil {
 		return nil, err.Error()
 	}
@@ -148,4 +185,130 @@ func DispatchExecute(ctx context.Context, key string, payload []byte, post func(
 		return nil, err.Error()
 	}
 	return b, ""
+}
+
+// DispatchExecuteResumable is DispatchExecute under the checkpoint-resume
+// protocol: every checkpointEveryMs of simulated time the in-flight run's
+// state is committed to the coordinator, and a leased job that carries a
+// prior attempt's checkpoint picks the batch up there — completed runs'
+// summaries are reused and the interrupted run resumes mid-flight, so a
+// kill costs at most one checkpoint interval of re-execution. A checkpoint
+// that fails to decode is discarded (the batch restarts from scratch, which
+// is always correct), and commit delivery failures are tolerated — only a
+// fencing rejection stops the attempt, via the job ctx.
+func DispatchExecuteResumable(checkpointEveryMs int) dispatch.ExecuteResumableFunc {
+	if checkpointEveryMs <= 0 {
+		checkpointEveryMs = 100
+	}
+	return func(ctx context.Context, job dispatch.ResumableJob) (result []byte, errMsg string) {
+		spec, err := parseDispatchPayload(job.Payload)
+		if err != nil {
+			return nil, err.Error()
+		}
+		windows := spec.DurationMs / spec.WindowMs
+		everyWins := checkpointEveryMs / spec.WindowMs
+		if everyWins < 1 {
+			everyWins = 1
+		}
+
+		res := &RunResult{Spec: spec, Key: spec.CanonicalKey()}
+		startRun := 0
+		var resume *experiments.RunCheckpoint
+		if len(job.Checkpoint) > 0 {
+			var jc jobCheckpoint
+			if json.Unmarshal(job.Checkpoint, &jc) == nil && jc.Run <= spec.Runs && len(jc.Runs) == jc.Run {
+				startRun = jc.Run
+				res.Runs = jc.Runs
+				res.Series = jc.Series
+				if jc.Win > 0 && len(jc.Platform) > 0 {
+					if cp, derr := centurion.DecodeCheckpoint(jc.Platform); derr == nil {
+						resume = &experiments.RunCheckpoint{
+							Win:       jc.Win,
+							Thr:       jc.Thr,
+							Act:       jc.Act,
+							Sw:        jc.Sw,
+							WaveSnaps: jc.WaveSnaps,
+							Platform:  cp,
+						}
+					}
+				}
+			}
+		}
+
+		commit := func(run int, win int, jc jobCheckpoint) {
+			b, merr := json.Marshal(jc)
+			if merr != nil {
+				return
+			}
+			tick := int64(run)*int64(windows) + int64(win)
+			// Best-effort: a failed delivery only widens the re-execution
+			// window of a later attempt.
+			_ = job.Commit(ctx, tick, b)
+		}
+
+		batch := sampleBatcher{post: job.Progress}
+		for run := startRun; run < spec.Runs; run++ {
+			espec := spec.toExperiment(run)
+			r := run
+			onWindow := func(w int, tp, active, switches float64) {
+				batch.add(Sample{
+					Run:         r,
+					TimeMs:      float64(w) * float64(spec.WindowMs),
+					Throughput:  tp,
+					NodesActive: active,
+					Switches:    switches,
+				})
+			}
+			hook := &experiments.CheckpointHook{
+				EveryWins: everyWins,
+				Fn: func(win int, cp *experiments.RunCheckpoint) error {
+					commit(r, win, jobCheckpoint{
+						Run:       r,
+						Runs:      res.Runs,
+						Series:    res.Series,
+						Win:       cp.Win,
+						Thr:       cp.Thr,
+						Act:       cp.Act,
+						Sw:        cp.Sw,
+						WaveSnaps: cp.WaveSnaps,
+						Platform:  centurion.EncodeCheckpoint(cp.Platform),
+					})
+					// Lease loss surfaces as ctx cancellation (the commit's
+					// fencing rejection cancels the job ctx); everything else
+					// is best-effort.
+					return ctx.Err()
+				},
+			}
+			rr, err := experiments.RunResumable(ctx, espec, onWindow, resume, hook)
+			resume = nil
+			if err != nil {
+				batch.flush()
+				return nil, fmt.Sprintf("run %d (seed %d): %v", run, espec.Seed, err)
+			}
+			res.Runs = append(res.Runs, runSummaryOf(&rr))
+			if run == 0 {
+				res.Series = &Series{
+					WindowMs:    rr.Throughput.WindowMs,
+					Throughput:  rr.Throughput.Values,
+					NodesActive: rr.NodesActive.Values,
+					Switches:    rr.Switches.Values,
+				}
+			}
+			if run+1 < spec.Runs {
+				// Run boundary: the next run starts fresh (no platform), but
+				// the completed summaries are safe.
+				commit(run+1, 0, jobCheckpoint{Run: run + 1, Runs: res.Runs, Series: res.Series})
+			}
+		}
+		batch.flush()
+		res.Aggregate = aggregate(res.Runs)
+		if spec.Runs > 1 {
+			res.Series = nil
+		}
+		b, merr := json.Marshal(res)
+		if merr != nil {
+			return nil, merr.Error()
+		}
+		return b, ""
+	}
 }

@@ -163,6 +163,12 @@ func (s *Server) gcStats() GCStats {
 type dispatchHealth struct {
 	dispatch.Stats
 	Store *store.Stats `json:"store,omitempty"`
+	// StoreDegraded warns that the store circuit breaker is open: the
+	// backend is erroring and the service is running on LRU-only caching
+	// (results and checkpoints are not durable right now).
+	StoreDegraded bool `json:"store_degraded,omitempty"`
+	// StoreTrips counts how many times the breaker has opened.
+	StoreTrips uint64 `json:"store_trips,omitempty"`
 	// WarmPrefixSkew counts leased jobs whose advisory warm-prefix key
 	// disagreed with this process's own derivation (binary version skew).
 	WarmPrefixSkew uint64 `json:"warm_prefix_skew,omitempty"`
@@ -175,6 +181,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := s.store.Stats()
 		dh.Store = &st
+		dh.StoreDegraded = s.breaker.Degraded()
+		dh.StoreTrips = s.breaker.Trips()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",

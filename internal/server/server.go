@@ -65,7 +65,8 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	engine  *Engine
 	coord   *dispatch.Coordinator
-	store   store.Store // nil when running without durability
+	store   store.Store   // breaker-wrapped; nil when running without durability
+	breaker *breakerStore // nil when running without durability
 	mux     *http.ServeMux
 	started time.Time
 
@@ -80,11 +81,25 @@ func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		engine:  NewEngine(opts.Workers, opts.QueueBound, opts.CacheSize),
-		coord:   dispatch.NewCoordinator(opts.Dispatch),
-		store:   opts.Store,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	if opts.Store != nil {
+		// Every store touch — result reads/writes under the LRU, dispatch
+		// checkpoints, orphan results — goes through the circuit breaker, so
+		// a failing disk degrades the service to LRU-only caching instead of
+		// slowing or erroring the serving path.
+		s.breaker = newBreakerStore(opts.Store)
+		s.store = s.breaker
+		opts.Dispatch.CheckpointStore = s.breaker
+		opts.Dispatch.OrphanResult = func(key string, result []byte) {
+			// A journal-replayed job finished after its submitter died with
+			// the previous process: persist the result so the client's retry
+			// is a store hit, not a re-execution.
+			_ = s.breaker.Put(key, result)
+		}
+	}
+	s.coord = dispatch.NewCoordinator(opts.Dispatch)
 	// Every job engine worker routes through dispatch: remote when leased
 	// workers are alive, in-process otherwise.
 	s.engine.SetExecutor(NewDispatchExecutor(s.coord))

@@ -25,10 +25,12 @@ import (
 // committed record bit-identically.
 //
 // Re-putting an existing key appends a superseding record (last one wins on
-// replay); the space held by superseded records is reclaimed by compaction,
-// which rewrites live records into a temp file and atomically renames it
-// over the log. Compaction triggers automatically once dead bytes exceed
-// both compactMinDead and the live payload size.
+// replay), and deleting one appends a tombstone — a record with valLen==0,
+// which is why Put rejects empty values. The space held by superseded and
+// tombstoned records is reclaimed by compaction, which rewrites live records
+// into a temp file and atomically renames it over the log. Compaction
+// triggers automatically once dead bytes exceed both compactMinDead and the
+// live payload size.
 type LogStore struct {
 	mu   sync.Mutex
 	path string
@@ -41,11 +43,11 @@ type LogStore struct {
 
 	noSync bool // test hook: skip per-put fsync
 
-	puts, hits, misses uint64
-	compactions        uint64
-	lastCompaction     time.Time
-	truncatedTail      bool
-	truncatedBytes     int64 // bytes discarded by the last replay's truncation
+	puts, deletes, hits, misses uint64
+	compactions                 uint64
+	lastCompaction              time.Time
+	truncatedTail               bool
+	truncatedBytes              int64 // bytes discarded by the last replay's truncation
 }
 
 // recLoc locates one live record in the log.
@@ -73,6 +75,11 @@ const (
 
 // OpenLog opens (or creates) the log at path and replays it into memory.
 func OpenLog(path string) (*LogStore, error) {
+	// A crash between writing a compaction temp file and the atomic rename
+	// leaves an orphaned .compact beside the log. The log itself is still
+	// the authoritative, fully-committed copy — discard the orphan rather
+	// than leave it to confuse (or collide with) the next compaction.
+	_ = os.Remove(path + ".compact")
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening log: %w", err)
@@ -139,13 +146,19 @@ func (s *LogStore) replay() error {
 			break // torn mid-payload (the sync boundary is the whole record)
 		}
 		key := string(buf[:keyLen])
-		loc := recLoc{off: off, valOff: off + recHeaderLen + keyLen, keyLen: int32(keyLen), valLen: int32(valLen)}
 		if old, ok := s.index[key]; ok {
 			s.dead += old.recLen()
 			s.live -= int64(old.valLen)
+			delete(s.index, key)
 		}
-		s.index[key] = loc
-		s.live += valLen
+		if valLen == 0 {
+			// Tombstone: the key is gone, and the tombstone record itself is
+			// immediately reclaimable.
+			s.dead += recHeaderLen + keyLen
+		} else {
+			s.index[key] = recLoc{off: off, valOff: off + recHeaderLen + keyLen, keyLen: int32(keyLen), valLen: int32(valLen)}
+			s.live += valLen
+		}
 		off += recHeaderLen + n
 	}
 	if off < end {
@@ -186,6 +199,9 @@ func (s *LogStore) Put(key string, val []byte) error {
 	if len(key) == 0 || len(key) > maxKeyLen {
 		return fmt.Errorf("store: key length %d out of range [1, %d]", len(key), maxKeyLen)
 	}
+	if len(val) == 0 {
+		return fmt.Errorf("store: empty values are reserved as delete tombstones")
+	}
 	if len(val) > maxValLen {
 		return fmt.Errorf("store: value length %d exceeds %d", len(val), maxValLen)
 	}
@@ -218,6 +234,47 @@ func (s *LogStore) Put(key string, val []byte) error {
 	s.index[key] = recLoc{off: off, valOff: off + recHeaderLen + int64(len(key)), keyLen: int32(len(key)), valLen: int32(len(val))}
 	s.live += int64(len(val))
 	s.puts++
+
+	if s.dead > compactMinDead && s.dead > s.live {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Delete implements Store: a synced tombstone append (valLen==0), then the
+// key drops out of the index. Deleting an absent key writes nothing.
+func (s *LogStore) Delete(key string) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("store: key length %d out of range [1, %d]", len(key), maxKeyLen)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: delete on closed store")
+	}
+	old, ok := s.index[key]
+	if !ok {
+		return nil
+	}
+	rec := make([]byte, recHeaderLen+len(key))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:8], 0)
+	copy(rec[recHeaderLen:], key)
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.ChecksumIEEE(rec[recHeaderLen:]))
+	off := s.size
+	if _, err := s.f.WriteAt(rec, off); err != nil {
+		return fmt.Errorf("store: appending tombstone: %w", err)
+	}
+	if !s.noSync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing tombstone: %w", err)
+		}
+	}
+	s.size = off + int64(len(rec))
+	s.dead += old.recLen() + int64(len(rec)) // the superseded record and the tombstone itself
+	s.live -= int64(old.valLen)
+	delete(s.index, key)
+	s.deletes++
 
 	if s.dead > compactMinDead && s.dead > s.live {
 		return s.compactLocked()
@@ -313,6 +370,7 @@ func (s *LogStore) Stats() Stats {
 		LogBytes:       s.size,
 		DeadBytes:      s.dead,
 		Puts:           s.puts,
+		Deletes:        s.deletes,
 		Hits:           s.hits,
 		Misses:         s.misses,
 		Compactions:    s.compactions,

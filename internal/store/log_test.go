@@ -235,6 +235,153 @@ func TestLogStoreCompaction(t *testing.T) {
 	}
 }
 
+// TestLogStoreCompactionCrashMidRewrite is the satellite edge case: the
+// process is killed between writing the compaction temp file and the atomic
+// rename. The orphaned .compact must be discarded on reopen — the original
+// log is still the fully-committed copy — and every committed record must
+// replay bit-identically.
+func TestLogStoreCompactionCrashMidRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openTestLog(t, path)
+	committed := map[string][]byte{}
+	for i := 0; i < 12; i++ {
+		key := testKey(i)
+		val := bytes.Repeat([]byte{byte(0x10 + i)}, 50+i*11)
+		committed[key] = val
+		// Supersede each key once so a compaction would actually rewrite.
+		if err := s.Put(key, []byte("stale")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash point: a compaction finished writing its temp file
+	// (here: a half-written one, the nastier variant) but died before the
+	// rename installed it.
+	orphan := path + ".compact"
+	if err := os.WriteFile(orphan, append([]byte(logMagic), []byte("partial compaction rewrite")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestLog(t, path)
+	defer s2.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned compaction file not cleaned up (stat err=%v)", err)
+	}
+	if st := s2.Stats(); st.Entries != len(committed) || st.TruncatedTail {
+		t.Fatalf("replayed stats after compaction crash = %+v", st)
+	}
+	for key, want := range committed {
+		got, ok, err := s2.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("committed record %s lost: ok=%v err=%v", key[:8], ok, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("committed record %s not bit-identical after compaction crash", key[:8])
+		}
+	}
+	// The untouched log must be byte-for-byte what was committed before the
+	// crash (reopen performs no rewrite when nothing is torn).
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, logBytes) {
+		t.Fatal("log rewritten while recovering from a compaction crash")
+	}
+	// And a real compaction afterwards must still work.
+	if err := s2.Compact(); err != nil {
+		t.Fatalf("Compact after crash recovery: %v", err)
+	}
+	for key, want := range committed {
+		got, ok, _ := s2.Get(key)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("record %s lost by post-recovery compaction", key[:8])
+		}
+	}
+}
+
+func TestLogStoreDelete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.log")
+	s := openTestLog(t, path)
+	if err := s.Put(testKey(0), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(testKey(0)); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, ok, _ := s.Get(testKey(0)); ok {
+		t.Fatal("deleted key still readable")
+	}
+	// Deleting an absent key is a silent no-op that writes nothing.
+	sizeBefore := s.Stats().LogBytes
+	if err := s.Delete(testKey(0)); err != nil {
+		t.Fatalf("Delete of absent key: %v", err)
+	}
+	if got := s.Stats().LogBytes; got != sizeBefore {
+		t.Fatalf("no-op delete grew the log: %d -> %d", sizeBefore, got)
+	}
+	if st := s.Stats(); st.Deletes != 1 || st.DeadBytes == 0 {
+		t.Fatalf("stats after delete = %+v", st)
+	}
+	// Empty values are reserved for tombstones.
+	if err := s.Put(testKey(2), nil); err == nil {
+		t.Fatal("Put of empty value accepted")
+	}
+	s.Close()
+
+	// The tombstone must survive replay…
+	s2 := openTestLog(t, path)
+	if _, ok, _ := s2.Get(testKey(0)); ok {
+		t.Fatal("deleted key resurrected by replay")
+	}
+	if got, ok, _ := s2.Get(testKey(1)); !ok || string(got) != "survivor" {
+		t.Fatal("unrelated key lost with the tombstone")
+	}
+	// …and compaction must drop both the dead record and the tombstone.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := openTestLog(t, path)
+	defer s3.Close()
+	if st := s3.Stats(); st.Entries != 1 || st.DeadBytes != 0 {
+		t.Fatalf("stats after compacted tombstone replay = %+v", st)
+	}
+}
+
+func TestMemStoreDelete(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("deleted key still readable")
+	}
+	if err := s.Delete("absent"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Entries != 0 || st.LiveBytes != 0 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 func TestMemStoreRoundTrip(t *testing.T) {
 	s := NewMemStore()
 	defer s.Close()

@@ -6,12 +6,13 @@ import "sync"
 // and for coordinators running without a data directory. Contents die with
 // the process.
 type MemStore struct {
-	mu     sync.Mutex
-	m      map[string][]byte
-	bytes  int64
-	puts   uint64
-	hits   uint64
-	misses uint64
+	mu      sync.Mutex
+	m       map[string][]byte
+	bytes   int64
+	puts    uint64
+	deletes uint64
+	hits    uint64
+	misses  uint64
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -45,6 +46,18 @@ func (s *MemStore) Put(key string, val []byte) error {
 	return nil
 }
 
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[key]; ok {
+		s.bytes -= int64(len(old))
+		delete(s.m, key)
+		s.deletes++
+	}
+	return nil
+}
+
 // Stats implements Store.
 func (s *MemStore) Stats() Stats {
 	s.mu.Lock()
@@ -53,6 +66,7 @@ func (s *MemStore) Stats() Stats {
 		Entries:   len(s.m),
 		LiveBytes: s.bytes,
 		Puts:      s.puts,
+		Deletes:   s.deletes,
 		Hits:      s.hits,
 		Misses:    s.misses,
 	}

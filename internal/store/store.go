@@ -21,7 +21,11 @@ type Store interface {
 	// the caller (never aliased by the store's internals).
 	Get(key string) (val []byte, ok bool, err error)
 	// Put durably records key→val. It must not retain val after returning.
+	// Values must be non-empty: zero-length values are reserved as delete
+	// tombstones in log-backed implementations.
 	Put(key string, val []byte) error
+	// Delete durably removes key. Deleting an absent key is a no-op.
+	Delete(key string) error
 	// Stats snapshots size and traffic counters for /healthz.
 	Stats() Stats
 	// Compact reclaims space held by superseded records, where the backend
@@ -44,6 +48,7 @@ type Stats struct {
 	// compaction would reclaim.
 	DeadBytes int64  `json:"dead_bytes,omitempty"`
 	Puts      uint64 `json:"puts"`
+	Deletes   uint64 `json:"deletes,omitempty"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	// Compactions counts completed compactions; LastCompaction is the wall
